@@ -1,0 +1,103 @@
+// A4 — InstructionAPI decoder throughput (the Capstone-replacement path,
+// §3.2.2), via google-benchmark: straight-line decode over real code
+// bytes, with and without compressed instructions, plus single-instruction
+// decode and encode round-trips.
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+
+namespace {
+
+std::vector<std::uint8_t> code_bytes(bool rvc) {
+  assembler::Options opts;
+  if (!rvc) opts.extensions = isa::ExtensionSet::rv64g();
+  const auto bin = assembler::assemble(
+      workloads::many_function_program(800), opts);
+  for (const auto& s : bin.sections())
+    if (s.is_code()) return s.data;
+  return {};
+}
+
+void BM_DecodeStream(benchmark::State& state) {
+  const bool rvc = state.range(0) != 0;
+  const auto bytes = code_bytes(rvc);
+  isa::Decoder dec(rvc ? isa::ExtensionSet::rv64gc()
+                       : isa::ExtensionSet::rv64g());
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    std::size_t off = 0;
+    isa::Instruction out;
+    while (off < bytes.size()) {
+      const unsigned len = dec.decode(bytes.data() + off,
+                                      bytes.size() - off, &out);
+      if (len == 0) break;
+      benchmark::DoNotOptimize(out);
+      off += len;
+      ++insns;
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeStream)->Arg(0)->Arg(1)->ArgNames({"rvc"});
+
+void BM_DecodeSingle32(benchmark::State& state) {
+  isa::Decoder dec;
+  isa::Instruction out;
+  const std::uint32_t word = 0x00c58533;  // add a0, a1, a2
+  for (auto _ : state) {
+    dec.decode32(word, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DecodeSingle32);
+
+void BM_DecodeSingle16(benchmark::State& state) {
+  isa::Decoder dec;
+  isa::Instruction out;
+  for (auto _ : state) {
+    dec.decode16(0x852e, &out);  // c.mv a0, a1
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DecodeSingle16);
+
+void BM_EncodeRoundTrip(benchmark::State& state) {
+  using isa::Instruction;
+  using isa::Operand;
+  for (auto _ : state) {
+    auto insn = isa::assemble(
+        isa::Mnemonic::addi,
+        {Instruction::reg_op(isa::a0, Operand::kWrite),
+         Instruction::reg_op(isa::a1, Operand::kRead),
+         Instruction::imm_op(42)});
+    benchmark::DoNotOptimize(insn);
+  }
+}
+BENCHMARK(BM_EncodeRoundTrip);
+
+void BM_Compress(benchmark::State& state) {
+  using isa::Instruction;
+  using isa::Operand;
+  const auto insn = isa::assemble(
+      isa::Mnemonic::addi,
+      {Instruction::reg_op(isa::sp, Operand::kWrite),
+       Instruction::reg_op(isa::sp, Operand::kRead),
+       Instruction::imm_op(-16)});
+  for (auto _ : state) {
+    auto half = isa::compress(insn);
+    benchmark::DoNotOptimize(half);
+  }
+}
+BENCHMARK(BM_Compress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

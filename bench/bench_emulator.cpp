@@ -1,0 +1,85 @@
+// Emulator (hardware substrate) microbenchmarks: interpreter throughput on
+// integer and FP-heavy code, decode-cache effectiveness, and the cost the
+// instrumentation adds per executed snippet.
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hpp"
+#include "codegen/snippet.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+
+namespace {
+
+void BM_EmulateMatmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto bin = assembler::assemble(workloads::matmul_program(n, 1));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    emu::Machine m;
+    m.load(bin);
+    benchmark::DoNotOptimize(m.run(1'000'000'000ULL));
+    insns += m.instret();
+  }
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateMatmul)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_EmulateCallChurn(benchmark::State& state) {
+  const auto bin = assembler::assemble(workloads::call_churn_program(5000));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    emu::Machine m;
+    m.load(bin);
+    benchmark::DoNotOptimize(m.run(1'000'000'000ULL));
+    insns += m.instret();
+  }
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateCallChurn)->Unit(benchmark::kMillisecond);
+
+void BM_EmulateInstrumented(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  const auto bin = assembler::assemble(workloads::matmul_program(16, 1));
+  symtab::Symtab target = bin;
+  if (instrumented) {
+    patch::BinaryEditor editor(bin);
+    const auto c = editor.alloc_var("c");
+    editor.insert_at(editor.code().function_named("matmul")->entry(),
+                     patch::PointType::BlockEntry, codegen::increment(c));
+    target = editor.commit();
+  }
+  for (auto _ : state) {
+    emu::Machine m;
+    m.load(target);
+    benchmark::DoNotOptimize(m.run(1'000'000'000ULL));
+  }
+}
+BENCHMARK(BM_EmulateInstrumented)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"instrumented"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RewriteLatency(benchmark::State& state) {
+  // Tool-side cost: parse + instrument + commit for a mid-sized binary.
+  const auto bin =
+      assembler::assemble(workloads::many_function_program(200));
+  for (auto _ : state) {
+    patch::BinaryEditor editor(bin);
+    const auto c = editor.alloc_var("c");
+    for (const auto& [entry, f] : editor.code().functions())
+      editor.insert_at(entry, patch::PointType::FuncEntry,
+                       codegen::increment(c));
+    benchmark::DoNotOptimize(editor.commit());
+  }
+}
+BENCHMARK(BM_RewriteLatency)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

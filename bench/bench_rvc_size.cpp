@@ -1,0 +1,78 @@
+// A6 — the C extension's code-size benefit (paper §3.1.2): the assembler's
+// auto-compression pass measured per workload, plus what fraction of
+// instructions compress (the paper's motivation for why RVC complicates
+// patching: most sites are 2 bytes wide).
+#include "assembler/assembler.hpp"
+#include "isa/decoder.hpp"
+#include "workloads/workloads.hpp"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace rvdyn;
+
+namespace {
+
+struct Sizes {
+  std::size_t bytes = 0;
+  std::uint64_t insns = 0;
+  std::uint64_t compressed = 0;
+};
+
+Sizes measure(const std::string& src, bool rvc) {
+  assembler::Options opts;
+  if (!rvc) opts.extensions = isa::ExtensionSet::rv64g();
+  const auto bin = assembler::assemble(src, opts);
+  Sizes out;
+  isa::Decoder dec(opts.extensions);
+  for (const auto& s : bin.sections()) {
+    if (!s.is_code()) continue;
+    out.bytes += s.data.size();
+    std::size_t off = 0;
+    isa::Instruction insn;
+    while (off < s.data.size()) {
+      const unsigned len =
+          dec.decode(s.data.data() + off, s.data.size() - off, &insn);
+      if (len == 0) break;
+      ++out.insns;
+      if (len == 2) ++out.compressed;
+      off += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  struct Workload {
+    const char* name;
+    std::string src;
+  };
+  const Workload workloads[] = {
+      {"matmul 100x100", workloads::matmul_program(100, 1)},
+      {"call churn", workloads::call_churn_program(1000)},
+      {"fib", workloads::fib_program(20)},
+      {"jump-table dispatch", workloads::dispatch_program(100)},
+      {"many-function (500)", workloads::many_function_program(500)},
+  };
+
+  std::printf("%-22s %10s %10s %9s %14s\n", "workload", "rv64g (B)",
+              "rv64gc (B)", "saved", "2-byte insns");
+  for (const auto& w : workloads) {
+    const Sizes g = measure(w.src, false);
+    const Sizes gc = measure(w.src, true);
+    std::printf("%-22s %10zu %10zu %8.1f%% %13.1f%%\n", w.name, g.bytes,
+                gc.bytes,
+                100.0 * (1.0 - static_cast<double>(gc.bytes) /
+                                   static_cast<double>(g.bytes)),
+                100.0 * static_cast<double>(gc.compressed) /
+                    static_cast<double>(gc.insns));
+  }
+  std::printf(
+      "\nexpected: ~20-30%% code-size savings with RVC; a large share of\n"
+      "instructions being 2 bytes is exactly why the patcher's c.j/jal\n"
+      "springboard budget logic (§3.1.2) exists.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared plumbing for the table/figure harnesses: assemble a workload,
+// optionally instrument it, execute it on the emulator, and report the
+// mutatee's own clock_gettime-based timing plus machine counters.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "codegen/snippet.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+#include "proccontrol/process.hpp"
+
+namespace rvdyn::bench {
+
+struct RunResult {
+  int exit_code = 0;
+  std::uint64_t instret = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t elapsed_ns = 0;  ///< the mutatee's own measurement
+  std::uint64_t counter = 0;     ///< instrumentation counter (when present)
+};
+
+/// Execute `bin` to completion (handling trap springboards when `traps` is
+/// provided); reads `elapsed_ns` and the optional counter variable.
+inline RunResult run_binary(const symtab::Symtab& bin,
+                            const std::vector<patch::TrapEntry>* traps = nullptr,
+                            std::optional<std::uint64_t> counter_addr = {}) {
+  auto proc = proccontrol::Process::launch(bin);
+  if (traps) proc->install_trap_table(*traps);
+  const auto ev = proc->continue_run();
+  if (ev.kind != proccontrol::Event::Kind::Exited) {
+    std::fprintf(stderr, "workload did not exit cleanly (kind=%d pc=0x%llx)\n",
+                 static_cast<int>(ev.kind),
+                 static_cast<unsigned long long>(ev.addr));
+    std::exit(1);
+  }
+  RunResult r;
+  r.exit_code = ev.exit_code;
+  r.instret = proc->machine().instret();
+  r.cycles = proc->machine().cycles();
+  if (const auto* sym = bin.find_symbol("elapsed_ns"))
+    r.elapsed_ns = proc->read_mem(sym->value, 8);
+  if (counter_addr) r.counter = proc->read_mem(*counter_addr, 8);
+  return r;
+}
+
+/// Instrument `func_name` in `bin` at points of `type` with a counter
+/// increment; returns the rewritten binary, trap table and counter address.
+struct Instrumented {
+  symtab::Symtab bin;
+  std::vector<patch::TrapEntry> traps;
+  std::uint64_t counter_addr = 0;
+  patch::RewriteStats stats;
+};
+
+inline Instrumented instrument_counter(const symtab::Symtab& bin,
+                                       const std::string& func_name,
+                                       patch::PointType type,
+                                       bool use_dead_regs) {
+  patch::BinaryEditor editor(bin);
+  editor.set_use_dead_registers(use_dead_regs);
+  const auto counter = editor.alloc_var("counter");
+  const auto* f = editor.code().function_named(func_name);
+  if (!f) {
+    std::fprintf(stderr, "no function named %s\n", func_name.c_str());
+    std::exit(1);
+  }
+  editor.insert_at(f->entry(), type, codegen::increment(counter));
+  Instrumented out{editor.commit(), editor.trap_table(), counter.addr,
+                   editor.stats()};
+  return out;
+}
+
+inline double pct_overhead(std::uint64_t base, std::uint64_t measured) {
+  return base == 0 ? 0.0
+                   : 100.0 * (static_cast<double>(measured) -
+                              static_cast<double>(base)) /
+                         static_cast<double>(base);
+}
+
+}  // namespace rvdyn::bench

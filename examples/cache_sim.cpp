@@ -1,0 +1,110 @@
+// Cache simulator: the paper's §1 "architectural simulation" use case.
+//
+// Drives a parameterized set-associative data-cache model from the
+// emulator's per-instruction trace (every memory operand with its size and
+// direction comes from InstructionAPI's access info) and reports hit rates
+// for the matmul workload at several cache shapes — a miniature cachegrind
+// front end on the rvdyn stack.
+#include <cstdio>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+
+namespace {
+
+// LRU set-associative cache model.
+class Cache {
+ public:
+  Cache(unsigned size_bytes, unsigned line_bytes, unsigned ways)
+      : line_(line_bytes), ways_(ways),
+        sets_(size_bytes / line_bytes / ways),
+        tags_(static_cast<std::size_t>(sets_) * ways, kInvalid),
+        age_(static_cast<std::size_t>(sets_) * ways, 0) {}
+
+  void access(std::uint64_t addr) {
+    const std::uint64_t line = addr / line_;
+    const unsigned set = static_cast<unsigned>(line % sets_);
+    const std::uint64_t tag = line / sets_;
+    ++tick_;
+    ++accesses_;
+    std::uint64_t* base = &tags_[static_cast<std::size_t>(set) * ways_];
+    std::uint64_t* ages = &age_[static_cast<std::size_t>(set) * ways_];
+    unsigned victim = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+      if (base[w] == tag) {
+        ++hits_;
+        ages[w] = tick_;
+        return;
+      }
+      if (ages[w] < ages[victim]) victim = w;
+    }
+    base[victim] = tag;  // miss: LRU fill
+    ages[victim] = tick_;
+  }
+
+  std::uint64_t accesses() const { return accesses_; }
+  double hit_rate() const {
+    return accesses_ ? 100.0 * static_cast<double>(hits_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+  }
+
+ private:
+  static constexpr std::uint64_t kInvalid = ~0ULL;
+  unsigned line_, ways_, sets_;
+  std::vector<std::uint64_t> tags_, age_;
+  std::uint64_t tick_ = 0, accesses_ = 0, hits_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  const int n = 48;  // 48x48 doubles: 18 KiB per matrix
+  const auto binary = assembler::assemble(workloads::matmul_program(n, 1));
+  std::printf("workload: %dx%d double matmul (3 matrices x %d KiB)\n\n", n, n,
+              n * n * 8 / 1024);
+
+  struct Shape {
+    const char* name;
+    unsigned size, line, ways;
+  };
+  const Shape shapes[] = {
+      {"8 KiB, 64B lines, 2-way", 8 * 1024, 64, 2},
+      {"32 KiB, 64B lines, 4-way", 32 * 1024, 64, 4},
+      {"32 KiB, 64B lines, 8-way", 32 * 1024, 64, 8},
+      {"256 KiB, 64B lines, 8-way", 256 * 1024, 64, 8},
+  };
+
+  std::printf("%-28s %12s %10s\n", "D-cache shape", "accesses", "hit rate");
+  for (const Shape& shape : shapes) {
+    Cache dcache(shape.size, shape.line, shape.ways);
+    emu::Machine m;
+    m.load(binary);
+    m.set_trace([&](std::uint64_t, const isa::Instruction& insn) {
+      if (!insn.reads_memory() && !insn.writes_memory()) return;
+      for (unsigned i = 0; i < insn.num_operands(); ++i) {
+        const auto& op = insn.operand(i);
+        if (!op.is_mem()) continue;
+        const std::uint64_t addr =
+            m.get_x(op.reg.num) + static_cast<std::uint64_t>(op.imm);
+        dcache.access(addr);
+      }
+    });
+    if (m.run(500'000'000) != emu::StopReason::Exited) {
+      std::printf("workload failed to finish\n");
+      return 1;
+    }
+    std::printf("%-28s %12llu %9.2f%%\n", shape.name,
+                static_cast<unsigned long long>(dcache.accesses()),
+                dcache.hit_rate());
+  }
+
+  std::printf(
+      "\nexpected: hit rate climbs with capacity/associativity; the column-"
+      "strided\nB-matrix accesses make the small cache thrash.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Memory-access tracer: "trace every memory access" (paper §1) using
+// InstructionAPI's operand access information and the emulator's
+// per-instruction hook. Reports a load/store histogram per function —
+// the analysis half of a cache-simulator front end.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "parse/cfg.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+
+int main() {
+  const auto binary = assembler::assemble(workloads::matmul_program(16, 1));
+
+  parse::CodeObject co(binary);
+  co.parse();
+  auto func_of = [&](std::uint64_t pc) -> std::string {
+    for (const auto& [entry, f] : co.functions())
+      if (f->block_containing(pc)) return f->name();
+    return "?";
+  };
+
+  struct Counts {
+    std::uint64_t loads = 0, stores = 0, bytes = 0;
+  };
+  std::map<std::string, Counts> by_func;
+
+  emu::Machine m;
+  m.load(binary);
+  m.set_trace([&](std::uint64_t pc, const isa::Instruction& insn) {
+    if (!insn.reads_memory() && !insn.writes_memory()) return;
+    Counts& c = by_func[func_of(pc)];
+    for (unsigned i = 0; i < insn.num_operands(); ++i) {
+      const auto& op = insn.operand(i);
+      if (!op.is_mem()) continue;
+      if (op.reads()) ++c.loads;
+      if (op.writes()) ++c.stores;
+      c.bytes += op.size;
+    }
+  });
+  m.run();
+
+  std::printf("memory traffic by function (16x16 matmul):\n");
+  std::printf("%-12s %12s %12s %12s\n", "function", "loads", "stores",
+              "bytes");
+  for (const auto& [name, c] : by_func)
+    std::printf("%-12s %12llu %12llu %12llu\n", name.c_str(),
+                static_cast<unsigned long long>(c.loads),
+                static_cast<unsigned long long>(c.stores),
+                static_cast<unsigned long long>(c.bytes));
+  std::printf("\nexit=%d; expected: matmul dominates with ~2*n^3 loads\n",
+              m.exit_code());
+  return 0;
+}

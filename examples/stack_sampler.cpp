@@ -1,0 +1,54 @@
+// Sampling profiler: periodically interrupt the process, walk its call
+// stack (StackwalkerAPI), and report where time is spent — the skeleton of
+// HPCToolkit-style profiling (paper §2's tool list) on the RISC-V port.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "parse/cfg.hpp"
+#include "proccontrol/process.hpp"
+#include "stackwalk/stackwalker.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+using proccontrol::Event;
+using proccontrol::Process;
+
+int main() {
+  const auto binary = assembler::assemble(workloads::fib_program(18));
+
+  parse::CodeObject co(binary);
+  co.parse();
+  auto proc = Process::launch(binary);
+  stackwalk::StackWalker walker(*proc, co);
+
+  std::map<std::string, unsigned> leaf_samples;
+  std::map<unsigned, unsigned> depth_histogram;
+  unsigned samples = 0;
+
+  // "Timer" sampling: run a fixed instruction quantum, then interrupt.
+  while (true) {
+    const Event ev = proc->continue_run(2000);
+    if (ev.kind == Event::Kind::Exited) break;
+    if (ev.kind != Event::Kind::LimitReached) {
+      std::printf("unexpected stop kind=%d\n", static_cast<int>(ev.kind));
+      return 1;
+    }
+    const auto frames = walker.walk();
+    if (frames.empty()) continue;
+    ++samples;
+    leaf_samples[frames[0].func_name.empty() ? "?" : frames[0].func_name]++;
+    depth_histogram[static_cast<unsigned>(frames.size())]++;
+  }
+
+  std::printf("%u samples of fib(18)\n\n", samples);
+  std::printf("flat profile (innermost frame):\n");
+  for (const auto& [name, count] : leaf_samples)
+    std::printf("  %-12s %5.1f%%  (%u samples)\n", name.c_str(),
+                100.0 * count / samples, count);
+  std::printf("\nstack depth histogram:\n");
+  for (const auto& [depth, count] : depth_histogram)
+    std::printf("  depth %2u: %u\n", depth, count);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// RV64GC assembler: the substrate replacing the gcc cross-toolchain.
+//
+// Two-pass (iterative-relaxation) assembler with a gas-like syntax:
+// sections, labels, data directives, the standard pseudo-instructions
+// (li/la/call/tail/ret/mv/beqz/...), and opportunistic C-extension
+// compression. Produces a Symtab model that serializes to a well-formed
+// ELF64 RISC-V executable, including e_flags and .riscv.attributes, so the
+// full SymtabAPI -> ParseAPI -> PatchAPI pipeline runs on binaries with the
+// same idioms a compiler emits (auipc+jalr pairs, tail calls, jump tables).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/extensions.hpp"
+#include "symtab/symtab.hpp"
+
+namespace rvdyn::assembler {
+
+struct Options {
+  /// Profile recorded in the binary and respected during encoding: with C
+  /// present, instructions are auto-compressed where a 16-bit form exists.
+  isa::ExtensionSet extensions = isa::ExtensionSet::rv64gc();
+  bool auto_compress = true;  ///< ignored when the profile lacks C
+
+  std::uint64_t text_base = 0x10000;
+  std::uint64_t rodata_base = 0x20000;
+  std::uint64_t data_base = 0x30000;
+  std::uint64_t bss_base = 0x40000;
+};
+
+/// Assemble `source` into an executable binary model. The entry point is
+/// `_start` if defined, else `main`, else the start of .text.
+/// Throws rvdyn::Error with a line-numbered message on syntax errors,
+/// undefined labels, or out-of-range immediates.
+symtab::Symtab assemble(const std::string& source, const Options& opts = {});
+
+/// Convenience: assemble and serialize to an ELF image in one step.
+std::vector<std::uint8_t> assemble_elf(const std::string& source,
+                                       const Options& opts = {});
+
+}  // namespace rvdyn::assembler

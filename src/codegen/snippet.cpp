@@ -1,0 +1,95 @@
+#include "codegen/snippet.hpp"
+
+namespace rvdyn::codegen {
+
+namespace {
+
+std::shared_ptr<Snippet> make(Snippet::Kind k) {
+  auto s = std::make_shared<Snippet>();
+  s->kind = k;
+  return s;
+}
+
+}  // namespace
+
+SnippetPtr constant(std::int64_t v) {
+  auto s = make(Snippet::Kind::Const);
+  s->value = v;
+  return s;
+}
+
+SnippetPtr var_expr(const Variable& v) {
+  auto s = make(Snippet::Kind::Var);
+  s->var = v;
+  return s;
+}
+
+SnippetPtr read_reg(isa::Reg r) {
+  auto s = make(Snippet::Kind::ReadReg);
+  s->reg = r;
+  return s;
+}
+
+SnippetPtr binary(BinOp op, SnippetPtr a, SnippetPtr b) {
+  auto s = make(Snippet::Kind::Binary);
+  s->op = op;
+  s->kids = {std::move(a), std::move(b)};
+  return s;
+}
+
+SnippetPtr load(SnippetPtr addr, std::uint8_t size) {
+  auto s = make(Snippet::Kind::Load);
+  s->mem_size = size;
+  s->kids = {std::move(addr)};
+  return s;
+}
+
+SnippetPtr call(std::uint64_t target, std::vector<SnippetPtr> args) {
+  auto s = make(Snippet::Kind::Call);
+  s->value = static_cast<std::int64_t>(target);
+  s->kids = std::move(args);
+  return s;
+}
+
+SnippetPtr assign(const Variable& v, SnippetPtr value) {
+  auto s = make(Snippet::Kind::AssignVar);
+  s->var = v;
+  s->kids = {std::move(value)};
+  return s;
+}
+
+SnippetPtr write_reg(isa::Reg r, SnippetPtr value) {
+  auto s = make(Snippet::Kind::WriteReg);
+  s->reg = r;
+  s->kids = {std::move(value)};
+  return s;
+}
+
+SnippetPtr store(SnippetPtr addr, SnippetPtr value, std::uint8_t size) {
+  auto s = make(Snippet::Kind::Store);
+  s->mem_size = size;
+  s->kids = {std::move(addr), std::move(value)};
+  return s;
+}
+
+SnippetPtr sequence(std::vector<SnippetPtr> stmts) {
+  auto s = make(Snippet::Kind::Sequence);
+  s->kids = std::move(stmts);
+  return s;
+}
+
+SnippetPtr if_then(SnippetPtr cond, SnippetPtr then_stmt,
+                   SnippetPtr else_stmt) {
+  auto s = make(Snippet::Kind::If);
+  s->kids = {std::move(cond), std::move(then_stmt)};
+  if (else_stmt) s->kids.push_back(std::move(else_stmt));
+  return s;
+}
+
+SnippetPtr nop() { return make(Snippet::Kind::Nop); }
+
+SnippetPtr increment(const Variable& v, std::int64_t k) {
+  return assign(v, binary(BinOp::Add, var_expr(v), constant(k)));
+}
+
+}  // namespace rvdyn::codegen

@@ -1,0 +1,102 @@
+// Snippets: the machine-independent AST describing instrumentation code
+// (paper §2, §2.2).
+//
+// A snippet is an abstract syntax tree with operations for reading/writing
+// memory, registers and variables, arithmetic and logical operators,
+// function calls, and conditionals. Tools build snippets through the
+// factory functions below and never touch machine code; CodeGenAPI lowers
+// them to RV64 instruction sequences.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/registers.hpp"
+
+namespace rvdyn::codegen {
+
+/// A memory-resident instrumentation variable (allocated by PatchAPI in
+/// the patch data area of the mutatee).
+struct Variable {
+  std::uint64_t addr = 0;
+  std::uint8_t size = 8;
+  std::string name;
+};
+
+class Snippet;
+using SnippetPtr = std::shared_ptr<const Snippet>;
+
+/// Binary operators available in snippet expressions.
+enum class BinOp {
+  Add, Sub, Mul, Div,
+  And, Or, Xor,
+  Shl, Shr,
+  Eq, Ne, LtS, LtU, GeS, GeU,
+};
+
+class Snippet {
+ public:
+  enum class Kind {
+    // Expressions
+    Const,    ///< 64-bit constant (`value`)
+    Var,      ///< read of a Variable (`var`)
+    ReadReg,  ///< read of a mutatee register (`reg`)
+    Binary,   ///< kids[0] op kids[1]
+    Load,     ///< mem[kids[0]], `mem_size` bytes, zero-extended
+    Call,     ///< call mutatee function at `value` with kids as args; yields a0
+    // Statements
+    AssignVar,  ///< var = kids[0]
+    WriteReg,   ///< reg = kids[0]
+    Store,      ///< mem[kids[0]] = kids[1], `mem_size` bytes
+    Sequence,   ///< kids in order
+    If,         ///< if (kids[0] != 0) kids[1] else kids[2] (kids[2] optional)
+    Nop,
+  };
+
+  Kind kind = Kind::Nop;
+  std::int64_t value = 0;
+  Variable var;
+  isa::Reg reg;
+  BinOp op = BinOp::Add;
+  std::uint8_t mem_size = 8;
+  std::vector<SnippetPtr> kids;
+
+  bool is_expression() const {
+    switch (kind) {
+      case Kind::Const:
+      case Kind::Var:
+      case Kind::ReadReg:
+      case Kind::Binary:
+      case Kind::Load:
+      case Kind::Call:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+// ---- factory functions (the tool-facing snippet-building API) ----
+
+SnippetPtr constant(std::int64_t v);
+SnippetPtr var_expr(const Variable& v);
+SnippetPtr read_reg(isa::Reg r);
+SnippetPtr binary(BinOp op, SnippetPtr a, SnippetPtr b);
+SnippetPtr load(SnippetPtr addr, std::uint8_t size = 8);
+SnippetPtr call(std::uint64_t target, std::vector<SnippetPtr> args = {});
+
+SnippetPtr assign(const Variable& v, SnippetPtr value);
+SnippetPtr write_reg(isa::Reg r, SnippetPtr value);
+SnippetPtr store(SnippetPtr addr, SnippetPtr value, std::uint8_t size = 8);
+SnippetPtr sequence(std::vector<SnippetPtr> stmts);
+SnippetPtr if_then(SnippetPtr cond, SnippetPtr then_stmt,
+                   SnippetPtr else_stmt = nullptr);
+SnippetPtr nop();
+
+/// The canonical profiling snippet: `v = v + k` (paper §4.1's
+/// counter-increment instrumentation).
+SnippetPtr increment(const Variable& v, std::int64_t k = 1);
+
+}  // namespace rvdyn::codegen

@@ -1,0 +1,62 @@
+// Bit-manipulation helpers shared by the decoder, encoder and emulator.
+//
+// RISC-V instruction encodings scatter immediate bits across the word in
+// irregular orders (see the B/J-type formats), so nearly every component
+// needs compact field extraction, insertion and sign extension.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace rvdyn {
+
+/// Extract bits [lo, lo+len) of `v` as an unsigned value in the low bits.
+constexpr std::uint64_t bits(std::uint64_t v, unsigned lo, unsigned len) {
+  return (v >> lo) & ((len >= 64) ? ~0ULL : ((1ULL << len) - 1));
+}
+
+/// Extract the single bit at position `pos`.
+constexpr std::uint64_t bit(std::uint64_t v, unsigned pos) {
+  return (v >> pos) & 1ULL;
+}
+
+/// Sign-extend the low `width` bits of `v` to a signed 64-bit value.
+constexpr std::int64_t sext(std::uint64_t v, unsigned width) {
+  if (width == 0 || width >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = 1ULL << (width - 1);
+  v &= (1ULL << width) - 1;
+  return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+/// Zero-extend the low `width` bits of `v`.
+constexpr std::uint64_t zext(std::uint64_t v, unsigned width) {
+  if (width >= 64) return v;
+  return v & ((1ULL << width) - 1);
+}
+
+/// True when signed value `v` is representable in `width` bits (two's
+/// complement).
+constexpr bool fits_signed(std::int64_t v, unsigned width) {
+  if (width >= 64) return true;
+  const std::int64_t lo = -(1LL << (width - 1));
+  const std::int64_t hi = (1LL << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True when unsigned value `v` is representable in `width` bits.
+constexpr bool fits_unsigned(std::uint64_t v, unsigned width) {
+  if (width >= 64) return true;
+  return v < (1ULL << width);
+}
+
+/// Place the low `len` bits of `field` at position `lo` of a zero word.
+constexpr std::uint32_t place(std::uint32_t field, unsigned lo, unsigned len) {
+  return (field & ((len >= 32) ? ~0U : ((1U << len) - 1))) << lo;
+}
+
+/// Align `v` up to the next multiple of `a` (a power of two).
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace rvdyn

@@ -1,0 +1,28 @@
+#include "common/leb128.hpp"
+
+namespace rvdyn {
+
+void uleb128_write(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  do {
+    std::uint8_t byte = v & 0x7f;
+    v >>= 7;
+    if (v != 0) byte |= 0x80;
+    out.push_back(byte);
+  } while (v != 0);
+}
+
+std::uint64_t uleb128_read(const std::uint8_t* data, std::size_t size,
+                           std::size_t* offset) {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  while (*offset < size) {
+    const std::uint8_t byte = data[(*offset)++];
+    if (shift < 64) result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+  *offset = size;
+  return result;
+}
+
+}  // namespace rvdyn

@@ -1,0 +1,20 @@
+// ULEB128 encoding, used by the ELF .riscv.attributes section
+// (SymtabAPI parses it; the assembler emits it).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace rvdyn {
+
+/// Append the ULEB128 encoding of `v` to `out`.
+void uleb128_write(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Decode a ULEB128 value from `data` starting at `*offset`; advances
+/// `*offset` past the encoded bytes. Returns 0 and leaves `*offset` at
+/// `size` on truncated input (callers treat that as end-of-section).
+std::uint64_t uleb128_read(const std::uint8_t* data, std::size_t size,
+                           std::size_t* offset);
+
+}  // namespace rvdyn

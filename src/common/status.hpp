@@ -1,0 +1,58 @@
+// Lightweight error reporting used across rvdyn.
+//
+// Analysis code frequently has "can't decide" outcomes that are not program
+// errors (an unresolvable jalr, a gap with no code). Those are modelled as
+// ordinary return values. `Error`/`Result` are reserved for genuine failures:
+// malformed ELF input, assembler syntax errors, out-of-range fixups.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rvdyn {
+
+/// Exception thrown on unrecoverable input errors (malformed binaries,
+/// assembler syntax errors). Tools catch this at their top level.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+/// A value-or-error result for APIs where failure is routine and the caller
+/// is expected to branch on it rather than unwind.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                     // NOLINT
+  Result(Error err) : v_(std::move(err)) {}                     // NOLINT
+  static Result failure(std::string msg) { return Result(Error(std::move(msg))); }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Access the value; throws the stored error if this is a failure.
+  T& value() {
+    if (!ok()) throw std::get<Error>(v_);
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    if (!ok()) throw std::get<Error>(v_);
+    return std::get<T>(v_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Human-readable error message ("" when ok).
+  std::string message() const {
+    return ok() ? std::string{} : std::string(std::get<Error>(v_).what());
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace rvdyn

@@ -1,0 +1,198 @@
+#include "dataflow/liveness.hpp"
+
+#include <deque>
+
+#include "dataflow/summaries.hpp"
+
+namespace rvdyn::dataflow {
+
+namespace {
+
+using isa::RegSet;
+using parse::Block;
+using parse::EdgeType;
+
+RegSet set_of(std::initializer_list<isa::Reg> regs) {
+  RegSet s;
+  for (isa::Reg r : regs) s.add(r);
+  return s;
+}
+
+// Callee-saved registers the function must preserve: live at every exit.
+RegSet callee_saved() {
+  RegSet s;
+  s.add(isa::sp);
+  s.add(isa::gp);
+  s.add(isa::tp);
+  s.add(isa::s0);
+  s.add(isa::s1);
+  for (std::uint8_t n = 18; n <= 27; ++n) s.add(isa::x(n));  // s2-s11
+  s.add(isa::f(8));
+  s.add(isa::f(9));
+  for (std::uint8_t n = 18; n <= 27; ++n) s.add(isa::f(n));  // fs2-fs11
+  return s;
+}
+
+}  // namespace
+
+RegSet Liveness::abi_live_at_return() {
+  RegSet s = callee_saved();
+  // Potential return values.
+  s.add(isa::a0);
+  s.add(isa::a1);
+  s.add(isa::f(10));
+  s.add(isa::f(11));
+  return s;
+}
+
+RegSet Liveness::call_uses() {
+  RegSet s;
+  for (std::uint8_t n = 10; n <= 17; ++n) s.add(isa::x(n));  // a0-a7
+  for (std::uint8_t n = 10; n <= 17; ++n) s.add(isa::f(n));  // fa0-fa7
+  s.add(isa::sp);
+  return s;
+}
+
+RegSet Liveness::call_defs() {
+  RegSet s;
+  for (unsigned i = 0; i < isa::kNumRegs; ++i) {
+    const isa::Reg r = isa::Reg::from_index(i);
+    if (isa::is_caller_saved(r)) s.add(r);
+  }
+  return s;
+}
+
+RegSet Liveness::transfer(const parse::ParsedInsn& pi, RegSet live,
+                          std::optional<std::uint64_t> callee) const {
+  const isa::Instruction& insn = pi.insn;
+  const bool is_call =
+      (insn.is_jal() || insn.is_jalr()) && !(insn.link_reg() == isa::zero);
+  if (is_call) {
+    // Default (ABI) model: a call defines the caller-saved set and uses
+    // the argument registers. With an interprocedural summary, use the
+    // callee's actual (may-use, must-def) sets instead.
+    RegSet uses = call_uses();
+    RegSet kills = call_defs();
+    if (summaries_ && callee) {
+      if (const FuncSummary* s = summaries_->lookup(*callee)) {
+        uses = s->may_use;
+        kills = s->must_def;
+      }
+    }
+    kills |= insn.regs_written();  // the link register, from the call itself
+    live = (live - kills) | uses;
+    live |= insn.regs_read();  // the target register of an indirect call
+    return live;
+  }
+  if (insn.has_flag(isa::F_ECALL)) {
+    live.remove(isa::a0);  // syscall return values
+    live.remove(isa::a1);
+    for (std::uint8_t n = 10; n <= 17; ++n) live.add(isa::x(n));  // args
+    return live;
+  }
+  return (live - insn.regs_written()) | insn.regs_read();
+}
+
+std::optional<std::uint64_t> Liveness::resolved_callee(
+    const parse::Block* b) const {
+  for (const parse::Edge& e : b->succs())
+    if ((e.type == EdgeType::Call || e.type == EdgeType::TailCall) && e.target)
+      return e.target;
+  return std::nullopt;
+}
+
+Liveness::Liveness(const parse::Function& f, const Summaries* summaries,
+                   ReturnBoundary boundary)
+    : func_(f), summaries_(summaries) {
+  // Initialize and iterate to fixpoint (backward may-analysis).
+  std::deque<const Block*> work;
+  for (const auto& [a, b] : f.blocks()) {
+    live_in_[b.get()] = RegSet();
+    live_out_[b.get()] = RegSet();
+    work.push_back(b.get());
+  }
+
+  const RegSet at_return =
+      boundary == ReturnBoundary::Abi ? abi_live_at_return() : RegSet();
+  RegSet all;
+  all = ~RegSet();
+
+  while (!work.empty()) {
+    const Block* b = work.front();
+    work.pop_front();
+
+    // live-out: union over successors; boundary edges use ABI summaries.
+    RegSet out;
+    for (const parse::Edge& e : b->succs()) {
+      switch (e.type) {
+        case EdgeType::Return:
+          out |= at_return;
+          break;
+        case EdgeType::TailCall: {
+          const FuncSummary* s =
+              summaries_ && e.target ? summaries_->lookup(e.target) : nullptr;
+          out |= s ? s->may_use : call_uses();
+          break;
+        }
+        case EdgeType::Unresolved:
+          out |= all;  // unknown flow: assume everything is read
+          break;
+        case EdgeType::Call:
+          break;  // interprocedural; handled by the call transfer itself
+        default: {
+          const Block* t = func_.block_at(e.target);
+          if (t) out |= live_in_.at(t);
+          break;
+        }
+      }
+    }
+    // A block with no successors at all (e.g. noreturn exit) keeps nothing
+    // live; that is already the empty set.
+    live_out_[b] = out;
+
+    RegSet in = out;
+    const auto& insns = b->insns();
+    const auto callee = resolved_callee(b);
+    bool is_term = true;
+    for (auto it = insns.rbegin(); it != insns.rend(); ++it) {
+      in = transfer(*it, in, is_term ? callee : std::nullopt);
+      is_term = false;
+    }
+
+    if (!(in == live_in_.at(b))) {
+      live_in_[b] = in;
+      for (const Block* p : b->preds()) work.push_back(p);
+    }
+  }
+}
+
+RegSet Liveness::live_out(const Block* block) const {
+  auto it = live_out_.find(block);
+  return it == live_out_.end() ? ~RegSet() : it->second;
+}
+
+RegSet Liveness::live_in(const Block* block) const {
+  auto it = live_in_.find(block);
+  return it == live_in_.end() ? ~RegSet() : it->second;
+}
+
+RegSet Liveness::live_before(const Block* block, std::size_t index) const {
+  RegSet live = live_out(block);
+  const auto& insns = block->insns();
+  const auto callee = resolved_callee(block);
+  for (std::size_t i = insns.size(); i > index; --i)
+    live = transfer(insns[i - 1], live,
+                    i == insns.size() ? callee : std::nullopt);
+  return live;
+}
+
+RegSet Liveness::dead_before(const Block* block, std::size_t index) const {
+  RegSet dead = ~live_before(block, index);
+  dead.remove(isa::zero);
+  dead.remove(isa::sp);
+  dead.remove(isa::gp);
+  dead.remove(isa::tp);
+  return dead;
+}
+
+}  // namespace rvdyn::dataflow

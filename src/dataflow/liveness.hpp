@@ -1,0 +1,68 @@
+// Register liveness analysis (DataflowAPI, paper §2.1).
+//
+// Backward may-analysis over a function's CFG. Its headline consumer is
+// CodeGenAPI's *dead-register optimization* (paper §4.3): instrumentation
+// that needs scratch registers first asks for registers that are dead at
+// the instrumentation point, avoiding spills entirely when some exist.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include <optional>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::dataflow {
+
+class Summaries;
+
+class Liveness {
+ public:
+  /// What a Return edge contributes to live-out. `Abi` models the caller's
+  /// perspective (return values + callee-saved registers live). `None`
+  /// computes pure upward-exposed uses — what Summaries needs for may-use,
+  /// where untouched pass-through registers must not count as reads.
+  enum class ReturnBoundary { Abi, None };
+
+  /// Computes liveness for every instruction of `f`. The function's pred
+  /// lists must be up to date (CodeObject::parse leaves them rebuilt).
+  /// With `summaries`, calls to resolved callees use their interprocedural
+  /// (may-use, must-def) sets instead of the full ABI clobber model,
+  /// exposing more dead registers at call boundaries.
+  explicit Liveness(const parse::Function& f,
+                    const Summaries* summaries = nullptr,
+                    ReturnBoundary boundary = ReturnBoundary::Abi);
+
+  /// Registers live immediately before instruction `index` of `block`
+  /// (i.e. whose current values may still be read on some path).
+  isa::RegSet live_before(const parse::Block* block, std::size_t index) const;
+
+  /// Registers live after the last instruction of `block`.
+  isa::RegSet live_out(const parse::Block* block) const;
+  /// Registers live at the start of `block`.
+  isa::RegSet live_in(const parse::Block* block) const;
+
+  /// Registers provably dead before instruction `index` of `block` —
+  /// available to instrumentation without a save/restore. x0 and sp are
+  /// never reported dead.
+  isa::RegSet dead_before(const parse::Block* block, std::size_t index) const;
+
+  /// ABI register sets used at analysis boundaries (exposed for tests).
+  static isa::RegSet abi_live_at_return();
+  static isa::RegSet call_uses();
+  static isa::RegSet call_defs();
+
+ private:
+  isa::RegSet transfer(const parse::ParsedInsn& pi, isa::RegSet live,
+                       std::optional<std::uint64_t> callee) const;
+  /// Resolved call/tail-call target of `block`'s terminator, if any.
+  std::optional<std::uint64_t> resolved_callee(const parse::Block* b) const;
+
+  const parse::Function& func_;
+  const Summaries* summaries_ = nullptr;
+  std::map<const parse::Block*, isa::RegSet> live_in_;
+  std::map<const parse::Block*, isa::RegSet> live_out_;
+};
+
+}  // namespace rvdyn::dataflow

@@ -1,0 +1,137 @@
+#include "dataflow/slicing.hpp"
+
+#include <array>
+#include <deque>
+
+namespace rvdyn::dataflow {
+
+namespace {
+
+using parse::Block;
+using parse::EdgeType;
+
+bool is_intraproc(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough:
+    case EdgeType::Taken:
+    case EdgeType::NotTaken:
+    case EdgeType::Jump:
+    case EdgeType::IndirectJump:
+    case EdgeType::CallFallthrough:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Per-register reaching-def sets at a program point.
+using DefMap = std::array<std::set<InsnAddr>, isa::kNumRegs>;
+
+bool merge_into(DefMap& dst, const DefMap& src) {
+  bool changed = false;
+  for (unsigned r = 0; r < isa::kNumRegs; ++r)
+    for (InsnAddr a : src[r])
+      if (dst[r].insert(a).second) changed = true;
+  return changed;
+}
+
+}  // namespace
+
+Slicer::Slicer(const parse::Function& f) : func_(f) { build(); }
+
+void Slicer::build() {
+  // Block-level reaching definitions to fixpoint, then a per-instruction
+  // pass recording def-use edges.
+  std::map<const Block*, DefMap> in, out;
+  std::deque<const Block*> work;
+  for (const auto& [a, b] : func_.blocks()) {
+    in[b.get()];
+    out[b.get()];
+    work.push_back(b.get());
+  }
+
+  auto apply_block = [](const Block* b, DefMap defs) {
+    for (const auto& pi : b->insns()) {
+      const isa::RegSet w = pi.insn.regs_written();
+      for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        if (!w.contains(isa::Reg::from_index(r))) continue;
+        defs[r].clear();
+        defs[r].insert(pi.addr);
+      }
+    }
+    return defs;
+  };
+
+  while (!work.empty()) {
+    const Block* b = work.front();
+    work.pop_front();
+    out.at(b) = apply_block(b, in.at(b));
+    for (const parse::Edge& e : b->succs()) {
+      if (!is_intraproc(e.type)) continue;
+      const Block* t = func_.block_at(e.target);
+      if (!t) continue;
+      if (merge_into(in.at(t), out.at(b))) work.push_back(t);
+    }
+  }
+
+  // Record per-instruction reaching defs and the def-use edges.
+  for (const auto& [addr, b] : func_.blocks()) {
+    DefMap defs = in.at(b.get());
+    for (const auto& pi : b->insns()) {
+      const isa::RegSet uses = pi.insn.regs_read();
+      for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        const isa::Reg reg = isa::Reg::from_index(r);
+        if (!uses.contains(reg)) continue;
+        reach_[{pi.addr, r}] = defs[r];
+        for (InsnAddr d : defs[r]) {
+          uses_of_def_[d].insert(pi.addr);
+          defs_of_use_[pi.addr].insert(d);
+          ++n_edges_;
+        }
+      }
+      const isa::RegSet w = pi.insn.regs_written();
+      for (unsigned r = 0; r < isa::kNumRegs; ++r) {
+        if (!w.contains(isa::Reg::from_index(r))) continue;
+        defs[r].clear();
+        defs[r].insert(pi.addr);
+      }
+    }
+  }
+}
+
+std::set<InsnAddr> Slicer::backward_slice(InsnAddr at) const {
+  std::set<InsnAddr> slice;
+  std::deque<InsnAddr> work{at};
+  while (!work.empty()) {
+    const InsnAddr cur = work.front();
+    work.pop_front();
+    if (!slice.insert(cur).second) continue;
+    auto it = defs_of_use_.find(cur);
+    if (it == defs_of_use_.end()) continue;
+    for (InsnAddr d : it->second)
+      if (!slice.count(d)) work.push_back(d);
+  }
+  return slice;
+}
+
+std::set<InsnAddr> Slicer::forward_slice(InsnAddr at) const {
+  std::set<InsnAddr> slice;
+  std::deque<InsnAddr> work{at};
+  while (!work.empty()) {
+    const InsnAddr cur = work.front();
+    work.pop_front();
+    if (!slice.insert(cur).second) continue;
+    auto it = uses_of_def_.find(cur);
+    if (it == uses_of_def_.end()) continue;
+    for (InsnAddr u : it->second)
+      if (!slice.count(u)) work.push_back(u);
+  }
+  return slice;
+}
+
+std::set<InsnAddr> Slicer::reaching_defs(InsnAddr at, isa::Reg r) const {
+  auto it = reach_.find({at, r.index()});
+  return it == reach_.end() ? std::set<InsnAddr>{} : it->second;
+}
+
+}  // namespace rvdyn::dataflow

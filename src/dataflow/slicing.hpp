@@ -1,0 +1,54 @@
+// Forward and backward program slicing over a function's def-use graph
+// (DataflowAPI, paper §2.1).
+//
+// Built on an intra-procedural reaching-definitions analysis: backward
+// slices collect the instructions whose values flow into a given use;
+// forward slices collect the instructions a given definition can affect.
+// Dependencies flow through registers; memory is not disambiguated (the
+// classic conservative simplification — noted in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::dataflow {
+
+/// A definition site: instruction address (unique within a function).
+using InsnAddr = std::uint64_t;
+
+class Slicer {
+ public:
+  explicit Slicer(const parse::Function& f);
+
+  /// Instructions whose computed values can reach (through register
+  /// dataflow) the uses of instruction `at`. Includes `at` itself.
+  std::set<InsnAddr> backward_slice(InsnAddr at) const;
+
+  /// Instructions whose inputs can be affected by the value `at` defines.
+  /// Includes `at` itself.
+  std::set<InsnAddr> forward_slice(InsnAddr at) const;
+
+  /// Reaching definitions of register `r` immediately before instruction
+  /// `at` (exposed for tests and custom analyses).
+  std::set<InsnAddr> reaching_defs(InsnAddr at, isa::Reg r) const;
+
+  /// Total def-use edge count (diagnostics).
+  std::size_t num_edges() const { return n_edges_; }
+
+ private:
+  void build();
+
+  const parse::Function& func_;
+  // def -> uses and use -> defs adjacency by instruction address.
+  std::map<InsnAddr, std::set<InsnAddr>> uses_of_def_;
+  std::map<InsnAddr, std::set<InsnAddr>> defs_of_use_;
+  // Per (instruction, register) reaching definitions.
+  std::map<std::pair<InsnAddr, unsigned>, std::set<InsnAddr>> reach_;
+  std::size_t n_edges_ = 0;
+};
+
+}  // namespace rvdyn::dataflow

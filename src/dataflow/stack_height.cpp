@@ -1,0 +1,132 @@
+#include "dataflow/stack_height.hpp"
+
+#include <deque>
+
+#include "parse/loops.hpp"
+
+namespace rvdyn::dataflow {
+
+namespace {
+
+using parse::Block;
+using parse::EdgeType;
+
+bool is_intraproc(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough:
+    case EdgeType::Taken:
+    case EdgeType::NotTaken:
+    case EdgeType::Jump:
+    case EdgeType::IndirectJump:
+    case EdgeType::CallFallthrough:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+StackHeight StackHeightAnalysis::apply(const parse::ParsedInsn& pi,
+                                       StackHeight h) {
+  if (!h) return h;
+  const isa::Instruction& insn = pi.insn;
+  if (!insn.regs_written().contains(isa::sp)) return h;
+  // The only modelled sp update is addi sp, sp, imm (which covers both the
+  // standard prologue/epilogue and c.addi16sp's expansion).
+  if (insn.mnemonic() == isa::Mnemonic::addi && insn.num_operands() == 3 &&
+      insn.operand(1).reg == isa::sp)
+    return *h + insn.operand(2).imm;
+  return std::nullopt;  // sp escapes the model
+}
+
+StackHeightAnalysis::StackHeightAnalysis(const parse::Function& f)
+    : func_(f) {
+  const Block* entry = f.entry_block();
+  if (!entry) return;
+
+  // Forward worklist; heights merge to "unknown" on conflict.
+  std::deque<const Block*> work{entry};
+  in_[entry] = 0;
+  reached_[entry] = true;
+
+  while (!work.empty()) {
+    const Block* b = work.front();
+    work.pop_front();
+    StackHeight h = in_.at(b);
+    for (const auto& pi : b->insns()) h = apply(pi, h);
+    out_[b] = h;
+    for (const parse::Edge& e : b->succs()) {
+      if (!is_intraproc(e.type)) continue;
+      const Block* t = f.block_at(e.target);
+      if (!t) continue;
+      auto it = in_.find(t);
+      if (it == in_.end()) {
+        in_[t] = h;
+        work.push_back(t);
+      } else if (it->second != h && it->second.has_value()) {
+        // Conflicting or newly-unknown height: demote and re-propagate.
+        it->second = std::nullopt;
+        work.push_back(t);
+      }
+    }
+  }
+
+  // Discover the frame allocation and the return-address save slot from
+  // the first reachable occurrences at known heights. Functions with fast
+  // leaf paths (recursion base cases) allocate/save outside the entry
+  // block, so every reachable block is scanned.
+  for (const auto& [addr, blk] : f.blocks()) {
+    const parse::Block* b = blk.get();
+    auto it = in_.find(b);
+    if (it == in_.end()) continue;
+    StackHeight h = it->second;
+    for (std::size_t i = 0; i < b->insns().size(); ++i) {
+      const parse::ParsedInsn& pi = b->insns()[i];
+      const isa::Instruction& insn = pi.insn;
+      if (!frame_size_ && h == StackHeight(0) &&
+          insn.mnemonic() == isa::Mnemonic::addi &&
+          insn.num_operands() == 3 && insn.operand(0).reg == isa::sp &&
+          insn.operand(1).reg == isa::sp && insn.operand(2).imm < 0)
+        frame_size_ = -insn.operand(2).imm;
+      if (!save_block_ && h.has_value() &&
+          insn.mnemonic() == isa::Mnemonic::sd && insn.num_operands() == 2 &&
+          insn.operand(0).reg == isa::ra && insn.operand(1).reg == isa::sp) {
+        ra_slot_ = *h + insn.operand(1).imm;  // relative to entry sp
+        save_block_ = b;
+        save_index_ = i;
+      }
+      h = apply(pi, h);
+    }
+  }
+  if (save_block_) idom_ = parse::immediate_dominators(f);
+}
+
+bool StackHeightAnalysis::ra_saved_at(const parse::Block* block,
+                                      std::size_t index) const {
+  if (!save_block_) return false;
+  if (block == save_block_) return index > save_index_;
+  return parse::dominates(idom_, save_block_->start(), block->start());
+}
+
+StackHeight StackHeightAnalysis::height_in(const Block* block) const {
+  auto it = in_.find(block);
+  return it == in_.end() ? std::nullopt : it->second;
+}
+
+StackHeight StackHeightAnalysis::height_out(const Block* block) const {
+  auto it = out_.find(block);
+  return it == out_.end() ? std::nullopt : it->second;
+}
+
+StackHeight StackHeightAnalysis::height_before(const Block* block,
+                                               std::size_t index) const {
+  StackHeight h = height_in(block);
+  const auto& insns = block->insns();
+  for (std::size_t i = 0; i < index && i < insns.size(); ++i)
+    h = apply(insns[i], h);
+  return h;
+}
+
+
+}  // namespace rvdyn::dataflow

@@ -1,0 +1,66 @@
+// Stack-height analysis (DataflowAPI, paper §2.1).
+//
+// Forward dataflow tracking the stack pointer's offset from its value at
+// function entry. StackwalkerAPI's SP-based frame stepper (paper §3.2.7)
+// uses this to walk frames of functions that, as most RISC-V compilers do,
+// omit the frame pointer and address everything off sp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::dataflow {
+
+/// Height lattice value: known delta (sp - sp_at_entry, in bytes, usually
+/// negative) or unknown (sp modified in a non-constant way / conflicting
+/// paths).
+using StackHeight = std::optional<std::int64_t>;
+
+class StackHeightAnalysis {
+ public:
+  explicit StackHeightAnalysis(const parse::Function& f);
+
+  /// Height on entry to `block` (0 at the function entry block).
+  StackHeight height_in(const parse::Block* block) const;
+
+  /// Height immediately before instruction `index` of `block`.
+  StackHeight height_before(const parse::Block* block,
+                            std::size_t index) const;
+
+  /// Height after the last instruction of `block`.
+  StackHeight height_out(const parse::Block* block) const;
+
+  /// The fixed frame size when the function follows the standard pattern
+  /// (one `addi sp, sp, -N` allocating from height 0): N, else nullopt.
+  std::optional<std::int64_t> frame_size() const { return frame_size_; }
+
+  /// The stack slot (relative to the entry sp) where the return address is
+  /// saved, discovered from the first reachable `sd ra, off(sp)` at a
+  /// known height. nullopt for leaf functions. Note that functions with a
+  /// fast leaf path (e.g. a recursion base case) save ra on the slow path
+  /// only — use ra_saved_at() to test a specific program point.
+  std::optional<std::int64_t> ra_save_slot() const { return ra_slot_; }
+
+  /// True when the `sd ra` save has provably executed by the time control
+  /// is before instruction `index` of `block` (same block past the save,
+  /// or a block dominated by the save's block).
+  bool ra_saved_at(const parse::Block* block, std::size_t index) const;
+
+ private:
+  static StackHeight apply(const parse::ParsedInsn& pi, StackHeight h);
+
+  const parse::Function& func_;
+  std::map<const parse::Block*, StackHeight> in_;
+  std::map<const parse::Block*, StackHeight> out_;
+  std::map<const parse::Block*, bool> reached_;
+  std::optional<std::int64_t> ra_slot_;
+  std::optional<std::int64_t> frame_size_;
+  const parse::Block* save_block_ = nullptr;
+  std::size_t save_index_ = 0;
+  std::map<std::uint64_t, std::uint64_t> idom_;
+};
+
+}  // namespace rvdyn::dataflow

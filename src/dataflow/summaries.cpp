@@ -1,0 +1,133 @@
+#include "dataflow/summaries.hpp"
+
+#include <deque>
+
+#include "dataflow/liveness.hpp"
+
+namespace rvdyn::dataflow {
+
+namespace {
+
+using isa::RegSet;
+using parse::Block;
+using parse::EdgeType;
+
+bool is_intraproc(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough:
+    case EdgeType::Taken:
+    case EdgeType::NotTaken:
+    case EdgeType::Jump:
+    case EdgeType::IndirectJump:
+    case EdgeType::CallFallthrough:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Forward must-analysis: registers written on every path from the entry to
+// each exit. Uses already-computed callee summaries (via `lookup`) for the
+// definite writes of resolved calls; missing summaries contribute nothing.
+RegSet compute_must_def(const parse::Function& f,
+                        const Summaries& summaries) {
+  const Block* entry = f.entry_block();
+  if (!entry) return RegSet();
+
+  std::map<const Block*, RegSet> in;
+  std::deque<const Block*> work{entry};
+  in[entry] = RegSet();
+
+  auto block_out = [&](const Block* b, RegSet defs) {
+    std::optional<std::uint64_t> callee;
+    for (const parse::Edge& e : b->succs())
+      if ((e.type == EdgeType::Call || e.type == EdgeType::TailCall) &&
+          e.target)
+        callee = e.target;
+    for (std::size_t i = 0; i < b->insns().size(); ++i) {
+      const auto& insn = b->insns()[i].insn;
+      defs |= insn.regs_written();
+      const bool is_call = (insn.is_jal() || insn.is_jalr()) &&
+                           !(insn.link_reg() == isa::zero);
+      if (is_call && i + 1 == b->insns().size() && callee)
+        if (const FuncSummary* s = summaries.lookup(*callee))
+          defs |= s->must_def;
+    }
+    return defs;
+  };
+
+  while (!work.empty()) {
+    const Block* b = work.front();
+    work.pop_front();
+    const RegSet out = block_out(b, in.at(b));
+    for (const parse::Edge& e : b->succs()) {
+      if (!is_intraproc(e.type)) continue;
+      const Block* t = f.block_at(e.target);
+      if (!t) continue;
+      auto it = in.find(t);
+      if (it == in.end()) {
+        in[t] = out;
+        work.push_back(t);
+      } else {
+        const RegSet met = it->second & out;  // must: intersection
+        if (!(met == it->second)) {
+          it->second = met;
+          work.push_back(t);
+        }
+      }
+    }
+  }
+
+  // Exits: Return blocks intersect their outs; a tail call exits through
+  // the callee (its must-defs were already folded in by block_out).
+  bool any_exit = false;
+  RegSet result = ~RegSet();
+  for (const auto& [a, blk] : f.blocks()) {
+    const Block* b = blk.get();
+    if (!in.count(b)) continue;  // unreachable
+    bool exits = false;
+    for (const parse::Edge& e : b->succs())
+      if (e.type == EdgeType::Return || e.type == EdgeType::TailCall)
+        exits = true;
+    if (!exits) continue;
+    any_exit = true;
+    result &= block_out(b, in.at(b));
+  }
+  // A function with no returns never resumes its caller: every register may
+  // be treated as killed on the (non-existent) fallthrough path.
+  return any_exit ? result : ~RegSet();
+}
+
+}  // namespace
+
+Summaries::Summaries(const parse::CodeObject& co) {
+  const parse::CallGraph cg(co);
+  for (std::uint64_t entry : cg.bottom_up_order()) {
+    const parse::Function* f = co.function_at(entry);
+    if (!f || !f->entry_block()) continue;
+
+    FuncSummary summary;
+    // May-use: liveness at the function entry, computed with the summaries
+    // of already-finished callees (intra-SCC callees fall back to the ABI
+    // model inside Liveness — sound, just less precise).
+    // ReturnBoundary::None: a register the function never touches is a
+    // pass-through, not a use — the caller-side transfer already keeps it
+    // live when it is live after the call.
+    Liveness live(*f, this, Liveness::ReturnBoundary::None);
+    summary.may_use = live.live_before(f->entry_block(), 0);
+    summary.must_def = compute_must_def(*f, *this);
+    // x0 is never meaningfully defined.
+    summary.must_def.remove(isa::zero);
+
+    summary.precise = f->stats().n_unresolved == 0 &&
+                      !cg.has_unknown_callees().count(entry);
+    if (!summary.precise) {
+      // Unknown flow inside: be maximally conservative.
+      summary.may_use |= Liveness::call_uses();
+      summary.must_def = RegSet();
+    }
+    summaries_[entry] = summary;
+  }
+}
+
+}  // namespace rvdyn::dataflow

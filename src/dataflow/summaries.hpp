@@ -1,0 +1,48 @@
+// Interprocedural register summaries (DataflowAPI).
+//
+// Per-function (may-use, must-def) register sets, computed bottom-up over
+// the call graph. Liveness uses them to model calls precisely instead of
+// assuming the full ABI clobber/argument sets: a call to a callee that
+// only reads a0 leaves a1-a7 dead at the call site, handing CodeGenAPI's
+// dead-register optimization more scratch registers exactly where
+// instrumentation is most common (function entries and call sites).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "isa/instruction.hpp"
+#include "parse/callgraph.hpp"
+#include "parse/cfg.hpp"
+
+namespace rvdyn::dataflow {
+
+struct FuncSummary {
+  /// Registers whose incoming value the function may read (upward-exposed
+  /// uses, overapproximated) — what a call makes live.
+  isa::RegSet may_use;
+  /// Registers written on every path from entry to every return
+  /// (underapproximated) — what a call kills.
+  isa::RegSet must_def;
+  /// False when the summary fell back to the ABI sets (unknown callees,
+  /// unresolved control flow inside the function).
+  bool precise = false;
+};
+
+class Summaries {
+ public:
+  /// Compute summaries for every function of `co`, bottom-up.
+  explicit Summaries(const parse::CodeObject& co);
+
+  /// Summary for `entry`, or nullptr for unknown functions.
+  const FuncSummary* lookup(std::uint64_t entry) const {
+    auto it = summaries_.find(entry);
+    return it == summaries_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::uint64_t, FuncSummary> summaries_;
+};
+
+}  // namespace rvdyn::dataflow

@@ -1,0 +1,182 @@
+// RV64GC emulator: the hardware substrate (paper substitution for the
+// SiFive P550 board the authors measured on).
+//
+// Interprets RV64GC user-level code loaded from an ELF model, with a small
+// Linux-syscall surface and deterministic instruction/cycle accounting.
+// `clock_gettime` reads the virtual cycle clock, so measured overheads are
+// a pure function of the instructions the instrumentation adds — exactly
+// the quantity the paper's Table (§4.3) reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/memory.hpp"
+#include "isa/decoder.hpp"
+#include "symtab/symtab.hpp"
+
+namespace rvdyn::emu {
+
+/// Why execution stopped.
+enum class StopReason {
+  Running,      ///< step budget exhausted, process still runnable
+  Exited,       ///< exit/exit_group syscall
+  Breakpoint,   ///< executed an ebreak
+  IllegalInsn,  ///< bytes did not decode (or out-of-profile instruction)
+  BadFetch,     ///< pc in unmapped memory
+  BadSyscall,   ///< unknown syscall number
+  Watchpoint,   ///< a data watchpoint fired (pc = the accessing insn)
+};
+
+/// Cost model: per-instruction cycle charges, loosely following an in-order
+/// core like the P550. Deterministic by construction.
+struct CycleModel {
+  unsigned base = 1;
+  unsigned load = 2;
+  unsigned store = 1;
+  unsigned mul = 3;
+  unsigned div = 20;
+  unsigned fp = 4;
+  unsigned fdiv = 20;
+  unsigned branch_taken = 2;  ///< extra pipeline redirect cost included
+  /// Cost of one trap-springboard round trip (debugger stop + redirect +
+  /// resume) — approximates a ptrace stop on real hardware.
+  unsigned trap_roundtrip = 2000;
+  std::uint64_t hz = 1'400'000'000;  ///< virtual clock frequency (1.4 GHz)
+};
+
+class Machine {
+ public:
+  explicit Machine(isa::ExtensionSet profile = isa::ExtensionSet::rv64gc())
+      : decoder_(profile) {}
+
+  /// Map every allocatable section of `binary` and point pc at its entry.
+  /// Also initializes sp to the top of a fresh stack region.
+  void load(const symtab::Symtab& binary);
+
+  /// Execute until a stop condition or until `max_steps` instructions.
+  StopReason run(std::uint64_t max_steps = ~0ULL);
+
+  /// Execute exactly one instruction (true hardware single-step — the
+  /// facility RISC-V ptrace lacks; ProcControlAPI layers breakpoint-based
+  /// stepping on top, per paper §3.2.6).
+  StopReason step();
+
+  // --- register and memory access (the debugger surface) ---
+  std::uint64_t pc() const { return pc_; }
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+  std::uint64_t get_x(unsigned i) const { return i == 0 ? 0 : x_[i]; }
+  void set_x(unsigned i, std::uint64_t v) {
+    if (i != 0) x_[i] = v;
+  }
+  std::uint64_t get_f(unsigned i) const { return f_[i]; }
+  void set_f(unsigned i, std::uint64_t v) { f_[i] = v; }
+  std::uint64_t get_reg(isa::Reg r) const {
+    return r.cls == isa::RegClass::Int ? get_x(r.num) : get_f(r.num);
+  }
+  void set_reg(isa::Reg r, std::uint64_t v) {
+    if (r.cls == isa::RegClass::Int) set_x(r.num, v);
+    else set_f(r.num, v);
+  }
+
+  Memory& memory() { return mem_; }
+  const Memory& memory() const { return mem_; }
+
+  /// Write bytes into the process image and invalidate the decoded-
+  /// instruction cache for the touched range (debugger code patching).
+  void write_code(std::uint64_t addr, const std::uint8_t* data, std::size_t n);
+
+  // --- accounting ---
+  std::uint64_t instret() const { return instret_; }
+  std::uint64_t cycles() const { return cycles_; }
+  /// Virtual nanoseconds elapsed (cycles / hz).
+  std::uint64_t virtual_ns() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(cycles_) * 1e9 / static_cast<double>(model_.hz));
+  }
+  CycleModel& cycle_model() { return model_; }
+  /// Charge extra virtual cycles (used by ProcControl for trap redirects).
+  void add_cycles(std::uint64_t n) { cycles_ += n; }
+
+  // --- process state ---
+  int exit_code() const { return exit_code_; }
+  StopReason last_stop() const { return stop_; }
+  /// Address of the faulting/stopping instruction for Breakpoint /
+  /// IllegalInsn / BadFetch stops (pc is left at that instruction).
+  std::uint64_t stop_pc() const { return pc_; }
+
+  /// Captured stdout from write(1/2, ...) syscalls.
+  const std::string& output() const { return out_; }
+
+  /// Optional per-instruction hook (tracing tools, tests). Called with the
+  /// pc and decoded instruction before it executes.
+  using TraceHook = std::function<void(std::uint64_t, const isa::Instruction&)>;
+  void set_trace(TraceHook hook) { trace_ = std::move(hook); }
+
+  // --- data watchpoints (hardware-debug-register analogue) ---
+  /// Stop with StopReason::Watchpoint when [addr, addr+size) is accessed.
+  /// The triggering instruction completes first; pc is left *after* it and
+  /// watch_hit() describes the access. Returns a watchpoint id.
+  unsigned set_watchpoint(std::uint64_t addr, std::uint64_t size,
+                          bool on_read, bool on_write);
+  void clear_watchpoint(unsigned id);
+
+  struct WatchHit {
+    unsigned id = 0;
+    std::uint64_t addr = 0;   ///< accessed address
+    std::uint64_t pc = 0;     ///< instruction that accessed it
+    bool was_write = false;
+  };
+  const WatchHit& watch_hit() const { return watch_hit_; }
+
+  // Stack layout constants.
+  static constexpr std::uint64_t kStackTop = 0x7f000000;
+  static constexpr std::uint64_t kStackSize = 0x100000;  // 1 MiB
+
+ private:
+  StopReason exec_one();
+  bool fetch(std::uint64_t pc, isa::Instruction* out, unsigned* len);
+  StopReason syscall();
+  void charge(const isa::Instruction& insn, bool taken_branch);
+
+  isa::Decoder decoder_;
+  Memory mem_;
+  std::uint64_t x_[32] = {};
+  std::uint64_t f_[32] = {};
+  std::uint64_t pc_ = 0;
+  std::uint64_t instret_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t brk_ = 0x50000000;
+  std::uint64_t mmap_top_ = 0x60000000;
+  std::uint64_t reservation_ = ~0ULL;  ///< lr/sc reservation address
+  std::unordered_map<std::int64_t, std::uint64_t> csr_scratch_;
+  CycleModel model_;
+  int exit_code_ = 0;
+  StopReason stop_ = StopReason::Running;
+  std::string out_;
+  TraceHook trace_;
+
+  struct CacheEntry {
+    isa::Instruction insn;
+    unsigned len = 0;
+  };
+  std::unordered_map<std::uint64_t, CacheEntry> icache_;
+
+  struct Watchpoint {
+    unsigned id;
+    std::uint64_t addr, size;
+    bool on_read, on_write;
+  };
+  std::vector<Watchpoint> watchpoints_;
+  unsigned next_watch_id_ = 1;
+  WatchHit watch_hit_;
+  /// Check the instruction's memory operand against the watch list; fills
+  /// watch_hit_ and returns true when one fires.
+  bool check_watchpoints(std::uint64_t pc, const isa::Instruction& insn);
+};
+
+}  // namespace rvdyn::emu

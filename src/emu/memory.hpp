@@ -1,0 +1,86 @@
+// Sparse paged memory for the emulated RISC-V process.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+namespace rvdyn::emu {
+
+/// Byte-addressed sparse memory backed by 4KiB pages allocated on first
+/// touch. Unmapped reads return zero only through the checked interfaces;
+/// the Machine treats unmapped *instruction fetch* as a fault.
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageBits = 12;
+  static constexpr std::uint64_t kPageSize = 1ULL << kPageBits;
+
+  bool is_mapped(std::uint64_t addr) const {
+    return pages_.count(addr >> kPageBits) != 0;
+  }
+
+  /// Pre-map [addr, addr+size) (zero-filled).
+  void map(std::uint64_t addr, std::uint64_t size) {
+    for (std::uint64_t p = addr >> kPageBits; p <= (addr + size - 1) >> kPageBits;
+         ++p)
+      page(p << kPageBits);
+  }
+
+  std::uint8_t read8(std::uint64_t addr) {
+    return page(addr)[addr & (kPageSize - 1)];
+  }
+  void write8(std::uint64_t addr, std::uint8_t v) {
+    page(addr)[addr & (kPageSize - 1)] = v;
+  }
+
+  /// Little-endian load of `size` (1/2/4/8) bytes.
+  std::uint64_t read(std::uint64_t addr, unsigned size) {
+    if (((addr & (kPageSize - 1)) + size) <= kPageSize) {
+      const std::uint8_t* p = &page(addr)[addr & (kPageSize - 1)];
+      std::uint64_t v = 0;
+      std::memcpy(&v, p, size);
+      return v;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+      v |= static_cast<std::uint64_t>(read8(addr + i)) << (8 * i);
+    return v;
+  }
+
+  /// Little-endian store of `size` bytes.
+  void write(std::uint64_t addr, std::uint64_t v, unsigned size) {
+    if (((addr & (kPageSize - 1)) + size) <= kPageSize) {
+      std::uint8_t* p = &page(addr)[addr & (kPageSize - 1)];
+      std::memcpy(p, &v, size);
+      return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+      write8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void write_bytes(std::uint64_t addr, const std::uint8_t* data,
+                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) write8(addr + i, data[i]);
+  }
+  void read_bytes(std::uint64_t addr, std::uint8_t* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) data[i] = read8(addr + i);
+  }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageSize>;
+
+  std::uint8_t* page(std::uint64_t addr) {
+    auto& p = pages_[addr >> kPageBits];
+    if (!p) {
+      p = std::make_unique<Page>();
+      p->fill(0);
+    }
+    return p->data();
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace rvdyn::emu

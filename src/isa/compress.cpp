@@ -1,0 +1,309 @@
+// C-extension compression: map expanded instructions to 16-bit encodings
+// when one exists. Used by the assembler's auto-compression pass and by
+// CodeGenAPI when the mutatee's profile includes the C extension.
+#include "common/bits.hpp"
+#include "isa/encoder.hpp"
+
+namespace rvdyn::isa {
+
+namespace {
+
+bool is_creg(Reg r) { return r.num >= 8 && r.num <= 15; }
+std::uint16_t creg(Reg r) { return static_cast<std::uint16_t>(r.num - 8); }
+
+std::uint16_t q0(std::uint16_t f3, std::uint16_t mid, std::uint16_t rs1p,
+                 std::uint16_t lo2, std::uint16_t rdp) {
+  return static_cast<std::uint16_t>((f3 << 13) | (mid << 10) | (rs1p << 7) |
+                                    (lo2 << 5) | (rdp << 2) | 0b00);
+}
+
+// Compressed load/store of the register-pair form (quadrant 0).
+std::optional<std::uint16_t> compress_mem_q0(std::uint16_t f3, Reg data,
+                                             Reg base, std::int64_t off,
+                                             unsigned scale) {
+  if (!is_creg(data) || !is_creg(base) || off < 0) return std::nullopt;
+  const auto uoff = static_cast<std::uint64_t>(off);
+  if (scale == 8) {  // c.ld/c.sd/c.fld/c.fsd: uimm[7:6|5:3], 8-byte aligned
+    if (uoff & 7 || uoff >= 256) return std::nullopt;
+    return q0(f3, static_cast<std::uint16_t>(bits(uoff, 3, 3)), creg(base),
+              static_cast<std::uint16_t>(bits(uoff, 6, 2)), creg(data));
+  }
+  // c.lw/c.sw: uimm[6|5:3|2], 4-byte aligned
+  if (uoff & 3 || uoff >= 128) return std::nullopt;
+  const auto lo2 = static_cast<std::uint16_t>((bit(uoff, 2) << 1) | bit(uoff, 6));
+  return q0(f3, static_cast<std::uint16_t>(bits(uoff, 3, 3)), creg(base), lo2,
+            creg(data));
+}
+
+std::uint16_t q1(std::uint16_t f3, std::uint16_t b12, std::uint16_t rd,
+                 std::uint16_t lo5) {
+  return static_cast<std::uint16_t>((f3 << 13) | (b12 << 12) | (rd << 7) |
+                                    (lo5 << 2) | 0b01);
+}
+
+std::uint16_t q2(std::uint16_t f3, std::uint16_t b12, std::uint16_t rd,
+                 std::uint16_t lo5) {
+  return static_cast<std::uint16_t>((f3 << 13) | (b12 << 12) | (rd << 7) |
+                                    (lo5 << 2) | 0b10);
+}
+
+std::optional<std::uint16_t> compress_sp_load(std::uint16_t f3, Reg rd,
+                                              std::int64_t off,
+                                              unsigned scale) {
+  if (off < 0) return std::nullopt;
+  const auto u = static_cast<std::uint64_t>(off);
+  if (scale == 8) {  // c.ldsp/c.fldsp: uimm[5|4:3|8:6]
+    if (u & 7 || u >= 512) return std::nullopt;
+    const auto lo5 = static_cast<std::uint16_t>((bits(u, 3, 2) << 3) | bits(u, 6, 3));
+    return q2(f3, static_cast<std::uint16_t>(bit(u, 5)), rd.num, lo5);
+  }
+  // c.lwsp: uimm[5|4:2|7:6]
+  if (u & 3 || u >= 256) return std::nullopt;
+  const auto lo5 = static_cast<std::uint16_t>((bits(u, 2, 3) << 2) | bits(u, 6, 2));
+  return q2(f3, static_cast<std::uint16_t>(bit(u, 5)), rd.num, lo5);
+}
+
+std::optional<std::uint16_t> compress_sp_store(std::uint16_t f3, Reg rs2,
+                                               std::int64_t off,
+                                               unsigned scale) {
+  if (off < 0) return std::nullopt;
+  const auto u = static_cast<std::uint64_t>(off);
+  if (scale == 8) {  // c.sdsp/c.fsdsp: uimm[5:3|8:6] in bits 12:7
+    if (u & 7 || u >= 512) return std::nullopt;
+    const auto field =
+        static_cast<std::uint16_t>((bits(u, 3, 3) << 3) | bits(u, 6, 3));
+    return static_cast<std::uint16_t>((f3 << 13) | (field << 7) |
+                                      (rs2.num << 2) | 0b10);
+  }
+  // c.swsp: uimm[5:2|7:6]
+  if (u & 3 || u >= 256) return std::nullopt;
+  const auto field =
+      static_cast<std::uint16_t>((bits(u, 2, 4) << 2) | bits(u, 6, 2));
+  return static_cast<std::uint16_t>((f3 << 13) | (field << 7) | (rs2.num << 2) |
+                                    0b10);
+}
+
+std::uint16_t imm6_split(std::int64_t v, std::uint16_t* b12) {
+  *b12 = static_cast<std::uint16_t>(bit(static_cast<std::uint64_t>(v), 5));
+  return static_cast<std::uint16_t>(v & 0x1f);
+}
+
+}  // namespace
+
+std::optional<std::uint16_t> compress(const Instruction& insn) {
+  const Mnemonic mn = insn.mnemonic();
+  const auto op = [&](unsigned i) -> const Operand& {
+    return insn.operand(i);
+  };
+  const unsigned n = insn.num_operands();
+
+  switch (mn) {
+    case Mnemonic::addi: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg, rs1 = op(1).reg;
+      const std::int64_t imm = op(2).imm;
+      // c.addi16sp
+      if (rd == sp && rs1 == sp && imm != 0 && (imm & 0xf) == 0 &&
+          fits_signed(imm, 10)) {
+        const auto u = static_cast<std::uint64_t>(imm);
+        const auto lo5 = static_cast<std::uint16_t>(
+            (bit(u, 4) << 4) | (bit(u, 6) << 3) | (bits(u, 7, 2) << 1) |
+            bit(u, 5));
+        return q1(0b011, static_cast<std::uint16_t>(bit(u, 9)), 2, lo5);
+      }
+      // c.addi4spn
+      if (rs1 == sp && is_creg(rd) && imm > 0 && (imm & 3) == 0 &&
+          imm < 1024) {
+        const auto u = static_cast<std::uint64_t>(imm);
+        const auto field = static_cast<std::uint16_t>(
+            (bits(u, 4, 2) << 6) | (bits(u, 6, 4) << 2) | (bit(u, 2) << 1) |
+            bit(u, 3));
+        return static_cast<std::uint16_t>((field << 5) | (creg(rd) << 2) |
+                                          0b00);
+      }
+      // c.li
+      if (rs1 == zero && rd != zero && fits_signed(imm, 6)) {
+        std::uint16_t b12;
+        const auto lo5 = imm6_split(imm, &b12);
+        return q1(0b010, b12, rd.num, lo5);
+      }
+      // c.addi (imm == 0 is a HINT encoding; leave uncompressed)
+      if (rd == rs1 && rd != zero && imm != 0 && fits_signed(imm, 6)) {
+        std::uint16_t b12;
+        const auto lo5 = imm6_split(imm, &b12);
+        return q1(0b000, b12, rd.num, lo5);
+      }
+      break;
+    }
+    case Mnemonic::addiw: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg;
+      if (rd == op(1).reg && rd != zero && fits_signed(op(2).imm, 6)) {
+        std::uint16_t b12;
+        const auto lo5 = imm6_split(op(2).imm, &b12);
+        return q1(0b001, b12, rd.num, lo5);
+      }
+      break;
+    }
+    case Mnemonic::lui: {
+      if (n != 2) break;
+      const Reg rd = op(0).reg;
+      const std::int64_t imm = op(1).imm;  // effective constant (<<12 form)
+      if (rd != zero && rd != sp && imm != 0 && (imm & 0xfff) == 0 &&
+          fits_signed(imm, 18)) {
+        const std::int64_t f6 = imm >> 12;
+        std::uint16_t b12;
+        const auto lo5 = imm6_split(f6, &b12);
+        return q1(0b011, b12, rd.num, lo5);
+      }
+      break;
+    }
+    case Mnemonic::slli: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg;
+      const std::int64_t sh = op(2).imm;
+      if (rd == op(1).reg && rd != zero && sh > 0 && sh < 64)
+        return q2(0b000, static_cast<std::uint16_t>(sh >> 5), rd.num,
+                  static_cast<std::uint16_t>(sh & 0x1f));
+      break;
+    }
+    case Mnemonic::srli:
+    case Mnemonic::srai: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg;
+      const std::int64_t sh = op(2).imm;
+      if (rd == op(1).reg && is_creg(rd) && sh > 0 && sh < 64) {
+        const std::uint16_t mid = static_cast<std::uint16_t>(
+            mn == Mnemonic::srli ? 0b00 : 0b01);
+        return static_cast<std::uint16_t>(
+            (0b100 << 13) | (static_cast<std::uint16_t>(sh >> 5) << 12) |
+            (mid << 10) | (creg(rd) << 7) |
+            (static_cast<std::uint16_t>(sh & 0x1f) << 2) | 0b01);
+      }
+      break;
+    }
+    case Mnemonic::andi: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg;
+      if (rd == op(1).reg && is_creg(rd) && fits_signed(op(2).imm, 6)) {
+        std::uint16_t b12;
+        const auto lo5 = imm6_split(op(2).imm, &b12);
+        return static_cast<std::uint16_t>((0b100 << 13) | (b12 << 12) |
+                                          (0b10 << 10) | (creg(rd) << 7) |
+                                          (lo5 << 2) | 0b01);
+      }
+      break;
+    }
+    case Mnemonic::add: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg, rs1 = op(1).reg, rs2 = op(2).reg;
+      if (rd != zero && rs2 != zero) {
+        if (rs1 == zero) return q2(0b100, 0, rd.num, rs2.num);      // c.mv
+        if (rs1 == rd) return q2(0b100, 1, rd.num, rs2.num);        // c.add
+      }
+      break;
+    }
+    case Mnemonic::sub:
+    case Mnemonic::xor_:
+    case Mnemonic::or_:
+    case Mnemonic::and_:
+    case Mnemonic::subw:
+    case Mnemonic::addw: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg, rs1 = op(1).reg, rs2 = op(2).reg;
+      if (rd != rs1 || !is_creg(rd) || !is_creg(rs2)) break;
+      std::uint16_t b12 = 0, sel = 0;
+      switch (mn) {
+        case Mnemonic::sub: sel = 0b00; break;
+        case Mnemonic::xor_: sel = 0b01; break;
+        case Mnemonic::or_: sel = 0b10; break;
+        case Mnemonic::and_: sel = 0b11; break;
+        case Mnemonic::subw: sel = 0b00; b12 = 1; break;
+        case Mnemonic::addw: sel = 0b01; b12 = 1; break;
+        default: break;
+      }
+      return static_cast<std::uint16_t>((0b100 << 13) | (b12 << 12) |
+                                        (0b11 << 10) | (creg(rd) << 7) |
+                                        (sel << 5) | (creg(rs2) << 2) | 0b01);
+    }
+    case Mnemonic::jal: {
+      if (n != 2) break;
+      if (op(0).reg != zero) break;  // c.j only links to x0
+      const std::int64_t off = op(1).imm;
+      if (!fits_signed(off, 12) || (off & 1)) break;
+      const auto u = static_cast<std::uint64_t>(off);
+      const auto enc = static_cast<std::uint16_t>(
+          (bit(u, 11) << 12) | (bit(u, 4) << 11) | (bits(u, 8, 2) << 9) |
+          (bit(u, 10) << 8) | (bit(u, 6) << 7) | (bit(u, 7) << 6) |
+          (bits(u, 1, 3) << 3) | (bit(u, 5) << 2));
+      return static_cast<std::uint16_t>((0b101 << 13) | enc | 0b01);
+    }
+    case Mnemonic::jalr: {
+      if (n != 3) break;
+      const Reg rd = op(0).reg, rs1 = op(1).reg;
+      if (op(2).imm != 0 || rs1 == zero) break;
+      if (rd == zero) return q2(0b100, 0, rs1.num, 0);  // c.jr
+      if (rd == ra) return q2(0b100, 1, rs1.num, 0);    // c.jalr
+      break;
+    }
+    case Mnemonic::beq:
+    case Mnemonic::bne: {
+      if (n != 3) break;
+      const Reg rs1 = op(0).reg;
+      if (op(1).reg != zero || !is_creg(rs1)) break;
+      const std::int64_t off = op(2).imm;
+      if (!fits_signed(off, 9) || (off & 1)) break;
+      const auto u = static_cast<std::uint64_t>(off);
+      const auto f3 =
+          static_cast<std::uint16_t>(mn == Mnemonic::beq ? 0b110 : 0b111);
+      return static_cast<std::uint16_t>(
+          (f3 << 13) | (bit(u, 8) << 12) | (bits(u, 3, 2) << 10) |
+          (creg(rs1) << 7) | (bits(u, 6, 2) << 5) | (bits(u, 1, 2) << 3) |
+          (bit(u, 5) << 2) | 0b01);
+    }
+    case Mnemonic::lw:
+    case Mnemonic::ld:
+    case Mnemonic::fld: {
+      if (n != 2) break;
+      const Reg rd = op(0).reg;
+      const Reg base = op(1).reg;
+      const std::int64_t off = op(1).imm;
+      const unsigned scale = mn == Mnemonic::lw ? 4 : 8;
+      std::uint16_t f3q0 = 0, f3sp = 0;
+      if (mn == Mnemonic::lw) { f3q0 = 0b010; f3sp = 0b010; }
+      else if (mn == Mnemonic::ld) { f3q0 = 0b011; f3sp = 0b011; }
+      else { f3q0 = 0b001; f3sp = 0b001; }
+      if (base == sp && rd != zero &&
+          (mn == Mnemonic::fld || rd.cls == RegClass::Int)) {
+        if (auto enc = compress_sp_load(f3sp, rd, off, scale)) return enc;
+      }
+      if (auto enc = compress_mem_q0(f3q0, rd, base, off, scale)) return enc;
+      break;
+    }
+    case Mnemonic::sw:
+    case Mnemonic::sd:
+    case Mnemonic::fsd: {
+      if (n != 2) break;
+      const Reg rs2 = op(0).reg;
+      const Reg base = op(1).reg;
+      const std::int64_t off = op(1).imm;
+      const unsigned scale = mn == Mnemonic::sw ? 4 : 8;
+      std::uint16_t f3q0 = 0, f3sp = 0;
+      if (mn == Mnemonic::sw) { f3q0 = 0b110; f3sp = 0b110; }
+      else if (mn == Mnemonic::sd) { f3q0 = 0b111; f3sp = 0b111; }
+      else { f3q0 = 0b101; f3sp = 0b101; }
+      if (base == sp) {
+        if (auto enc = compress_sp_store(f3sp, rs2, off, scale)) return enc;
+      }
+      if (auto enc = compress_mem_q0(f3q0, rs2, base, off, scale)) return enc;
+      break;
+    }
+    case Mnemonic::ebreak:
+      return static_cast<std::uint16_t>(0x9002);  // c.ebreak
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,50 @@
+// RV64GC machine-code decoder (the paper's Capstone substitute, §3.2.2).
+//
+// Decodes standard 32-bit encodings via the shared opcode table and
+// 16-bit C-extension encodings by expansion to their canonical base-ISA
+// form. The decoder is restricted to a profile (ExtensionSet): bytes that
+// decode to an instruction outside the profile are reported as invalid,
+// mirroring how a real hart without that extension would trap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "isa/extensions.hpp"
+#include "isa/instruction.hpp"
+
+namespace rvdyn::isa {
+
+/// True when the first parcel of an encoding indicates a 16-bit
+/// (compressed) instruction: the two low bits are not 0b11.
+constexpr bool is_compressed_encoding(std::uint16_t first_halfword) {
+  return (first_halfword & 0x3) != 0x3;
+}
+
+class Decoder {
+ public:
+  /// `profile` restricts which extensions the decoder accepts.
+  explicit Decoder(ExtensionSet profile = ExtensionSet::rv64gc())
+      : profile_(profile) {}
+
+  ExtensionSet profile() const { return profile_; }
+
+  /// Decode one instruction from `buf`. Returns the number of bytes
+  /// consumed (2 or 4); returns 0 if the bytes do not decode to a valid
+  /// in-profile instruction or `size` is too small. On success `*out`
+  /// holds the decoded instruction.
+  unsigned decode(const std::uint8_t* buf, std::size_t size,
+                  Instruction* out) const;
+
+  /// Decode a 32-bit standard encoding. Returns false on failure.
+  bool decode32(std::uint32_t word, Instruction* out) const;
+
+  /// Decode a 16-bit compressed encoding into its base-ISA expansion
+  /// (Instruction::compressed() will be true). Returns false on failure.
+  bool decode16(std::uint16_t half, Instruction* out) const;
+
+ private:
+  ExtensionSet profile_;
+};
+
+}  // namespace rvdyn::isa

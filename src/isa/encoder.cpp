@@ -1,0 +1,180 @@
+#include "isa/encoder.hpp"
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/decoder.hpp"
+
+namespace rvdyn::isa {
+
+namespace {
+
+[[noreturn]] void fail(Mnemonic mn, const std::string& why) {
+  throw Error("encode " + mnemonic_name(mn) + ": " + why);
+}
+
+std::uint32_t enc_reg(Mnemonic mn, const Operand& op, unsigned lo) {
+  if (op.kind != Operand::Kind::Reg) fail(mn, "expected register operand");
+  return place(op.reg.num, lo, 5);
+}
+
+std::uint32_t enc_base(Mnemonic mn, const Operand& op) {
+  if (op.kind != Operand::Kind::Mem) fail(mn, "expected memory operand");
+  return place(op.reg.num, 15, 5);
+}
+
+std::uint32_t enc_imm_i(Mnemonic mn, std::int64_t v) {
+  if (!fits_signed(v, 12)) fail(mn, "I-immediate out of range");
+  return place(static_cast<std::uint32_t>(v & 0xfff), 20, 12);
+}
+
+std::uint32_t enc_imm_s(Mnemonic mn, std::int64_t v) {
+  if (!fits_signed(v, 12)) fail(mn, "S-immediate out of range");
+  const auto u = static_cast<std::uint32_t>(v & 0xfff);
+  return place(u >> 5, 25, 7) | place(u & 0x1f, 7, 5);
+}
+
+std::uint32_t enc_imm_b(Mnemonic mn, std::int64_t v) {
+  if (!fits_signed(v, 13) || (v & 1)) fail(mn, "branch offset out of range");
+  const auto u = static_cast<std::uint32_t>(v & 0x1fff);
+  return place(u >> 12, 31, 1) | place((u >> 5) & 0x3f, 25, 6) |
+         place((u >> 1) & 0xf, 8, 4) | place((u >> 11) & 1, 7, 1);
+}
+
+std::uint32_t enc_imm_u(Mnemonic mn, std::int64_t v) {
+  // Stored as the effective constant (value << 12); must be 4KiB-aligned
+  // and the upper field must fit in 20 signed bits.
+  if (v & 0xfff) fail(mn, "U-immediate not 4KiB-aligned");
+  const std::int64_t field = v >> 12;
+  if (!fits_signed(field, 20)) fail(mn, "U-immediate out of range");
+  return place(static_cast<std::uint32_t>(field & 0xfffff), 12, 20);
+}
+
+std::uint32_t enc_imm_j(Mnemonic mn, std::int64_t v) {
+  if (!fits_signed(v, 21) || (v & 1)) fail(mn, "jal offset out of range");
+  const auto u = static_cast<std::uint32_t>(v & 0x1fffff);
+  return place(u >> 20, 31, 1) | place((u >> 1) & 0x3ff, 21, 10) |
+         place((u >> 11) & 1, 20, 1) | place((u >> 12) & 0xff, 12, 8);
+}
+
+}  // namespace
+
+std::uint32_t encode32(Mnemonic mn, std::span<const Operand> ops) {
+  const OpcodeInfo& info = opcode_info(mn);
+  if (info.mnemonic == Mnemonic::kInvalid) fail(mn, "unknown mnemonic");
+
+  std::uint32_t word = info.match;
+  std::size_t oi = 0;
+  auto next = [&]() -> const Operand& {
+    if (oi >= ops.size()) fail(mn, "missing operand");
+    return ops[oi++];
+  };
+
+  for (const char* p = info.spec; *p; ++p) {
+    switch (*p) {
+      case 'd':
+      case 'D':
+        word |= enc_reg(mn, next(), 7);
+        break;
+      case 's':
+      case 'S':
+        word |= enc_reg(mn, next(), 15);
+        break;
+      case 't':
+      case 'T':
+        word |= enc_reg(mn, next(), 20);
+        break;
+      case 'R':
+        word |= enc_reg(mn, next(), 27);
+        break;
+      case 'i':
+        word |= enc_imm_i(mn, next().imm);
+        break;
+      case 'u':
+        word |= enc_imm_u(mn, next().imm);
+        break;
+      case 'b':
+        word |= enc_imm_b(mn, next().imm);
+        break;
+      case 'a':
+        word |= enc_imm_j(mn, next().imm);
+        break;
+      case 'z': {
+        const std::int64_t sh = next().imm;
+        if (sh < 0 || sh > 63) fail(mn, "shift amount out of range");
+        word |= place(static_cast<std::uint32_t>(sh), 20, 6);
+        break;
+      }
+      case 'w': {
+        const std::int64_t sh = next().imm;
+        if (sh < 0 || sh > 31) fail(mn, "shift amount out of range");
+        word |= place(static_cast<std::uint32_t>(sh), 20, 5);
+        break;
+      }
+      case 'm': {
+        const Operand& op = next();
+        word |= enc_base(mn, op) | enc_imm_i(mn, op.imm);
+        break;
+      }
+      case 'M': {
+        const Operand& op = next();
+        word |= enc_base(mn, op) | enc_imm_s(mn, op.imm);
+        break;
+      }
+      case 'A': {
+        const Operand& op = next();
+        if (op.imm != 0) fail(mn, "atomic operand must have zero offset");
+        word |= enc_base(mn, op);
+        break;
+      }
+      case 'c': {
+        const Operand& op = next();
+        if (!fits_unsigned(static_cast<std::uint64_t>(op.imm), 12))
+          fail(mn, "CSR number out of range");
+        word |= place(static_cast<std::uint32_t>(op.imm), 20, 12);
+        break;
+      }
+      case 'Z': {
+        const std::int64_t z = next().imm;
+        if (z < 0 || z > 31) fail(mn, "zimm out of range");
+        word |= place(static_cast<std::uint32_t>(z), 15, 5);
+        break;
+      }
+      case 'x': {
+        // Rounding mode defaults to dynamic (0b111) when not supplied.
+        std::uint32_t rm = 7;
+        if (oi < ops.size() && ops[oi].kind == Operand::Kind::RoundMode)
+          rm = static_cast<std::uint32_t>(ops[oi++].imm & 7);
+        word |= place(rm, 12, 3);
+        break;
+      }
+      default:
+        fail(mn, std::string("bad spec char '") + *p + "'");
+    }
+  }
+  return word;
+}
+
+Instruction assemble(Mnemonic mn, std::span<const Operand> ops) {
+  const std::uint32_t word = encode32(mn, ops);
+  Instruction out;
+  // The round-trip validator accepts every known extension; profile
+  // gating is the caller's concern.
+  static const Decoder dec(ExtensionSet(0xffff));
+  if (!dec.decode32(word, &out) || out.mnemonic() != mn)
+    fail(mn, "encoder/decoder disagreement");
+  return out;
+}
+
+Instruction assemble(Mnemonic mn, std::initializer_list<Operand> ops) {
+  return assemble(mn, std::span<const Operand>(ops.begin(), ops.size()));
+}
+
+std::optional<Instruction> expand16(std::uint16_t half) {
+  static const Decoder dec(ExtensionSet::rv64gc());
+  Instruction out;
+  if (!dec.decode16(half, &out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,40 @@
+// Machine-code emission for RV64GC (the encoding half of InstructionAPI,
+// used by the assembler substrate and by CodeGenAPI).
+//
+// `encode32` is driven by the same opcode table as the decoder; round-trip
+// identity (decode(encode(i)) == i) is enforced by the property test suite.
+// `compress` implements the C-extension compression the assembler applies
+// opportunistically (§3.1.2): it maps an instruction to its 16-bit encoding
+// when one exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/status.hpp"
+#include "isa/instruction.hpp"
+
+namespace rvdyn::isa {
+
+/// Encode an instruction as its standard 32-bit form. The instruction's
+/// operand list must match the mnemonic's spec (as produced by the decoder
+/// or by `assemble`). Throws Error when an immediate is out of range or
+/// misaligned for the format.
+std::uint32_t encode32(Mnemonic mn, std::span<const Operand> ops);
+
+/// Build a canonical Instruction from a mnemonic and operands: encodes to
+/// 32 bits and re-decodes, guaranteeing the result is exactly what the
+/// decoder would produce for those bytes. Throws Error on invalid operands.
+Instruction assemble(Mnemonic mn, std::span<const Operand> ops);
+Instruction assemble(Mnemonic mn, std::initializer_list<Operand> ops);
+
+/// Try to compress `insn` (given in expanded form) to a 16-bit C-extension
+/// encoding. Returns nullopt when no compressed form exists for these
+/// operands/immediates.
+std::optional<std::uint16_t> compress(const Instruction& insn);
+
+/// Convenience: expand a 16-bit encoding back (wrapper over Decoder).
+std::optional<Instruction> expand16(std::uint16_t half);
+
+}  // namespace rvdyn::isa

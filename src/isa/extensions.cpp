@@ -1,0 +1,99 @@
+#include "isa/extensions.hpp"
+
+#include <cctype>
+
+namespace rvdyn::isa {
+
+std::string extension_name(Extension e) {
+  switch (e) {
+    case Extension::I: return "I";
+    case Extension::M: return "M";
+    case Extension::A: return "A";
+    case Extension::F: return "F";
+    case Extension::D: return "D";
+    case Extension::C: return "C";
+    case Extension::Zicsr: return "Zicsr";
+    case Extension::Zifencei: return "Zifencei";
+    case Extension::V: return "V";
+    case Extension::Zicond: return "Zicond";
+    case Extension::Zba: return "Zba";
+    case Extension::Zbb: return "Zbb";
+  }
+  return "?";
+}
+
+std::string isa_string(ExtensionSet s) {
+  std::string out = "rv64";
+  if (s.has(Extension::I)) out += 'i';
+  if (s.has(Extension::M)) out += 'm';
+  if (s.has(Extension::A)) out += 'a';
+  if (s.has(Extension::F)) out += 'f';
+  if (s.has(Extension::D)) out += 'd';
+  if (s.has(Extension::C)) out += 'c';
+  if (s.has(Extension::V)) out += 'v';
+  if (s.has(Extension::Zicsr)) out += "_zicsr";
+  if (s.has(Extension::Zifencei)) out += "_zifencei";
+  if (s.has(Extension::Zicond)) out += "_zicond";
+  if (s.has(Extension::Zba)) out += "_zba";
+  if (s.has(Extension::Zbb)) out += "_zbb";
+  return out;
+}
+
+ExtensionSet parse_isa_string(const std::string& str) {
+  ExtensionSet s;
+  std::string lower;
+  lower.reserve(str.size());
+  for (char c : str) lower += static_cast<char>(std::tolower(c));
+
+  std::size_t i = 0;
+  if (lower.rfind("rv64", 0) == 0 || lower.rfind("rv32", 0) == 0) i = 4;
+
+  while (i < lower.size()) {
+    const char c = lower[i];
+    if (c == '_') {
+      ++i;
+      continue;
+    }
+    if (c == 'z' || c == 's' || c == 'x') {
+      // Multi-letter extension: runs to the next '_' or end. Version digits
+      // at the tail ("zicsr2p0") are part of the token; strip them.
+      std::size_t end = lower.find('_', i);
+      if (end == std::string::npos) end = lower.size();
+      std::string tok = lower.substr(i, end - i);
+      while (!tok.empty() && (std::isdigit(tok.back()) || tok.back() == 'p'))
+        tok.pop_back();
+      if (tok == "zicsr") s.add(Extension::Zicsr);
+      else if (tok == "zifencei") s.add(Extension::Zifencei);
+      else if (tok == "zicond") s.add(Extension::Zicond);
+      else if (tok == "zba") s.add(Extension::Zba);
+      else if (tok == "zbb") s.add(Extension::Zbb);
+      // Unknown tokens are skipped for forward compatibility.
+      i = end;
+      continue;
+    }
+    switch (c) {
+      case 'i': s.add(Extension::I); break;
+      case 'e': s.add(Extension::I); break;  // RV64E treated as I subset
+      case 'm': s.add(Extension::M); break;
+      case 'a': s.add(Extension::A); break;
+      case 'f': s.add(Extension::F); break;
+      case 'd': s.add(Extension::F).add(Extension::D); break;
+      case 'c': s.add(Extension::C); break;
+      case 'v': s.add(Extension::V); break;
+      case 'g':
+        s.add(Extension::I).add(Extension::M).add(Extension::A)
+            .add(Extension::F).add(Extension::D)
+            .add(Extension::Zicsr).add(Extension::Zifencei);
+        break;
+      default: break;  // version digits like "2p1" between letters
+    }
+    ++i;
+    // Skip version suffix digits/p after a single-letter extension.
+    while (i < lower.size() &&
+           (std::isdigit(lower[i]) || lower[i] == 'p'))
+      ++i;
+  }
+  return s;
+}
+
+}  // namespace rvdyn::isa

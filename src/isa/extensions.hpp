@@ -1,0 +1,91 @@
+// RISC-V ISA extension model.
+//
+// The paper's central porting concern (§3.1.1): Dyninst must know which
+// extensions a mutatee's processor supports and must never generate
+// instrumentation using instructions outside that set. `ExtensionSet` is the
+// currency passed from SymtabAPI (which reads it out of the binary) to
+// CodeGenAPI (which respects it when emitting code).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rvdyn::isa {
+
+/// Individual ISA extensions relevant to the RV64GC profile (plus hooks for
+/// profile growth, e.g. RVA23's vector extension).
+enum class Extension : std::uint16_t {
+  I = 1 << 0,         ///< base integer ISA (RV64I)
+  M = 1 << 1,         ///< integer multiply/divide
+  A = 1 << 2,         ///< atomics
+  F = 1 << 3,         ///< single-precision floating point
+  D = 1 << 4,         ///< double-precision floating point
+  C = 1 << 5,         ///< compressed (16-bit) instructions
+  Zicsr = 1 << 6,     ///< CSR instructions
+  Zifencei = 1 << 7,  ///< instruction-fetch fence
+  V = 1 << 8,         ///< vector (RVA23; not yet generated, recognised only)
+  Zicond = 1 << 9,    ///< integer conditional ops (RVA23)
+  Zba = 1 << 10,      ///< address-generation bit-manip (RVA23)
+  Zbb = 1 << 11,      ///< basic bit-manip (RVA23)
+};
+
+/// A set of extensions, i.e. the paper's notion of a *profile*.
+class ExtensionSet {
+ public:
+  constexpr ExtensionSet() = default;
+  constexpr explicit ExtensionSet(std::uint16_t mask) : mask_(mask) {}
+
+  constexpr bool has(Extension e) const {
+    return mask_ & static_cast<std::uint16_t>(e);
+  }
+  constexpr ExtensionSet& add(Extension e) {
+    mask_ |= static_cast<std::uint16_t>(e);
+    return *this;
+  }
+  constexpr ExtensionSet& remove(Extension e) {
+    mask_ &= ~static_cast<std::uint16_t>(e);
+    return *this;
+  }
+  constexpr bool operator==(const ExtensionSet&) const = default;
+  constexpr std::uint16_t mask() const { return mask_; }
+
+  /// True when every extension in `other` is also in this set.
+  constexpr bool includes(ExtensionSet other) const {
+    return (mask_ & other.mask()) == other.mask();
+  }
+
+  /// The RV64GC profile: IMAFDC + Zicsr + Zifencei (G = IMAFD_Zicsr_Zifencei).
+  static constexpr ExtensionSet rv64gc() {
+    ExtensionSet s;
+    s.add(Extension::I).add(Extension::M).add(Extension::A)
+        .add(Extension::F).add(Extension::D).add(Extension::C)
+        .add(Extension::Zicsr).add(Extension::Zifencei);
+    return s;
+  }
+
+  /// RV64G (no compressed instructions).
+  static constexpr ExtensionSet rv64g() {
+    return rv64gc().remove(Extension::C);
+  }
+
+  /// RV64I only.
+  static constexpr ExtensionSet rv64i() {
+    return ExtensionSet(static_cast<std::uint16_t>(Extension::I));
+  }
+
+ private:
+  std::uint16_t mask_ = 0;
+};
+
+/// Canonical ISA string for an extension set, e.g. "rv64imafdc_zicsr_zifencei".
+/// This is the format stored in the ELF .riscv.attributes arch attribute.
+std::string isa_string(ExtensionSet s);
+
+/// Parse an ISA string ("rv64gc", "rv64imac_zicsr", ...) into a set.
+/// Unknown single-letter or Z-extensions are ignored (forward compatibility).
+ExtensionSet parse_isa_string(const std::string& str);
+
+/// Short human name for one extension ("M", "Zicsr", ...).
+std::string extension_name(Extension e);
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,70 @@
+#include "isa/imm_builder.hpp"
+
+#include "common/bits.hpp"
+#include "isa/encoder.hpp"
+
+namespace rvdyn::isa {
+
+namespace {
+
+void emit(std::vector<Instruction>* out, Mnemonic mn,
+          std::initializer_list<Operand> ops) {
+  out->push_back(assemble(mn, ops));
+}
+
+}  // namespace
+
+bool split_hi_lo(std::int64_t value, std::int64_t* hi, std::int64_t* lo) {
+  // Round to the nearest 4KiB so the low part stays in addi range.
+  const std::int64_t h = (value + 0x800) & ~std::int64_t(0xfff);
+  const std::int64_t l = value - h;
+  // The hi part must fit the 20-bit (shifted) U-type field.
+  if (!fits_signed(h >> 12, 20)) return false;
+  *hi = h;
+  *lo = l;
+  return true;
+}
+
+void materialize_imm(Reg rd, std::int64_t value,
+                     std::vector<Instruction>* out) {
+  if (fits_signed(value, 12)) {
+    emit(out, Mnemonic::addi,
+         {Instruction::reg_op(rd, Operand::kWrite),
+          Instruction::reg_op(zero, Operand::kRead),
+          Instruction::imm_op(value)});
+    return;
+  }
+  if (fits_signed(value, 32)) {
+    // lui + addiw: addiw's sext32 makes the pair exact for every 32-bit
+    // signed value, including the 0x7ffff800..0x7fffffff corner where the
+    // rounded hi part overflows into the sign bit.
+    const std::int64_t hi = (value + 0x800) & ~std::int64_t(0xfff);
+    const std::int64_t lo = value - hi;
+    emit(out, Mnemonic::lui,
+         {Instruction::reg_op(rd, Operand::kWrite),
+          Instruction::imm_op(static_cast<std::int64_t>(
+              sext(static_cast<std::uint64_t>(hi), 32)))});
+    if (lo != 0 || hi == 0) {
+      emit(out, Mnemonic::addiw,
+           {Instruction::reg_op(rd, Operand::kWrite),
+            Instruction::reg_op(rd, Operand::kRead),
+            Instruction::imm_op(lo)});
+    }
+    return;
+  }
+  // General 64-bit: peel the low 12 bits, materialize the rest, shift back.
+  const std::int64_t lo12 = sext(static_cast<std::uint64_t>(value), 12);
+  const std::int64_t rest = (value - lo12) >> 12;
+  materialize_imm(rd, rest, out);
+  emit(out, Mnemonic::slli,
+       {Instruction::reg_op(rd, Operand::kWrite),
+        Instruction::reg_op(rd, Operand::kRead), Instruction::imm_op(12)});
+  if (lo12 != 0) {
+    emit(out, Mnemonic::addi,
+         {Instruction::reg_op(rd, Operand::kWrite),
+          Instruction::reg_op(rd, Operand::kRead),
+          Instruction::imm_op(lo12)});
+  }
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,30 @@
+// Immediate materialization: build an arbitrary 64-bit constant in a
+// register using lui/addi/addiw/slli sequences (paper §3.2.5).
+//
+// RISC-V has no "load 64-bit immediate" instruction; the paper calls the
+// shifted/encoded immediate handling "one of the more error-prone aspects
+// of code generation". This helper is shared by the assembler's `li`
+// pseudo-instruction and CodeGenAPI's constant lowering so both agree, and
+// it is validated by executing the sequences in the emulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace rvdyn::isa {
+
+/// Append instructions that leave `value` in `rd`. Clobbers only `rd`.
+/// The sequence length is 1 for 12-bit values, 2 for 32-bit values and up
+/// to 8 for arbitrary 64-bit constants.
+void materialize_imm(Reg rd, std::int64_t value,
+                     std::vector<Instruction>* out);
+
+/// Split a pc-relative or absolute 32-bit displacement into the
+/// (auipc/lui hi20, addi lo12) pair such that hi + lo == value, with hi
+/// 4KiB-aligned and lo in [-2048, 2047]. `value` must fit in 32 bits
+/// (checked): returns false when it does not.
+bool split_hi_lo(std::int64_t value, std::int64_t* hi, std::int64_t* lo);
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,124 @@
+#include "isa/instruction.hpp"
+
+#include <unordered_map>
+
+namespace rvdyn::isa {
+
+namespace {
+
+constexpr OpcodeInfo kOpcodeTable[] = {
+#define RV(name, text, ext, spec, match, mask, memsz, flags) \
+  {Mnemonic::name, text, Extension::ext, spec, match, mask, memsz, flags},
+#include "isa/mnemonics.def"
+#undef RV
+};
+
+constexpr std::size_t kNumMnemonics =
+    sizeof(kOpcodeTable) / sizeof(kOpcodeTable[0]);
+
+const std::unordered_map<std::string, Mnemonic>& name_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string, Mnemonic>();
+    for (const auto& e : kOpcodeTable) m->emplace(e.text, e.mnemonic);
+    return m;
+  }();
+  return *map;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Mnemonic m) {
+  static const OpcodeInfo invalid{Mnemonic::kInvalid, "<invalid>",
+                                  Extension::I,       "",
+                                  0,                  0,
+                                  0,                  F_NONE};
+  const auto idx = static_cast<std::size_t>(m);
+  return idx < kNumMnemonics ? kOpcodeTable[idx] : invalid;
+}
+
+std::string mnemonic_name(Mnemonic m) { return opcode_info(m).text; }
+
+Mnemonic mnemonic_from_name(const std::string& name) {
+  const auto& m = name_map();
+  auto it = m.find(name);
+  return it == m.end() ? Mnemonic::kInvalid : it->second;
+}
+
+void Instruction::set(Mnemonic mn, std::uint32_t raw, unsigned len) {
+  mn_ = mn;
+  raw_ = raw;
+  len_ = static_cast<std::uint8_t>(len);
+  nops_ = 0;
+  const OpcodeInfo& info = opcode_info(mn);
+  flags_ = info.flags;
+  ext_ = info.ext;
+}
+
+void Instruction::add_operand(const Operand& op) {
+  if (nops_ < kMaxOperands) ops_[nops_++] = op;
+}
+
+std::int64_t Instruction::branch_offset() const {
+  for (unsigned i = 0; i < nops_; ++i)
+    if (ops_[i].kind == Operand::Kind::PcRelative) return ops_[i].imm;
+  return 0;
+}
+
+RegSet Instruction::regs_read() const {
+  RegSet s;
+  for (unsigned i = 0; i < nops_; ++i) {
+    const Operand& op = ops_[i];
+    if (op.kind == Operand::Kind::Reg && op.reads()) s.add(op.reg);
+    // A memory operand always reads its base register for the address
+    // calculation, independent of whether memory is read or written.
+    if (op.kind == Operand::Kind::Mem) s.add(op.reg);
+  }
+  return s;
+}
+
+RegSet Instruction::regs_written() const {
+  RegSet s;
+  for (unsigned i = 0; i < nops_; ++i) {
+    const Operand& op = ops_[i];
+    if (op.kind == Operand::Kind::Reg && op.writes()) s.add(op.reg);
+  }
+  // x0 is hard-wired; writes to it are architectural no-ops.
+  s.remove(zero);
+  return s;
+}
+
+std::string Instruction::to_string() const {
+  if (!valid()) return "<invalid>";
+  std::string out = mnemonic_name(mn_);
+  bool first = true;
+  for (unsigned i = 0; i < nops_; ++i) {
+    const Operand& op = ops_[i];
+    if (op.kind == Operand::Kind::RoundMode) continue;  // elide dynamic rm
+    out += first ? " " : ", ";
+    first = false;
+    switch (op.kind) {
+      case Operand::Kind::Reg:
+        out += reg_name(op.reg);
+        break;
+      case Operand::Kind::Imm:
+        out += std::to_string(op.imm);
+        break;
+      case Operand::Kind::PcRelative:
+        out += (op.imm >= 0 ? "." : ".") ;
+        out += (op.imm >= 0 ? "+" : "");
+        out += std::to_string(op.imm);
+        break;
+      case Operand::Kind::Mem:
+        out += std::to_string(op.imm) + "(" + reg_name(op.reg) + ")";
+        break;
+      case Operand::Kind::Csr:
+        out += "csr" + std::to_string(op.imm);
+        break;
+      case Operand::Kind::RoundMode:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,234 @@
+// InstructionAPI: ISA-independent representation of a decoded machine
+// instruction (paper §2.1, §3.2.2).
+//
+// Every instruction carries its mnemonic, raw encoding, byte length
+// (2 for compressed, 4 for standard), and a small operand list annotated
+// with read/write access — the information the paper required from
+// Capstone v6 and which downstream analyses (ParseAPI classification,
+// DataflowAPI liveness/slicing) consume.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/extensions.hpp"
+#include "isa/registers.hpp"
+
+namespace rvdyn::isa {
+
+/// All RV64GC mnemonics. Compressed instructions decode to their canonical
+/// base-ISA expansion (c.add -> add) with Instruction::compressed() set, so
+/// downstream analyses see one uniform instruction set.
+enum class Mnemonic : std::uint16_t {
+#define RV(name, text, ext, spec, match, mask, memsz, flags) name,
+#include "isa/mnemonics.def"
+#undef RV
+  kInvalid,  ///< undecodable bytes
+  kCount = kInvalid,
+};
+
+/// Category flags attached to each mnemonic. Deliberately low-level: whether
+/// a jal/jalr is a call, return, tail call or jump table is *not* knowable
+/// from the opcode (paper §3.1.3) and is decided by ParseAPI instead.
+enum InsnFlags : std::uint32_t {
+  F_NONE = 0,
+  F_LOAD = 1u << 0,        ///< reads memory
+  F_STORE = 1u << 1,       ///< writes memory
+  F_CONDBRANCH = 1u << 2,  ///< beq/bne/blt/bge/bltu/bgeu
+  F_JAL = 1u << 3,         ///< jal (direct, multi-purpose)
+  F_JALR = 1u << 4,        ///< jalr (indirect, multi-purpose)
+  F_ECALL = 1u << 5,
+  F_EBREAK = 1u << 6,
+  F_FENCE = 1u << 7,
+  F_ATOMIC = 1u << 8,
+  F_FLOAT = 1u << 9,
+  F_CSR = 1u << 10,
+  F_MULDIV = 1u << 11,
+  F_AMO = F_LOAD | F_STORE | F_ATOMIC,
+};
+
+/// One instruction operand with its access mode.
+struct Operand {
+  enum class Kind : std::uint8_t {
+    Reg,        ///< architectural register
+    Imm,        ///< immediate (sign-extended where the ISA does)
+    Mem,        ///< memory reference: [base + disp], `size` bytes
+    PcRelative, ///< branch/jump byte offset relative to this instruction
+    Csr,        ///< CSR number in `imm`
+    RoundMode,  ///< FP rounding-mode field in `imm`
+  };
+  enum Access : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2, kRW = 3 };
+
+  Kind kind = Kind::Imm;
+  std::uint8_t access = kNone;  ///< for Reg: register access; for Mem: memory access
+  std::uint8_t size = 0;        ///< memory access size in bytes (Mem only)
+  Reg reg{};                    ///< Reg, or base register for Mem
+  std::int64_t imm = 0;         ///< Imm/PcRelative value, Mem displacement, CSR number
+
+  bool is_reg() const { return kind == Kind::Reg; }
+  bool is_imm() const { return kind == Kind::Imm || kind == Kind::PcRelative; }
+  bool is_mem() const { return kind == Kind::Mem; }
+  bool reads() const { return access & kRead; }
+  bool writes() const { return access & kWrite; }
+};
+
+/// Compact bitset over the dense register index space (x0..x31, f0..f31).
+/// Used for register-read/written sets and by liveness analysis.
+class RegSet {
+ public:
+  constexpr RegSet() = default;
+  constexpr explicit RegSet(std::uint64_t bits) : bits_(bits) {}
+
+  void add(Reg r) { bits_ |= 1ULL << r.index(); }
+  void remove(Reg r) { bits_ &= ~(1ULL << r.index()); }
+  bool contains(Reg r) const { return bits_ & (1ULL << r.index()); }
+  bool empty() const { return bits_ == 0; }
+  std::uint64_t bits() const { return bits_; }
+
+  RegSet& operator|=(RegSet o) { bits_ |= o.bits_; return *this; }
+  RegSet& operator&=(RegSet o) { bits_ &= o.bits_; return *this; }
+  RegSet operator|(RegSet o) const { return RegSet(bits_ | o.bits_); }
+  RegSet operator&(RegSet o) const { return RegSet(bits_ & o.bits_); }
+  RegSet operator~() const { return RegSet(~bits_); }
+  RegSet operator-(RegSet o) const { return RegSet(bits_ & ~o.bits_); }
+  bool operator==(const RegSet&) const = default;
+
+  unsigned count() const { return static_cast<unsigned>(__builtin_popcountll(bits_)); }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// A decoded machine instruction.
+class Instruction {
+ public:
+  static constexpr unsigned kMaxOperands = 5;
+
+  Instruction() = default;
+
+  Mnemonic mnemonic() const { return mn_; }
+  bool valid() const { return mn_ != Mnemonic::kInvalid; }
+
+  /// Raw encoding: the 32-bit word, or the original 16-bit halfword in the
+  /// low bits for compressed instructions.
+  std::uint32_t raw() const { return raw_; }
+
+  /// Encoded byte length: 2 (compressed) or 4.
+  unsigned length() const { return len_; }
+  /// True when this was decoded from a 16-bit C-extension encoding.
+  bool compressed() const { return len_ == 2; }
+
+  unsigned num_operands() const { return nops_; }
+  const Operand& operand(unsigned i) const { return ops_[i]; }
+
+  /// Category flags for the mnemonic (see InsnFlags).
+  std::uint32_t flags() const { return flags_; }
+  bool has_flag(InsnFlags f) const { return flags_ & f; }
+
+  /// ISA extension the (expanded) mnemonic belongs to. A compressed encoding
+  /// additionally requires Extension::C; see required_extensions().
+  Extension extension() const { return ext_; }
+
+  /// Every extension needed to execute this exact encoding.
+  ExtensionSet required_extensions() const {
+    ExtensionSet s;
+    s.add(ext_);
+    if (compressed()) s.add(Extension::C);
+    return s;
+  }
+
+  // --- control-flow shape (mechanical properties only; see ParseAPI for
+  // --- the call/return/tail-call/jump-table classification) ---
+  bool is_cond_branch() const { return flags_ & F_CONDBRANCH; }
+  bool is_jal() const { return flags_ & F_JAL; }
+  bool is_jalr() const { return flags_ & F_JALR; }
+  bool is_control_flow() const {
+    return flags_ & (F_CONDBRANCH | F_JAL | F_JALR);
+  }
+  bool reads_memory() const { return flags_ & F_LOAD; }
+  bool writes_memory() const { return flags_ & F_STORE; }
+
+  /// For jal/jalr: the link register (rd). zero means "no link" (plain jump).
+  Reg link_reg() const { return ops_[0].reg; }
+
+  /// For jal / conditional branches: the byte offset of the target relative
+  /// to this instruction's address.
+  std::int64_t branch_offset() const;
+
+  /// Registers read / written by this instruction (explicit operands,
+  /// including memory base registers).
+  RegSet regs_read() const;
+  RegSet regs_written() const;
+
+  /// Disassembly text, e.g. "addi sp, sp, -16" or "ld a0, 8(sp)".
+  std::string to_string() const;
+
+  // --- construction (used by the decoder and the assembler/encoder) ---
+  void set(Mnemonic mn, std::uint32_t raw, unsigned len);
+  void add_operand(const Operand& op);
+  void clear_operands() { nops_ = 0; }
+
+  static Operand reg_op(Reg r, std::uint8_t access) {
+    Operand o;
+    o.kind = Operand::Kind::Reg;
+    o.reg = r;
+    o.access = access;
+    return o;
+  }
+  static Operand imm_op(std::int64_t v) {
+    Operand o;
+    o.kind = Operand::Kind::Imm;
+    o.imm = v;
+    return o;
+  }
+  static Operand pcrel_op(std::int64_t off) {
+    Operand o;
+    o.kind = Operand::Kind::PcRelative;
+    o.imm = off;
+    return o;
+  }
+  static Operand mem_op(Reg base, std::int64_t disp, std::uint8_t size,
+                        std::uint8_t access) {
+    Operand o;
+    o.kind = Operand::Kind::Mem;
+    o.reg = base;
+    o.imm = disp;
+    o.size = size;
+    o.access = access;
+    return o;
+  }
+
+ private:
+  Mnemonic mn_ = Mnemonic::kInvalid;
+  std::uint32_t raw_ = 0;
+  std::uint8_t len_ = 4;
+  std::uint8_t nops_ = 0;
+  std::uint32_t flags_ = 0;
+  Extension ext_ = Extension::I;
+  std::array<Operand, kMaxOperands> ops_{};
+};
+
+/// Opcode-table entry (generated from mnemonics.def). `spec` is the operand
+/// spec string documented in mnemonics.def.
+struct OpcodeInfo {
+  Mnemonic mnemonic;
+  const char* text;
+  Extension ext;
+  const char* spec;
+  std::uint32_t match;
+  std::uint32_t mask;
+  std::uint8_t mem_size;
+  std::uint32_t flags;
+};
+
+/// The full RV64GC opcode table, indexed by Mnemonic.
+const OpcodeInfo& opcode_info(Mnemonic m);
+
+/// Mnemonic text ("addi", "fcvt.d.lu", ...).
+std::string mnemonic_name(Mnemonic m);
+
+/// Look up a mnemonic by its text; returns kInvalid for unknown names.
+Mnemonic mnemonic_from_name(const std::string& name);
+
+}  // namespace rvdyn::isa

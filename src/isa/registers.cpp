@@ -1,0 +1,74 @@
+#include "isa/registers.hpp"
+
+#include <array>
+
+namespace rvdyn::isa {
+
+namespace {
+
+constexpr std::array<const char*, 32> kIntAbiNames = {
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+constexpr std::array<const char*, 32> kFpAbiNames = {
+    "ft0", "ft1", "ft2",  "ft3",  "ft4", "ft5", "ft6",  "ft7",
+    "fs0", "fs1", "fa0",  "fa1",  "fa2", "fa3", "fa4",  "fa5",
+    "fa6", "fa7", "fs2",  "fs3",  "fs4", "fs5", "fs6",  "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+
+}  // namespace
+
+std::string reg_name(Reg r) {
+  const auto& table = r.cls == RegClass::Int ? kIntAbiNames : kFpAbiNames;
+  return table[r.num & 31];
+}
+
+std::string reg_arch_name(Reg r) {
+  return (r.cls == RegClass::Int ? "x" : "f") + std::to_string(r.num);
+}
+
+bool parse_reg(const std::string& name, Reg* out) {
+  if (name.empty()) return false;
+  // Architectural names: x0..x31, f0..f31.
+  if ((name[0] == 'x' || name[0] == 'f') && name.size() >= 2 &&
+      name.find_first_not_of("0123456789", 1) == std::string::npos) {
+    const int n = std::stoi(name.substr(1));
+    if (n < 0 || n > 31) return false;
+    *out = Reg(name[0] == 'x' ? RegClass::Int : RegClass::Fp,
+               static_cast<std::uint8_t>(n));
+    return true;
+  }
+  // ABI names, plus "fp" as an alias for s0.
+  if (name == "fp") {
+    *out = fp;
+    return true;
+  }
+  for (std::uint8_t i = 0; i < 32; ++i) {
+    if (name == kIntAbiNames[i]) {
+      *out = x(i);
+      return true;
+    }
+    if (name == kFpAbiNames[i]) {
+      *out = f(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_caller_saved(Reg r) {
+  if (r.cls == RegClass::Int) {
+    const std::uint8_t n = r.num;
+    return n == 1 || (n >= 5 && n <= 7) || (n >= 10 && n <= 17) || n >= 28;
+  }
+  // FP temporaries ft0-ft7 (0-7), fa0-fa7 (10-17), ft8-ft11 (28-31).
+  const std::uint8_t n = r.num;
+  return n <= 7 || (n >= 10 && n <= 17) || n >= 28;
+}
+
+bool is_link_reg(Reg r) {
+  return r.cls == RegClass::Int && (r.num == 1 || r.num == 5);
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,99 @@
+// Register model for RV64GC.
+//
+// Two architectural register files (integer x0-x31 and floating-point
+// f0-f31) plus the CSR space. Downstream analyses (liveness, slicing,
+// codegen register allocation) index registers through `Reg`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rvdyn::isa {
+
+/// Which architectural register file a register lives in.
+enum class RegClass : std::uint8_t {
+  Int,  ///< x0..x31
+  Fp,   ///< f0..f31
+};
+
+/// A single architectural register: class + index.
+struct Reg {
+  RegClass cls = RegClass::Int;
+  std::uint8_t num = 0;  ///< 0..31
+
+  constexpr Reg() = default;
+  constexpr Reg(RegClass c, std::uint8_t n) : cls(c), num(n) {}
+
+  constexpr bool operator==(const Reg&) const = default;
+
+  /// Dense index over both files: x0..x31 = 0..31, f0..f31 = 32..63.
+  /// Used as a bitset position by liveness analysis.
+  constexpr unsigned index() const {
+    return (cls == RegClass::Int ? 0u : 32u) + num;
+  }
+
+  /// Inverse of index().
+  static constexpr Reg from_index(unsigned i) {
+    return i < 32 ? Reg(RegClass::Int, static_cast<std::uint8_t>(i))
+                  : Reg(RegClass::Fp, static_cast<std::uint8_t>(i - 32));
+  }
+};
+
+/// Total number of dense register indices (integer + FP files).
+inline constexpr unsigned kNumRegs = 64;
+
+/// Convenience constructors for the integer and FP files.
+constexpr Reg x(std::uint8_t n) { return Reg(RegClass::Int, n); }
+constexpr Reg f(std::uint8_t n) { return Reg(RegClass::Fp, n); }
+
+// ABI-named integer registers (RISC-V psABI).
+inline constexpr Reg zero = x(0);  ///< hard-wired zero
+inline constexpr Reg ra = x(1);    ///< return address (standard link register)
+inline constexpr Reg sp = x(2);    ///< stack pointer
+inline constexpr Reg gp = x(3);    ///< global pointer
+inline constexpr Reg tp = x(4);    ///< thread pointer
+inline constexpr Reg t0 = x(5);
+inline constexpr Reg t1 = x(6);
+inline constexpr Reg t2 = x(7);
+inline constexpr Reg fp = x(8);  ///< frame pointer (a.k.a. s0) — often reused
+inline constexpr Reg s0 = x(8);
+inline constexpr Reg s1 = x(9);
+inline constexpr Reg a0 = x(10);
+inline constexpr Reg a1 = x(11);
+inline constexpr Reg a2 = x(12);
+inline constexpr Reg a3 = x(13);
+inline constexpr Reg a4 = x(14);
+inline constexpr Reg a5 = x(15);
+inline constexpr Reg a6 = x(16);
+inline constexpr Reg a7 = x(17);
+inline constexpr Reg t3 = x(28);
+inline constexpr Reg t4 = x(29);
+inline constexpr Reg t5 = x(30);
+inline constexpr Reg t6 = x(31);
+
+/// ABI name ("ra", "sp", "a0", "fs0", ...).
+std::string reg_name(Reg r);
+
+/// Architectural name ("x1", "f12", ...).
+std::string reg_arch_name(Reg r);
+
+/// Parse either an ABI name or architectural name; returns false on failure.
+bool parse_reg(const std::string& name, Reg* out);
+
+/// True for registers a caller must assume clobbered across a call
+/// (t0-t6, a0-a7, ra; ft/fa temporaries in the FP file).
+bool is_caller_saved(Reg r);
+
+/// True for x1 (ra) and x5 (t0/alternate link), the registers the ISA's
+/// return-address prediction hints treat as link registers.
+bool is_link_reg(Reg r);
+
+}  // namespace rvdyn::isa
+
+template <>
+struct std::hash<rvdyn::isa::Reg> {
+  std::size_t operator()(const rvdyn::isa::Reg& r) const noexcept {
+    return r.index();
+  }
+};

@@ -1,0 +1,138 @@
+#include "parse/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace rvdyn::parse {
+
+namespace {
+
+// Iterative Tarjan SCC (explicit stack to survive deep call chains).
+struct Tarjan {
+  const std::map<std::uint64_t, std::set<std::uint64_t>>& succs;
+  std::map<std::uint64_t, int> index, low;
+  std::map<std::uint64_t, bool> on_stack;
+  std::vector<std::uint64_t> stack;
+  std::vector<std::vector<std::uint64_t>> sccs;
+  int next_index = 0;
+
+  void run(std::uint64_t root) {
+    if (index.count(root)) return;
+    struct Frame {
+      std::uint64_t v;
+      std::set<std::uint64_t>::const_iterator it, end;
+    };
+    std::vector<Frame> frames;
+    auto push = [&](std::uint64_t v) {
+      index[v] = low[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      const auto& kids = succs.at(v);
+      frames.push_back({v, kids.begin(), kids.end()});
+    };
+    push(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.it != f.end) {
+        const std::uint64_t w = *f.it++;
+        if (!succs.count(w)) continue;  // callee outside the parsed set
+        if (!index.count(w)) {
+          push(w);
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+        continue;
+      }
+      // Finished v: pop an SCC if v is a root.
+      const std::uint64_t v = f.v;
+      frames.pop_back();
+      if (!frames.empty())
+        low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+      if (low[v] == index[v]) {
+        std::vector<std::uint64_t> scc;
+        while (true) {
+          const std::uint64_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+          if (w == v) break;
+        }
+        sccs.push_back(std::move(scc));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph::CallGraph(const CodeObject& co) {
+  for (const auto& [entry, f] : co.functions()) {
+    auto& out = callees_[entry];
+    callers_[entry];  // ensure the node exists
+    for (std::uint64_t callee : f->callees())
+      if (co.function_at(callee)) out.insert(callee);
+    // Indirect calls with unknown targets poison summaries.
+    for (const auto& [a, b] : f->blocks()) {
+      if (b->insns().empty()) continue;
+      const isa::Instruction& term = b->last().insn;
+      const bool links =
+          (term.is_jal() || term.is_jalr()) && !(term.link_reg() == isa::zero);
+      if (!links || !term.is_jalr()) continue;
+      bool resolved = false;
+      for (const Edge& e : b->succs())
+        if (e.type == EdgeType::Call && e.target) resolved = true;
+      if (!resolved) unknown_callees_.insert(entry);
+    }
+  }
+  for (const auto& [caller, outs] : callees_)
+    for (std::uint64_t callee : outs) callers_[callee].insert(caller);
+
+  // Tarjan emits SCCs in reverse topological order already.
+  Tarjan tarjan{callees_, {}, {}, {}, {}, {}, 0};
+  for (const auto& [entry, outs] : callees_) tarjan.run(entry);
+  sccs_ = std::move(tarjan.sccs);
+  for (std::size_t i = 0; i < sccs_.size(); ++i)
+    for (std::uint64_t f : sccs_[i]) scc_of_[f] = i;
+}
+
+const std::set<std::uint64_t>& CallGraph::callees(std::uint64_t func) const {
+  static const std::set<std::uint64_t> empty;
+  auto it = callees_.find(func);
+  return it == callees_.end() ? empty : it->second;
+}
+
+const std::set<std::uint64_t>& CallGraph::callers(std::uint64_t func) const {
+  static const std::set<std::uint64_t> empty;
+  auto it = callers_.find(func);
+  return it == callers_.end() ? empty : it->second;
+}
+
+std::set<std::uint64_t> CallGraph::reachable_from(std::uint64_t root) const {
+  std::set<std::uint64_t> seen;
+  std::deque<std::uint64_t> work{root};
+  while (!work.empty()) {
+    const std::uint64_t f = work.front();
+    work.pop_front();
+    if (!seen.insert(f).second) continue;
+    for (std::uint64_t c : callees(f))
+      if (!seen.count(c)) work.push_back(c);
+  }
+  return seen;
+}
+
+bool CallGraph::is_recursive(std::uint64_t func) const {
+  auto it = scc_of_.find(func);
+  if (it == scc_of_.end()) return false;
+  const auto& scc = sccs_[it->second];
+  if (scc.size() > 1) return true;
+  return callees(func).count(func) != 0;  // direct self-recursion
+}
+
+std::vector<std::uint64_t> CallGraph::bottom_up_order() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& scc : sccs_)
+    for (std::uint64_t f : scc) out.push_back(f);
+  return out;
+}
+
+}  // namespace rvdyn::parse

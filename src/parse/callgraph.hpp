@@ -1,0 +1,57 @@
+// Call-graph analysis over a parsed CodeObject.
+//
+// Provides the interprocedural structure tools need on top of ParseAPI:
+// callers/callees, reachability, recursion detection (Tarjan SCCs), and a
+// bottom-up traversal order — the backbone for DataflowAPI's
+// interprocedural register summaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::parse {
+
+class CallGraph {
+ public:
+  /// Build from a parsed CodeObject (call + tail-call edges).
+  explicit CallGraph(const CodeObject& co);
+
+  const std::set<std::uint64_t>& callees(std::uint64_t func) const;
+  const std::set<std::uint64_t>& callers(std::uint64_t func) const;
+
+  /// Functions reachable from `root` (including `root`).
+  std::set<std::uint64_t> reachable_from(std::uint64_t root) const;
+
+  /// True when `func` participates in a cycle (self-recursion included).
+  bool is_recursive(std::uint64_t func) const;
+
+  /// Strongly connected components, in reverse-topological (bottom-up)
+  /// order: every callee's component appears before its callers'.
+  const std::vector<std::vector<std::uint64_t>>& sccs() const {
+    return sccs_;
+  }
+
+  /// Bottom-up function order (callees before callers; members of a cycle
+  /// in arbitrary relative order). The natural order for computing
+  /// summaries.
+  std::vector<std::uint64_t> bottom_up_order() const;
+
+  /// Functions containing at least one call with an unknown target
+  /// (indirect calls): their effects cannot be summarized soundly.
+  const std::set<std::uint64_t>& has_unknown_callees() const {
+    return unknown_callees_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::set<std::uint64_t>> callees_;
+  std::map<std::uint64_t, std::set<std::uint64_t>> callers_;
+  std::vector<std::vector<std::uint64_t>> sccs_;
+  std::map<std::uint64_t, std::size_t> scc_of_;
+  std::set<std::uint64_t> unknown_callees_;
+};
+
+}  // namespace rvdyn::parse

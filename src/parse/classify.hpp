@@ -1,0 +1,76 @@
+// Multi-use control-flow classification for jal/jalr (paper §3.1.3, §3.2.3)
+// and jump-table analysis.
+//
+// RISC-V's two unconditional-branch instructions each serve as jump, call,
+// tail call, return and jump-table dispatch. Classification follows the
+// paper's decision procedure: backward-slice the target register, constant-
+// fold it (reading jump tables and GOT-style cells out of read-only
+// sections), then apply the link-register/target-location rules; fall back
+// to jump-table analysis; otherwise report the transfer as unresolvable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "parse/cfg.hpp"
+#include "semantics/expr.hpp"
+
+namespace rvdyn::parse {
+
+/// High-level meaning of one jal/jalr instruction.
+enum class BranchKind {
+  Jump,        ///< intraprocedural unconditional jump
+  Call,        ///< function call
+  TailCall,    ///< call-shaped jump to another function
+  Return,      ///< function return
+  JumpTable,   ///< indirect jump dispatching through a table
+  Unresolved,  ///< target not statically determinable
+};
+
+const char* branch_kind_name(BranchKind k);
+
+struct Classification {
+  BranchKind kind = BranchKind::Unresolved;
+  std::optional<std::uint64_t> target;       ///< Jump/Call/TailCall
+  std::vector<std::uint64_t> table_targets;  ///< JumpTable
+  std::optional<std::uint64_t> table_base;   ///< JumpTable: address of the table
+};
+
+/// Context the classifier needs: the containing code object (for "is this a
+/// function entry" and read-only memory), the function being parsed, and
+/// the block/index of the instruction.
+struct ClassifyContext {
+  const CodeObject* co = nullptr;
+  const Function* func = nullptr;
+  const Block* block = nullptr;
+  int insn_index = 0;  ///< index of the jal/jalr within block->insns()
+  unsigned max_table_entries = 512;
+  /// Entry-point oracle. During a (possibly parallel) parse the set of
+  /// known entries lives in the parser, not yet in the CodeObject; when
+  /// unset, co->is_function_entry is used.
+  std::function<bool(std::uint64_t)> is_entry;
+};
+
+/// Classify the jal/jalr at ctx.block->insns()[ctx.insn_index].
+Classification classify_branch(const ClassifyContext& ctx);
+
+/// Backward-slice `reg` to an expression at (block, insn_index), i.e. its
+/// value *before* that instruction executes. Register leaves that have no
+/// reaching definition inside the slice remain as Reg nodes. Exposed for
+/// DataflowAPI's slicing tests and the jump-table analysis.
+semantics::ExprPtr slice_register(const ClassifyContext& ctx, isa::Reg reg,
+                                  int depth_limit = 32);
+
+/// Constant-fold an expression using the binary's read-only sections as the
+/// memory. Returns nullopt when any leaf is unknown.
+std::optional<std::uint64_t> fold_constant(const CodeObject& co,
+                                           const semantics::ExprPtr& e);
+
+/// True when the ecall at ctx provably never returns (a7 slices to the
+/// exit/exit_group syscall numbers). Lets the parser end the block there
+/// instead of running into the next function's bytes.
+bool is_noreturn_ecall(const ClassifyContext& ctx);
+
+}  // namespace rvdyn::parse

@@ -1,0 +1,97 @@
+#include "parse/dot.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "parse/loops.hpp"
+
+namespace rvdyn::parse {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream out;
+  out << "0x" << std::hex << v;
+  return out.str();
+}
+
+// DOT-escape instruction text (quotes and backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Function& f) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(f.name()) << "\" {\n";
+  out << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  out << "  label=\"" << escape(f.name()) << " @ " << hex(f.entry())
+      << "\";\n";
+
+  // Loop headers get a distinct style.
+  std::set<std::uint64_t> headers;
+  for (const Loop& loop : find_loops(f)) headers.insert(loop.header);
+
+  for (const auto& [start, b] : f.blocks()) {
+    out << "  b" << std::hex << start << std::dec << " [label=\"";
+    out << hex(start) << ":\\l";
+    for (const auto& pi : b->insns())
+      out << escape(pi.insn.to_string()) << "\\l";
+    out << "\"";
+    if (start == f.entry()) out << ", penwidth=2";
+    if (headers.count(start)) out << ", style=filled, fillcolor=lightgrey";
+    out << "];\n";
+  }
+
+  for (const auto& [start, b] : f.blocks()) {
+    for (const Edge& e : b->succs()) {
+      if (e.type == EdgeType::Return || e.type == EdgeType::Unresolved) {
+        // Synthetic sink nodes keep exits visible.
+        out << "  b" << std::hex << start << std::dec << " -> exit_"
+            << edge_type_name(e.type) << std::hex << start << std::dec
+            << " [label=\"" << edge_type_name(e.type) << "\"];\n";
+        out << "  exit_" << edge_type_name(e.type) << std::hex << start
+            << std::dec << " [shape=plaintext, label=\""
+            << edge_type_name(e.type) << "\"];\n";
+        continue;
+      }
+      if (e.type == EdgeType::Call || e.type == EdgeType::TailCall) {
+        out << "  b" << std::hex << start << std::dec << " -> callee_"
+            << std::hex << e.target << std::dec
+            << " [style=dashed, label=\"" << edge_type_name(e.type)
+            << "\"];\n";
+        out << "  callee_" << std::hex << e.target << std::dec
+            << " [shape=ellipse, label=\"" << hex(e.target) << "\"];\n";
+        continue;
+      }
+      if (!f.block_at(e.target)) continue;
+      out << "  b" << std::hex << start << std::dec << " -> b" << std::hex
+          << e.target << std::dec << " [label=\"" << edge_type_name(e.type)
+          << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string callgraph_dot(const CodeObject& co) {
+  std::ostringstream out;
+  out << "digraph callgraph {\n  node [shape=ellipse];\n";
+  for (const auto& [entry, f] : co.functions()) {
+    out << "  f" << std::hex << entry << std::dec << " [label=\""
+        << escape(f->name()) << "\"];\n";
+    for (std::uint64_t callee : f->callees())
+      out << "  f" << std::hex << entry << " -> f" << callee << std::dec
+          << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rvdyn::parse

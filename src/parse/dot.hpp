@@ -1,0 +1,20 @@
+// Graphviz export of parsed CFGs — the standard way Dyninst-family tools
+// visualize ParseAPI output.
+#pragma once
+
+#include <string>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::parse {
+
+/// DOT digraph for one function: one node per basic block (instruction
+/// listing inside), edges labelled with their type, loop headers
+/// highlighted.
+std::string to_dot(const Function& f);
+
+/// DOT digraph of the whole binary's call graph: one node per function,
+/// edges for calls and tail calls.
+std::string callgraph_dot(const CodeObject& co);
+
+}  // namespace rvdyn::parse

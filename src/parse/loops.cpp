@@ -1,0 +1,189 @@
+#include "parse/loops.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace rvdyn::parse {
+
+namespace {
+
+bool is_intraproc(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough:
+    case EdgeType::Taken:
+    case EdgeType::NotTaken:
+    case EdgeType::Jump:
+    case EdgeType::IndirectJump:
+    case EdgeType::CallFallthrough:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Reverse-postorder of blocks reachable from the entry, following
+// intra-procedural edges.
+std::vector<const Block*> rpo(const Function& f) {
+  std::vector<const Block*> order;
+  std::set<std::uint64_t> visited;
+  // Iterative DFS with explicit post stack.
+  struct Frame {
+    const Block* b;
+    std::size_t next_edge;
+  };
+  const Block* entry = f.entry_block();
+  if (!entry) return order;
+  std::vector<Frame> stack{{entry, 0}};
+  visited.insert(entry->start());
+  while (!stack.empty()) {
+    Frame& fr = stack.back();
+    if (fr.next_edge < fr.b->succs().size()) {
+      const Edge& e = fr.b->succs()[fr.next_edge++];
+      if (!is_intraproc(e.type)) continue;
+      const Block* t = f.block_at(e.target);
+      if (!t || visited.count(t->start())) continue;
+      visited.insert(t->start());
+      stack.push_back({t, 0});
+      continue;
+    }
+    order.push_back(fr.b);
+    stack.pop_back();
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::map<std::uint64_t, std::uint64_t> immediate_dominators(
+    const Function& f) {
+  // Cooper-Harvey-Kennedy iterative algorithm over RPO.
+  std::map<std::uint64_t, std::uint64_t> idom;
+  const std::vector<const Block*> order = rpo(f);
+  if (order.empty()) return idom;
+
+  std::map<std::uint64_t, std::size_t> rpo_index;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rpo_index[order[i]->start()] = i;
+
+  const std::uint64_t entry = order[0]->start();
+  idom[entry] = entry;
+
+  auto intersect = [&](std::uint64_t a, std::uint64_t b) {
+    while (a != b) {
+      while (rpo_index.at(a) > rpo_index.at(b)) a = idom.at(a);
+      while (rpo_index.at(b) > rpo_index.at(a)) b = idom.at(b);
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      const Block* b = order[i];
+      std::uint64_t new_idom = 0;
+      bool have = false;
+      for (const Block* p : b->preds()) {
+        if (!rpo_index.count(p->start())) continue;  // unreachable pred
+        if (!idom.count(p->start())) continue;       // not yet processed
+        if (!have) {
+          new_idom = p->start();
+          have = true;
+        } else {
+          new_idom = intersect(new_idom, p->start());
+        }
+      }
+      if (!have) continue;
+      auto it = idom.find(b->start());
+      if (it == idom.end() || it->second != new_idom) {
+        idom[b->start()] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool dominates(const std::map<std::uint64_t, std::uint64_t>& idom,
+               std::uint64_t a, std::uint64_t b) {
+  auto it = idom.find(b);
+  if (it == idom.end()) return false;
+  while (true) {
+    if (b == a) return true;
+    const std::uint64_t up = it->second;
+    if (up == b) return false;  // reached the entry
+    b = up;
+    it = idom.find(b);
+    if (it == idom.end()) return false;
+  }
+}
+
+std::vector<Loop> find_loops(const Function& f) {
+  const auto idom = immediate_dominators(f);
+  std::map<std::uint64_t, Loop> by_header;
+
+  for (const auto& [addr, b] : f.blocks()) {
+    for (const Edge& e : b->succs()) {
+      if (!is_intraproc(e.type)) continue;
+      const std::uint64_t h = e.target;
+      if (!f.block_at(h)) continue;
+      if (!dominates(idom, h, b->start())) continue;  // not a back edge
+      Loop& loop = by_header[h];
+      loop.header = h;
+      loop.backedge_sources.push_back(b->start());
+      // Collect the natural loop body: backward walk from the source.
+      loop.blocks.insert(h);
+      std::deque<std::uint64_t> work{b->start()};
+      while (!work.empty()) {
+        const std::uint64_t cur = work.front();
+        work.pop_front();
+        if (!loop.blocks.insert(cur).second) continue;
+        const Block* cb = f.block_at(cur);
+        if (!cb) continue;
+        for (const Block* p : cb->preds())
+          if (!loop.blocks.count(p->start())) work.push_back(p->start());
+      }
+    }
+  }
+
+  std::vector<Loop> out;
+  out.reserve(by_header.size());
+  for (auto& [h, loop] : by_header) out.push_back(std::move(loop));
+  return out;
+}
+
+int LoopNest::innermost_containing(std::uint64_t block_start) const {
+  int best = -1;
+  std::size_t best_size = ~std::size_t{0};
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    if (!loops[i].contains(block_start)) continue;
+    if (loops[i].blocks.size() < best_size) {
+      best = static_cast<int>(i);
+      best_size = loops[i].blocks.size();
+    }
+  }
+  return best;
+}
+
+LoopNest loop_nest(const Function& f) {
+  LoopNest nest;
+  nest.loops = find_loops(f);
+  nest.parent.assign(nest.loops.size(), -1);
+  for (std::size_t i = 0; i < nest.loops.size(); ++i) {
+    // Parent: the smallest loop strictly containing this loop's header
+    // that is not the loop itself.
+    std::size_t best_size = ~std::size_t{0};
+    for (std::size_t j = 0; j < nest.loops.size(); ++j) {
+      if (i == j) continue;
+      if (!nest.loops[j].contains(nest.loops[i].header)) continue;
+      if (nest.loops[j].blocks.size() < best_size) {
+        nest.parent[i] = static_cast<int>(j);
+        best_size = nest.loops[j].blocks.size();
+      }
+    }
+  }
+  return nest;
+}
+
+}  // namespace rvdyn::parse

@@ -1,0 +1,59 @@
+// Dominator and natural-loop analysis over a parsed function's CFG.
+//
+// ParseAPI exposes loop structure (paper §2.1) so instrumentation can
+// target loop entries and back edges; PatchAPI's loop points build on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::parse {
+
+/// A natural loop: the header plus every block that can reach a back edge
+/// source without leaving through the header.
+struct Loop {
+  std::uint64_t header = 0;
+  std::set<std::uint64_t> blocks;            ///< block start addresses (incl. header)
+  std::vector<std::uint64_t> backedge_sources;  ///< blocks with edge -> header
+
+  bool contains(std::uint64_t block_start) const {
+    return blocks.count(block_start) != 0;
+  }
+};
+
+/// Immediate dominators for every block reachable from the function entry,
+/// keyed by block start address (the entry maps to itself).
+std::map<std::uint64_t, std::uint64_t> immediate_dominators(const Function& f);
+
+/// True when block `a` dominates block `b` (addresses are block starts).
+bool dominates(const std::map<std::uint64_t, std::uint64_t>& idom,
+               std::uint64_t a, std::uint64_t b);
+
+/// Natural loops of `f`, outermost-first (by header address). Loops sharing
+/// a header are merged, as is conventional.
+std::vector<Loop> find_loops(const Function& f);
+
+/// The loop-nesting forest over find_loops(f): parent[i] is the index of
+/// the innermost loop strictly containing loops[i], or -1 for top-level
+/// loops. depth(i) counts enclosing loops (top level = 1).
+struct LoopNest {
+  std::vector<Loop> loops;
+  std::vector<int> parent;
+
+  unsigned depth(std::size_t i) const {
+    unsigned d = 1;
+    for (int p = parent[i]; p >= 0; p = parent[static_cast<std::size_t>(p)])
+      ++d;
+    return d;
+  }
+  /// Index of the innermost loop containing `block_start`, or -1.
+  int innermost_containing(std::uint64_t block_start) const;
+};
+
+LoopNest loop_nest(const Function& f);
+
+}  // namespace rvdyn::parse

@@ -1,0 +1,433 @@
+// The traversal parser: builds each function's CFG by following control
+// flow from its entry, splitting blocks at join points, classifying
+// jal/jalr transfers, and discovering new functions from call/tail-call
+// targets. Functions parse independently, so the work scales across a
+// thread pool (the paper's "fast parallel algorithm").
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "isa/decoder.hpp"
+#include "parse/classify.hpp"
+
+namespace rvdyn::parse {
+
+namespace {
+
+using isa::Instruction;
+
+// Thread-safe pool of function entries awaiting a parse.
+class EntryPool {
+ public:
+  // Returns true when `a` was newly added.
+  bool add(std::uint64_t a) {
+    std::lock_guard lock(mu_);
+    if (!known_.insert(a).second) return false;
+    queue_.push_back(a);
+    ++outstanding_;
+    cv_.notify_one();
+    return true;
+  }
+
+  bool is_known(std::uint64_t a) const {
+    std::lock_guard lock(mu_);
+    return known_.count(a) != 0;
+  }
+
+  // Blocks until work is available or all work is done. Returns nullopt at
+  // global completion.
+  std::optional<std::uint64_t> take() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] { return !queue_.empty() || outstanding_ == 0; });
+    if (queue_.empty()) return std::nullopt;
+    const std::uint64_t a = queue_.front();
+    queue_.pop_front();
+    return a;
+  }
+
+  // A taken entry finished parsing.
+  void done() {
+    std::lock_guard lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+
+  std::set<std::uint64_t> snapshot() const {
+    std::lock_guard lock(mu_);
+    return known_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> queue_;
+  std::set<std::uint64_t> known_;
+  unsigned outstanding_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(CodeObject& co, const symtab::Symtab& st, const ParseOptions& opts,
+         std::map<std::uint64_t, std::unique_ptr<Function>>& funcs)
+      : co_(co), st_(st), opts_(opts), funcs_(funcs),
+        decoder_(st.extensions().has(isa::Extension::I)
+                     ? st.extensions()
+                     : isa::ExtensionSet::rv64gc()) {}
+
+  void run() {
+    seed_entries();
+    if (opts_.num_threads <= 1) {
+      while (auto entry = pool_.take()) {
+        parse_function(*entry);
+        pool_.done();
+      }
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(opts_.num_threads);
+      for (unsigned t = 0; t < opts_.num_threads; ++t) {
+        workers.emplace_back([this] {
+          while (auto entry = pool_.take()) {
+            parse_function(*entry);
+            pool_.done();
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    if (opts_.gap_parsing) parse_gaps();
+    for (auto& [a, f] : funcs_) f->rebuild_preds();
+  }
+
+ private:
+  void seed_entries() {
+    for (const symtab::Symbol* sym : st_.function_symbols()) {
+      if (!st_.in_code(sym->value)) continue;
+      register_function(sym->value, sym->name);
+    }
+    if (st_.entry && st_.in_code(st_.entry))
+      register_function(st_.entry, "");
+  }
+
+  // Create (or find) the Function object for `entry` and queue it.
+  Function* register_function(std::uint64_t entry, const std::string& name) {
+    std::lock_guard lock(funcs_mu_);
+    auto it = funcs_.find(entry);
+    if (it == funcs_.end()) {
+      std::string n = name;
+      if (n.empty()) {
+        // Borrow a symbol name if one exists at this address.
+        for (const auto& sym : st_.symbols())
+          if (sym.value == entry && sym.is_function()) {
+            n = sym.name;
+            break;
+          }
+        if (n.empty()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "func_%llx",
+                        static_cast<unsigned long long>(entry));
+          n = buf;
+        }
+      }
+      it = funcs_.emplace(entry, std::make_unique<Function>(entry, n)).first;
+    }
+    pool_.add(entry);
+    return it->second.get();
+  }
+
+  // Fetch the raw bytes backing [addr, ...) from the code section.
+  const std::uint8_t* code_at(std::uint64_t addr, std::size_t* avail) const {
+    const symtab::Section* s = st_.section_containing(addr);
+    if (!s || !s->is_code() || s->type == symtab::SHT_NOBITS) return nullptr;
+    const std::size_t off = addr - s->addr;
+    if (off >= s->data.size()) return nullptr;
+    *avail = s->data.size() - off;
+    return s->data.data() + off;
+  }
+
+  void parse_function(std::uint64_t entry) {
+    Function* f;
+    {
+      std::lock_guard lock(funcs_mu_);
+      f = funcs_.at(entry).get();
+    }
+    if (!f->blocks().empty()) return;  // already parsed
+
+    FunctionStats& stats = f->mutable_stats();
+    std::deque<std::uint64_t> work{entry};
+    while (!work.empty()) {
+      const std::uint64_t start = work.front();
+      work.pop_front();
+      if (Block* existing = f->block_containing(start)) {
+        if (existing->start() == start) continue;
+        split_block(f, existing, start);
+        continue;
+      }
+      Block* b = f->add_block(start);
+      parse_block(f, b, &work, &stats);
+    }
+
+    stats.n_blocks = static_cast<unsigned>(f->blocks().size());
+    stats.n_insns = 0;
+    for (const auto& [a, blk] : f->blocks())
+      stats.n_insns += static_cast<unsigned>(blk->insns().size());
+  }
+
+  // Split `b` at `at` (which must be an instruction boundary inside b);
+  // the suffix becomes a new block inheriting b's out-edges.
+  void split_block(Function* f, Block* b, std::uint64_t at) {
+    auto& insns = b->mutable_insns();
+    std::size_t idx = 0;
+    while (idx < insns.size() && insns[idx].addr != at) ++idx;
+    if (idx == insns.size()) {
+      // `at` is inside an instruction (overlapping code). Parse it as an
+      // independent overlapping block rather than splitting.
+      Block* nb = f->add_block(at);
+      std::deque<std::uint64_t> local;
+      parse_block(f, nb, &local, &f->mutable_stats());
+      for (std::uint64_t t : local)
+        if (!f->block_containing(t)) {
+          Block* tb = f->add_block(t);
+          std::deque<std::uint64_t> l2;
+          parse_block(f, tb, &l2, &f->mutable_stats());
+        }
+      return;
+    }
+    Block* nb = f->add_block(at);
+    nb->mutable_insns().assign(insns.begin() + static_cast<long>(idx),
+                               insns.end());
+    insns.erase(insns.begin() + static_cast<long>(idx), insns.end());
+    for (const Edge& e : b->succs()) nb->add_succ(e);
+    b->clear_succs();
+    b->add_succ({EdgeType::Fallthrough, at});
+  }
+
+  void parse_block(Function* f, Block* b, std::deque<std::uint64_t>* work,
+                   FunctionStats* stats) {
+    std::uint64_t cur = b->start();
+    while (true) {
+      // Stop at the boundary of an already-known block (join point).
+      if (cur != b->start() && f->block_at(cur)) {
+        b->add_succ({EdgeType::Fallthrough, cur});
+        return;
+      }
+      std::size_t avail = 0;
+      const std::uint8_t* bytes = code_at(cur, &avail);
+      Instruction insn;
+      unsigned len = bytes ? decoder_.decode(bytes, avail, &insn) : 0;
+      if (len == 0) {
+        // Undecodable: the block ends with unresolved flow.
+        b->add_succ({EdgeType::Unresolved, 0});
+        ++stats->n_unresolved;
+        return;
+      }
+      b->mutable_insns().push_back({cur, insn});
+      const std::uint64_t next = cur + len;
+
+      if (insn.is_cond_branch()) {
+        const std::uint64_t taken =
+            cur + static_cast<std::uint64_t>(insn.branch_offset());
+        b->add_succ({EdgeType::Taken, taken});
+        b->add_succ({EdgeType::NotTaken, next});
+        push_target(f, work, taken);
+        push_target(f, work, next);
+        return;
+      }
+      if (insn.is_jal() || insn.is_jalr()) {
+        handle_unconditional(f, b, work, stats, next);
+        return;
+      }
+      if (insn.has_flag(isa::F_ECALL)) {
+        ClassifyContext ctx;
+        ctx.co = &co_;
+        ctx.func = f;
+        ctx.block = b;
+        ctx.insn_index = static_cast<int>(b->insns().size()) - 1;
+        if (is_noreturn_ecall(ctx)) {
+          b->add_succ({EdgeType::Return, 0});  // process exit: no successors
+          return;
+        }
+      }
+      cur = next;
+    }
+  }
+
+  void handle_unconditional(Function* f, Block* b,
+                            std::deque<std::uint64_t>* work,
+                            FunctionStats* stats, std::uint64_t next) {
+    ClassifyContext ctx;
+    ctx.co = &co_;
+    ctx.func = f;
+    ctx.block = b;
+    ctx.insn_index = static_cast<int>(b->insns().size()) - 1;
+    ctx.max_table_entries = opts_.max_jump_table_entries;
+    ctx.is_entry = [this](std::uint64_t a) { return pool_.is_known(a); };
+
+    const Classification c = classify_branch(ctx);
+    switch (c.kind) {
+      case BranchKind::Jump:
+        b->add_succ({EdgeType::Jump, *c.target});
+        push_target(f, work, *c.target);
+        break;
+      case BranchKind::Call:
+        ++stats->n_calls;
+        if (c.target) {
+          b->add_succ({EdgeType::Call, *c.target});
+          f->add_callee(*c.target);
+          register_function(*c.target, "");
+        }
+        b->add_succ({EdgeType::CallFallthrough, next});
+        push_target(f, work, next);
+        break;
+      case BranchKind::TailCall:
+        ++stats->n_tail_calls;
+        b->add_succ({EdgeType::TailCall, *c.target});
+        f->add_callee(*c.target);
+        register_function(*c.target, "");
+        break;
+      case BranchKind::Return:
+        ++stats->n_returns;
+        b->add_succ({EdgeType::Return, 0});
+        break;
+      case BranchKind::JumpTable:
+        ++stats->n_jump_tables;
+        for (std::uint64_t t : c.table_targets) {
+          b->add_succ({EdgeType::IndirectJump, t});
+          push_target(f, work, t);
+        }
+        break;
+      case BranchKind::Unresolved:
+        ++stats->n_unresolved;
+        b->add_succ({EdgeType::Unresolved, 0});
+        break;
+    }
+  }
+
+  void push_target(Function* f, std::deque<std::uint64_t>* work,
+                   std::uint64_t target) {
+    if (!st_.in_code(target)) return;
+    if (Block* existing = f->block_containing(target)) {
+      if (existing->start() == target) return;
+    }
+    work->push_back(target);
+  }
+
+  // Gap parsing (paper §2.1): scan byte ranges of code sections not claimed
+  // by any parsed function for plausible function prologues and parse them
+  // speculatively.
+  void parse_gaps() {
+    // Collect claimed ranges.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> claimed;
+    for (const auto& [entry, f] : funcs_)
+      for (const auto& [a, b] : f->blocks())
+        claimed.emplace_back(b->start(), b->end());
+    std::sort(claimed.begin(), claimed.end());
+
+    for (const auto& sec : st_.sections()) {
+      if (!sec.is_code() || sec.type == symtab::SHT_NOBITS) continue;
+      std::uint64_t pos = sec.addr;
+      const std::uint64_t end = sec.addr + sec.data.size();
+      std::size_t ci = 0;
+      while (pos < end) {
+        while (ci < claimed.size() && claimed[ci].second <= pos) ++ci;
+        if (ci < claimed.size() && claimed[ci].first <= pos) {
+          pos = claimed[ci].second;
+          continue;
+        }
+        const std::uint64_t gap_end =
+            ci < claimed.size() ? std::min(end, claimed[ci].first) : end;
+        scan_gap(pos, gap_end);
+        pos = gap_end;
+      }
+      // New functions found in gaps still need parsing.
+      while (auto entry = pool_.take()) {
+        parse_function(*entry);
+        pool_.done();
+      }
+    }
+  }
+
+  // Heuristic prologue match at the start of a gap range: a stack
+  // adjustment (addi sp, sp, -N / c.addi16sp) opens most functions.
+  void scan_gap(std::uint64_t from, std::uint64_t to) {
+    for (std::uint64_t a = (from + 1) & ~1ULL; a + 2 <= to;) {
+      std::size_t avail = 0;
+      const std::uint8_t* bytes = code_at(a, &avail);
+      if (!bytes) return;
+      Instruction insn;
+      const unsigned len =
+          decoder_.decode(bytes, std::min<std::size_t>(avail, 4), &insn);
+      if (len == 0) {
+        a += 2;
+        continue;
+      }
+      if (insn.mnemonic() == isa::Mnemonic::addi &&
+          insn.operand(0).reg == isa::sp && insn.operand(1).reg == isa::sp &&
+          insn.operand(2).imm < 0) {
+        register_function(a, "");
+        return;  // one speculative entry per gap; its parse claims the rest
+      }
+      a += len;
+    }
+  }
+
+  CodeObject& co_;
+  const symtab::Symtab& st_;
+  ParseOptions opts_;
+  std::map<std::uint64_t, std::unique_ptr<Function>>& funcs_;
+  isa::Decoder decoder_;
+  EntryPool pool_;
+  std::mutex funcs_mu_;
+};
+
+}  // namespace
+
+const char* edge_type_name(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough: return "fallthrough";
+    case EdgeType::Taken: return "taken";
+    case EdgeType::NotTaken: return "not-taken";
+    case EdgeType::Jump: return "jump";
+    case EdgeType::IndirectJump: return "indirect";
+    case EdgeType::Call: return "call";
+    case EdgeType::CallFallthrough: return "call-fallthrough";
+    case EdgeType::TailCall: return "tail-call";
+    case EdgeType::Return: return "return";
+    case EdgeType::Unresolved: return "unresolved";
+  }
+  return "?";
+}
+
+void Function::rebuild_preds() {
+  for (auto& [a, b] : blocks_) b->clear_preds();
+  for (auto& [a, b] : blocks_) {
+    for (const Edge& e : b->succs()) {
+      if (e.type == EdgeType::Call || e.type == EdgeType::TailCall ||
+          e.type == EdgeType::Return || e.type == EdgeType::Unresolved)
+        continue;
+      if (Block* t = block_at(e.target)) t->add_pred(b.get());
+    }
+  }
+}
+
+FunctionStats CodeObject::total_stats() const {
+  FunctionStats total;
+  for (const auto& [a, f] : funcs_) {
+    const FunctionStats& s = f->stats();
+    total.n_blocks += s.n_blocks;
+    total.n_insns += s.n_insns;
+    total.n_calls += s.n_calls;
+    total.n_tail_calls += s.n_tail_calls;
+    total.n_returns += s.n_returns;
+    total.n_jump_tables += s.n_jump_tables;
+    total.n_unresolved += s.n_unresolved;
+  }
+  return total;
+}
+
+void CodeObject::parse(const ParseOptions& opts) {
+  Parser parser(*this, symtab_, opts, funcs_);
+  parser.run();
+}
+
+}  // namespace rvdyn::parse

@@ -1,0 +1,120 @@
+// PatchAPI: snippet insertion and binary rewriting (paper §2.2, §3.3).
+//
+// BinaryEditor implements Dyninst's code-patching model: instrumented
+// functions are regenerated whole — snippets inlined at their points, pc-
+// relative material re-targeted — into a patch area (`.rvdyn.text`), and
+// each original entry is overwritten with the cheapest in-range jump to
+// the relocated version (paper §3.1.2's displacement ladder:
+// c.j -> jal -> auipc+jalr -> trap). Instrumentation variables live in a
+// fresh `.rvdyn.data` section. commit() yields a new, runnable ELF model:
+// static rewriting. ProcControlAPI reuses the same machinery for dynamic
+// instrumentation by applying the deltas to a live process instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+#include "parse/cfg.hpp"
+#include "patch/point.hpp"
+#include "symtab/symtab.hpp"
+
+namespace rvdyn::patch {
+
+/// Counters for the rewrite, including the displacement-strategy ladder
+/// (ablation A1) and dead-register usage (ablation A2).
+struct RewriteStats {
+  unsigned relocated_functions = 0;
+  unsigned snippets_inserted = 0;
+  unsigned snippet_insns = 0;
+  unsigned entry_cj = 0;          ///< entries patched with a 2-byte c.j
+  unsigned entry_jal = 0;         ///< 4-byte jal
+  unsigned entry_auipc_jalr = 0;  ///< 8-byte auipc+jalr
+  unsigned entry_trap = 0;        ///< 2/4-byte trap + trap-table entry
+  codegen::GenStats gen;          ///< aggregated code-generation stats
+};
+
+/// One entry of the .rvdyn.traps section (trap-springboard table): when
+/// the process stops on the trap at `from`, the runtime redirects to `to`.
+struct TrapEntry {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+class BinaryEditor {
+ public:
+  /// Takes a copy of the binary; parses it immediately.
+  explicit BinaryEditor(symtab::Symtab binary,
+                        parse::ParseOptions popts = {});
+
+  parse::CodeObject& code() { return *co_; }
+  const symtab::Symtab& original() const { return binary_; }
+
+  /// Allocate an instrumentation variable in the patch data area.
+  codegen::Variable alloc_var(const std::string& name, std::uint8_t size = 8,
+                              std::uint64_t initial = 0);
+
+  /// Queue the paper's basic operation: insert snippet AST at point P.
+  /// Multiple snippets at one point run in insertion order.
+  void insert(const Point& p, codegen::SnippetPtr snippet);
+
+  /// Convenience: insert at every point of `type` in function `func_entry`.
+  void insert_at(std::uint64_t func_entry, PointType type,
+                 codegen::SnippetPtr snippet);
+
+  /// Whether to use liveness-guided dead-register allocation (default on;
+  /// off reproduces the always-spill baseline of the paper's Table 1 x86
+  /// column).
+  void set_use_dead_registers(bool v) { use_dead_regs_ = v; }
+
+  /// Base address for the relocation area (default 1 MiB above text, in
+  /// jal range; ablations move it out of range to force auipc+jalr).
+  void set_patch_base(std::uint64_t text_base, std::uint64_t data_base) {
+    patch_text_base_ = text_base;
+    patch_data_base_ = data_base;
+  }
+
+  /// Perform the rewrite and return the new binary model. Idempotent
+  /// inputs: can be called once per editor.
+  symtab::Symtab commit();
+
+  const RewriteStats& stats() const { return stats_; }
+  const std::vector<TrapEntry>& trap_table() const { return traps_; }
+
+  /// Patch-area contents from the last commit(), exposed so
+  /// ProcControlAPI can apply the identical rewrite to a live process.
+  struct Delta {
+    std::uint64_t addr;
+    std::vector<std::uint8_t> bytes;
+  };
+  const std::vector<Delta>& deltas() const { return deltas_; }
+
+  /// The original bytes each springboard overwrote — the inverse patch.
+  /// ProcControlAPI uses these to *remove* instrumentation from a live
+  /// process (the dual of apply_patch).
+  const std::vector<Delta>& undo_deltas() const { return undo_deltas_; }
+
+  /// Parse a .rvdyn.traps section payload (used by the dynamic runtime).
+  static std::vector<TrapEntry> parse_trap_section(
+      const std::vector<std::uint8_t>& data);
+
+ private:
+  symtab::Symtab binary_;
+  std::unique_ptr<parse::CodeObject> co_;
+  std::map<Point, std::vector<codegen::SnippetPtr>> insertions_;
+  std::vector<std::uint8_t> var_data_;
+  std::vector<std::pair<std::string, codegen::Variable>> vars_;
+  bool use_dead_regs_ = true;
+  std::uint64_t patch_text_base_ = 0x100000;
+  std::uint64_t patch_data_base_ = 0x200000;
+  RewriteStats stats_;
+  std::vector<TrapEntry> traps_;
+  std::vector<Delta> deltas_;
+  std::vector<Delta> undo_deltas_;
+  bool committed_ = false;
+};
+
+}  // namespace rvdyn::patch

@@ -1,0 +1,108 @@
+#include "patch/point.hpp"
+
+namespace rvdyn::patch {
+
+namespace {
+
+using parse::Block;
+using parse::EdgeType;
+
+bool is_intraproc(EdgeType t) {
+  switch (t) {
+    case EdgeType::Fallthrough:
+    case EdgeType::Taken:
+    case EdgeType::NotTaken:
+    case EdgeType::Jump:
+    case EdgeType::IndirectJump:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Point insn_point(const parse::Function& f, std::uint64_t insn_addr) {
+  const Block* b = f.block_containing(insn_addr);
+  if (b) {
+    for (const auto& pi : b->insns())
+      if (pi.addr == insn_addr)
+        return {PointType::Instruction, f.entry(), b->start(), insn_addr};
+  }
+  throw Error("no instruction boundary at the given address");
+}
+
+const char* point_type_name(PointType t) {
+  switch (t) {
+    case PointType::FuncEntry: return "func-entry";
+    case PointType::FuncExit: return "func-exit";
+    case PointType::BlockEntry: return "block-entry";
+    case PointType::CallSite: return "call-site";
+    case PointType::Edge: return "edge";
+    case PointType::LoopEntry: return "loop-entry";
+    case PointType::LoopBackedge: return "loop-backedge";
+    case PointType::Instruction: return "instruction";
+  }
+  return "?";
+}
+
+std::vector<Point> find_points(const parse::Function& f, PointType type) {
+  std::vector<Point> out;
+  auto add = [&](PointType t, std::uint64_t block, std::uint64_t aux = 0) {
+    out.push_back({t, f.entry(), block, aux});
+  };
+
+  switch (type) {
+    case PointType::FuncEntry:
+      add(type, f.entry());
+      break;
+    case PointType::FuncExit:
+      for (const auto& [a, b] : f.blocks())
+        for (const parse::Edge& e : b->succs())
+          if (e.type == EdgeType::Return) {
+            add(type, b->start());
+            break;
+          }
+      break;
+    case PointType::BlockEntry:
+      for (const auto& [a, b] : f.blocks()) add(type, b->start());
+      break;
+    case PointType::CallSite:
+      for (const auto& [a, b] : f.blocks())
+        for (const parse::Edge& e : b->succs())
+          if (e.type == EdgeType::Call) {
+            add(type, b->start(), e.target);
+            break;
+          }
+      break;
+    case PointType::Edge:
+      for (const auto& [a, b] : f.blocks())
+        for (const parse::Edge& e : b->succs())
+          if (is_intraproc(e.type)) add(type, b->start(), e.target);
+      break;
+    case PointType::LoopEntry: {
+      for (const parse::Loop& loop : parse::find_loops(f)) {
+        const Block* header = f.block_at(loop.header);
+        if (!header) continue;
+        for (const Block* pred : header->preds())
+          if (!loop.contains(pred->start()))
+            add(type, pred->start(), loop.header);
+      }
+      break;
+    }
+    case PointType::LoopBackedge: {
+      for (const parse::Loop& loop : parse::find_loops(f))
+        for (std::uint64_t src : loop.backedge_sources)
+          add(type, src, loop.header);
+      break;
+    }
+    case PointType::Instruction:
+      for (const auto& [a, b] : f.blocks())
+        for (const parse::ParsedInsn& pi : b->insns())
+          add(type, b->start(), pi.addr);
+      break;
+  }
+  return out;
+}
+
+}  // namespace rvdyn::patch

@@ -1,0 +1,54 @@
+// Instrumentation points (paper §2): where snippets can be inserted.
+//
+// Point granularities follow the paper's list — function level (entry,
+// exit, call site), CFG level (block entry, edges, loop entry and back
+// edges). Points are found from ParseAPI's CFG and loop analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parse/cfg.hpp"
+#include "parse/loops.hpp"
+
+namespace rvdyn::patch {
+
+enum class PointType {
+  FuncEntry,     ///< before the function's first instruction
+  FuncExit,      ///< before each return instruction
+  BlockEntry,    ///< before a basic block's first instruction
+  CallSite,      ///< before a call instruction
+  Edge,          ///< on a specific CFG edge (via an edge trampoline)
+  LoopEntry,     ///< on edges entering a loop from outside
+  LoopBackedge,  ///< on back edges returning to the loop header
+  Instruction,   ///< before one specific instruction (lowest abstraction)
+};
+
+const char* point_type_name(PointType t);
+
+/// One instrumentation point inside a function.
+struct Point {
+  PointType type = PointType::FuncEntry;
+  std::uint64_t func = 0;   ///< containing function entry
+  std::uint64_t block = 0;  ///< block start the point anchors to
+  std::uint64_t aux = 0;    ///< Edge/Loop*: edge target address
+
+  bool operator<(const Point& o) const {
+    if (func != o.func) return func < o.func;
+    if (block != o.block) return block < o.block;
+    if (aux != o.aux) return aux < o.aux;
+    return static_cast<int>(type) < static_cast<int>(o.type);
+  }
+};
+
+/// Enumerate the points of one kind in `f`. For Edge, every intraprocedural
+/// edge is returned; tools filter as needed. (Instruction points are built
+/// with insn_point below, since they need an address.)
+std::vector<Point> find_points(const parse::Function& f, PointType type);
+
+/// The instruction-level point at `insn_addr` (paper §2's "low level
+/// abstractions such as individual instructions"). Throws Error when the
+/// address is not an instruction boundary of `f`.
+Point insn_point(const parse::Function& f, std::uint64_t insn_addr);
+
+}  // namespace rvdyn::patch

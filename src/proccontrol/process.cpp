@@ -1,0 +1,193 @@
+#include "proccontrol/process.hpp"
+
+#include "isa/decoder.hpp"
+
+namespace rvdyn::proccontrol {
+
+namespace {
+
+using emu::Machine;
+using emu::StopReason;
+
+constexpr std::uint8_t kEbreak32[4] = {0x73, 0x00, 0x10, 0x00};
+constexpr std::uint8_t kEbreak16[2] = {0x02, 0x90};  // c.ebreak
+
+}  // namespace
+
+std::unique_ptr<Process> Process::launch(const symtab::Symtab& binary) {
+  auto m = std::make_unique<Machine>(binary.extensions());
+  m->load(binary);
+  return std::unique_ptr<Process>(new Process(std::move(m)));
+}
+
+std::unique_ptr<Process> Process::attach(std::unique_ptr<emu::Machine> m) {
+  return std::unique_ptr<Process>(new Process(std::move(m)));
+}
+
+unsigned Process::insn_width_at(std::uint64_t addr) {
+  const std::uint16_t half =
+      static_cast<std::uint16_t>(machine_->memory().read(addr, 2));
+  return isa::is_compressed_encoding(half) ? 2u : 4u;
+}
+
+void Process::insert_breakpoint(std::uint64_t addr) {
+  if (breakpoints_.count(addr)) return;
+  const unsigned width = insn_width_at(addr);
+  SavedBytes saved;
+  saved.bytes.resize(width);
+  machine_->memory().read_bytes(addr, saved.bytes.data(), width);
+  machine_->write_code(addr, width == 2 ? kEbreak16 : kEbreak32, width);
+  breakpoints_.emplace(addr, std::move(saved));
+}
+
+void Process::remove_breakpoint(std::uint64_t addr) {
+  auto it = breakpoints_.find(addr);
+  if (it == breakpoints_.end()) return;
+  machine_->write_code(addr, it->second.bytes.data(),
+                       it->second.bytes.size());
+  breakpoints_.erase(it);
+}
+
+std::optional<Event> Process::translate_stop(StopReason r) {
+  switch (r) {
+    case StopReason::Exited:
+      return Event{Event::Kind::Exited, machine_->pc(),
+                   machine_->exit_code()};
+    case StopReason::Breakpoint: {
+      const std::uint64_t at = machine_->pc();
+      // Trap springboards redirect silently (the paper's §3.1.2 worst-case
+      // entry patch); real breakpoints surface to the tool.
+      auto redirect = trap_redirects_.find(at);
+      if (redirect != trap_redirects_.end() && !breakpoints_.count(at)) {
+        machine_->set_pc(redirect->second);
+        // Each springboard trap costs a debugger round trip (§3.1.2's
+        // "inefficient" worst case); charge it to the virtual clock.
+        machine_->add_cycles(machine_->cycle_model().trap_roundtrip);
+        return std::nullopt;  // keep running
+      }
+      return Event{Event::Kind::Stopped, at, 0};
+    }
+    case StopReason::Watchpoint:
+      return Event{Event::Kind::WatchHit, machine_->watch_hit().pc, 0};
+    case StopReason::Running:
+      return Event{Event::Kind::LimitReached, machine_->pc(), 0};
+    default:
+      return Event{Event::Kind::Crashed, machine_->pc(), 0};
+  }
+}
+
+StopReason Process::step_over_breakpoint() {
+  const std::uint64_t at = machine_->pc();
+  auto it = breakpoints_.find(at);
+  if (it == breakpoints_.end()) return StopReason::Running;
+  // Classic ptrace dance: restore, native-step, re-insert. The stepped
+  // instruction may itself terminate the process (an exiting ecall) or
+  // fault; that outcome must surface, not be swallowed.
+  const SavedBytes saved = it->second;
+  machine_->write_code(at, saved.bytes.data(), saved.bytes.size());
+  breakpoints_.erase(at);
+  const StopReason r = machine_->step();
+  insert_breakpoint(at);
+  return r == StopReason::Running ? StopReason::Running : r;
+}
+
+Event Process::continue_run(std::uint64_t max_steps) {
+  const StopReason stepped = step_over_breakpoint();
+  if (stepped != StopReason::Running) {
+    if (auto ev = translate_stop(stepped)) return *ev;
+  }
+  std::uint64_t budget = max_steps;
+  while (true) {
+    const StopReason r = machine_->run(budget);
+    budget = max_steps;  // each resume gets the full budget
+    if (auto ev = translate_stop(r)) return *ev;
+  }
+}
+
+Event Process::step_native() {
+  // Breakpoint bytes at pc must not be executed: step the real insn.
+  const std::uint64_t at = machine_->pc();
+  auto it = breakpoints_.find(at);
+  if (it != breakpoints_.end()) {
+    step_over_breakpoint();
+    return Event{Event::Kind::Stepped, machine_->pc(), 0};
+  }
+  const StopReason r = machine_->step();
+  if (r == StopReason::Running)
+    return Event{Event::Kind::Stepped, machine_->pc(), 0};
+  if (auto ev = translate_stop(r)) return *ev;
+  // A trap redirect happened during the step; report the landing spot.
+  return Event{Event::Kind::Stepped, machine_->pc(), 0};
+}
+
+std::vector<std::uint64_t> Process::successors_of(std::uint64_t addr) {
+  std::uint8_t buf[4];
+  machine_->memory().read_bytes(addr, buf, 4);
+  isa::Decoder dec;
+  isa::Instruction insn;
+  const unsigned len = dec.decode(buf, 4, &insn);
+  if (len == 0) return {};
+  const std::uint64_t next = addr + len;
+  if (insn.is_cond_branch())
+    return {next, addr + static_cast<std::uint64_t>(insn.branch_offset())};
+  if (insn.is_jal())
+    return {addr + static_cast<std::uint64_t>(insn.branch_offset())};
+  if (insn.is_jalr()) {
+    const std::uint64_t target =
+        (machine_->get_reg(insn.operand(1).reg) +
+         static_cast<std::uint64_t>(insn.operand(2).imm)) & ~1ULL;
+    return {target};
+  }
+  return {next};
+}
+
+Event Process::step_emulated() {
+  const std::uint64_t at = machine_->pc();
+  if (breakpoints_.count(at)) {
+    step_over_breakpoint();
+    return Event{Event::Kind::Stepped, machine_->pc(), 0};
+  }
+  const auto succs = successors_of(at);
+  if (succs.empty()) {  // undecodable: let the machine report the fault
+    const StopReason r = machine_->step();
+    if (auto ev = translate_stop(r)) return *ev;
+    return Event{Event::Kind::Stepped, machine_->pc(), 0};
+  }
+  // Plant temporary traps at each successor (skipping existing ones),
+  // resume, then remove. This is the software single-step of §3.2.6.
+  std::vector<std::uint64_t> planted;
+  for (std::uint64_t s : succs) {
+    if (breakpoints_.count(s)) continue;
+    insert_breakpoint(s);
+    planted.push_back(s);
+  }
+  const StopReason r = machine_->run();
+  for (std::uint64_t s : planted) remove_breakpoint(s);
+  if (r == StopReason::Breakpoint) {
+    const std::uint64_t stop = machine_->pc();
+    auto redirect = trap_redirects_.find(stop);
+    if (redirect != trap_redirects_.end() && !breakpoints_.count(stop))
+      machine_->set_pc(redirect->second);
+    return Event{Event::Kind::Stepped, machine_->pc(), 0};
+  }
+  if (auto ev = translate_stop(r)) return *ev;
+  return Event{Event::Kind::Stepped, machine_->pc(), 0};
+}
+
+void Process::install_trap_table(const std::vector<patch::TrapEntry>& traps) {
+  for (const auto& t : traps) trap_redirects_[t.from] = t.to;
+}
+
+void Process::apply_patch(const patch::BinaryEditor& editor) {
+  for (const auto& delta : editor.deltas())
+    machine_->write_code(delta.addr, delta.bytes.data(), delta.bytes.size());
+  install_trap_table(editor.trap_table());
+}
+
+void Process::revert_patch(const patch::BinaryEditor& editor) {
+  for (const auto& delta : editor.undo_deltas())
+    machine_->write_code(delta.addr, delta.bytes.data(), delta.bytes.size());
+  for (const auto& t : editor.trap_table()) trap_redirects_.erase(t.from);
+}
+
+}  // namespace rvdyn::proccontrol

@@ -1,0 +1,134 @@
+// ProcControlAPI: OS-independent process control (paper §2.2, §3.2.6).
+//
+// Debugger-grade control over an emulated RISC-V process: launch or attach,
+// breakpoints (by patching ebreak into the code, exactly as ptrace-based
+// debuggers do), memory/register access, and single-stepping. Because
+// RISC-V ptrace lacks PTRACE_SINGLESTEP, the paper's port emulates stepping
+// with breakpoints; both that emulation and the native step are provided so
+// their costs can be compared (bench A5).
+//
+// Dynamic instrumentation: apply_patch() writes a BinaryEditor's rewrite
+// deltas into the live process and installs its trap table — the paper's
+// "attach and instrument a running process" flow (Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+
+namespace rvdyn::proccontrol {
+
+/// What stopped the process.
+struct Event {
+  enum class Kind {
+    Stopped,      ///< hit a user breakpoint
+    Stepped,      ///< single-step completed
+    Exited,       ///< process exited (code in `exit_code`)
+    Crashed,      ///< illegal instruction / bad fetch / bad syscall
+    LimitReached, ///< step budget exhausted (still runnable)
+    WatchHit,     ///< a data watchpoint fired (details in machine().watch_hit())
+  };
+  Kind kind = Kind::Stopped;
+  std::uint64_t addr = 0;
+  int exit_code = 0;
+};
+
+class Process {
+ public:
+  /// Spawn: create a fresh process image from `binary` (Figure 1's
+  /// create-and-instrument form).
+  static std::unique_ptr<Process> launch(const symtab::Symtab& binary);
+
+  /// Attach to an already-running machine (Figure 1's attach form).
+  static std::unique_ptr<Process> attach(std::unique_ptr<emu::Machine> m);
+
+  // --- watchpoints (data breakpoints) ---
+  unsigned set_watchpoint(std::uint64_t addr, std::uint64_t size,
+                          bool on_read = false, bool on_write = true) {
+    return machine_->set_watchpoint(addr, size, on_read, on_write);
+  }
+  void clear_watchpoint(unsigned id) { machine_->clear_watchpoint(id); }
+
+  // --- breakpoints ---
+  /// Insert a breakpoint at `addr` (replaces the instruction with a trap of
+  /// matching width). Idempotent.
+  void insert_breakpoint(std::uint64_t addr);
+  void remove_breakpoint(std::uint64_t addr);
+  bool has_breakpoint(std::uint64_t addr) const {
+    return breakpoints_.count(addr) != 0;
+  }
+
+  // --- execution ---
+  /// Resume until an event (stepping over a breakpoint at the current pc
+  /// first, as debuggers do).
+  Event continue_run(std::uint64_t max_steps = ~0ULL);
+
+  /// True hardware-style single-step (what ptrace lacks on RISC-V).
+  Event step_native();
+
+  /// Breakpoint-emulated single-step (paper §3.2.6): plant temporary traps
+  /// at every possible successor of the current instruction, run, remove.
+  Event step_emulated();
+
+  // --- state access ---
+  std::uint64_t pc() const { return machine_->pc(); }
+  void set_pc(std::uint64_t a) { machine_->set_pc(a); }
+  std::uint64_t get_reg(isa::Reg r) const { return machine_->get_reg(r); }
+  void set_reg(isa::Reg r, std::uint64_t v) { machine_->set_reg(r, v); }
+  std::uint64_t read_mem(std::uint64_t addr, unsigned size) {
+    return machine_->memory().read(addr, size);
+  }
+  void write_mem(std::uint64_t addr, std::uint64_t v, unsigned size) {
+    machine_->memory().write(addr, v, size);
+  }
+  /// Code writes go through the machine so its decode cache invalidates.
+  void write_code(std::uint64_t addr, const std::uint8_t* data,
+                  std::size_t n) {
+    machine_->write_code(addr, data, n);
+  }
+
+  // --- dynamic instrumentation ---
+  /// Apply a committed BinaryEditor rewrite to this live process: writes
+  /// the patch-area bytes and springboards, and installs the trap table.
+  void apply_patch(const patch::BinaryEditor& editor);
+
+  /// Remove previously applied instrumentation: restore the original
+  /// springboarded bytes and drop the trap redirects. The patch area stays
+  /// mapped (execution already inside it finishes normally) but no new
+  /// entries divert into it.
+  void revert_patch(const patch::BinaryEditor& editor);
+
+  /// Install trap-springboard redirects (normally via apply_patch).
+  void install_trap_table(const std::vector<patch::TrapEntry>& traps);
+
+  emu::Machine& machine() { return *machine_; }
+  const emu::Machine& machine() const { return *machine_; }
+
+ private:
+  explicit Process(std::unique_ptr<emu::Machine> m)
+      : machine_(std::move(m)) {}
+
+  /// Width (2 or 4) of the instruction at `addr`.
+  unsigned insn_width_at(std::uint64_t addr);
+  /// All possible successor pcs of the instruction at `addr`.
+  std::vector<std::uint64_t> successors_of(std::uint64_t addr);
+  /// Map a machine stop to an Event, applying trap-table redirects.
+  std::optional<Event> translate_stop(emu::StopReason r);
+  /// Step across a breakpoint at the current pc; returns the machine's
+  /// stop reason when the stepped instruction itself terminated/faulted.
+  emu::StopReason step_over_breakpoint();
+
+  std::unique_ptr<emu::Machine> machine_;
+  struct SavedBytes {
+    std::vector<std::uint8_t> bytes;
+  };
+  std::map<std::uint64_t, SavedBytes> breakpoints_;
+  std::map<std::uint64_t, std::uint64_t> trap_redirects_;
+};
+
+}  // namespace rvdyn::proccontrol

@@ -1,0 +1,149 @@
+#include "semantics/eval.hpp"
+
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace rvdyn::semantics {
+
+std::uint64_t rv_div_s(std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  if (sb == 0) return ~0ULL;  // div by zero -> -1
+  if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+    return a;  // overflow -> dividend
+  return static_cast<std::uint64_t>(sa / sb);
+}
+
+std::uint64_t rv_div_u(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? ~0ULL : a / b;
+}
+
+std::uint64_t rv_rem_s(std::uint64_t a, std::uint64_t b) {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  if (sb == 0) return a;  // rem by zero -> dividend
+  if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1) return 0;
+  return static_cast<std::uint64_t>(sa % sb);
+}
+
+std::uint64_t rv_rem_u(std::uint64_t a, std::uint64_t b) {
+  return b == 0 ? a : a % b;
+}
+
+std::optional<std::uint64_t> const_eval(const Expr& e, std::uint64_t pc,
+                                        unsigned ilen, const RegResolver& regs,
+                                        const MemReader& mem) {
+  auto kid = [&](unsigned i) {
+    return const_eval(*e.kids[i], pc, ilen, regs, mem);
+  };
+  switch (e.op) {
+    case Op::Const:
+      return static_cast<std::uint64_t>(e.value);
+    case Op::Reg:
+      return regs ? regs(e.reg) : std::nullopt;
+    case Op::Pc:
+      return pc;
+    case Op::InsnLen:
+      return static_cast<std::uint64_t>(ilen);
+    case Op::Mem: {
+      if (!mem) return std::nullopt;
+      auto addr = kid(0);
+      if (!addr) return std::nullopt;
+      auto raw = mem(*addr, e.size);
+      if (!raw) return std::nullopt;
+      if (e.sign_extend)
+        return static_cast<std::uint64_t>(sext(*raw, e.size * 8));
+      return zext(*raw, e.size * 8);
+    }
+    case Op::Clz: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return *a == 0 ? 64ull
+                     : static_cast<std::uint64_t>(__builtin_clzll(*a));
+    }
+    case Op::Ctz: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return *a == 0 ? 64ull
+                     : static_cast<std::uint64_t>(__builtin_ctzll(*a));
+    }
+    case Op::Cpop: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return static_cast<std::uint64_t>(__builtin_popcountll(*a));
+    }
+    case Op::Rev8: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return __builtin_bswap64(*a);
+    }
+    case Op::OrcB: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      std::uint64_t out = 0;
+      for (unsigned i = 0; i < 8; ++i)
+        if ((*a >> (8 * i)) & 0xff) out |= 0xffULL << (8 * i);
+      return out;
+    }
+    case Op::Sext32: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return static_cast<std::uint64_t>(sext(*a, 32));
+    }
+    case Op::Trunc32: {
+      auto a = kid(0);
+      if (!a) return std::nullopt;
+      return zext(*a, 32);
+    }
+    case Op::Unknown:
+      return std::nullopt;
+    default:
+      break;
+  }
+  // Binary operators.
+  auto a = kid(0);
+  auto b = kid(1);
+  if (!a || !b) return std::nullopt;
+  const std::uint64_t x = *a, y = *b;
+  switch (e.op) {
+    case Op::Add: return x + y;
+    case Op::Sub: return x - y;
+    case Op::Mul: return x * y;
+    case Op::Divs: return rv_div_s(x, y);
+    case Op::Divu: return rv_div_u(x, y);
+    case Op::Rems: return rv_rem_s(x, y);
+    case Op::Remu: return rv_rem_u(x, y);
+    case Op::And: return x & y;
+    case Op::Or: return x | y;
+    case Op::Xor: return x ^ y;
+    case Op::Shl: return x << (y & 63);
+    case Op::Shru: return x >> (y & 63);
+    case Op::Shrs:
+      return static_cast<std::uint64_t>(static_cast<std::int64_t>(x) >>
+                                        (y & 63));
+    case Op::SltS:
+      return static_cast<std::int64_t>(x) < static_cast<std::int64_t>(y) ? 1u
+                                                                         : 0u;
+    case Op::SltU: return x < y ? 1u : 0u;
+    case Op::Eq: return x == y ? 1u : 0u;
+    case Op::Ne: return x != y ? 1u : 0u;
+    case Op::Rol: {
+      const unsigned n = y & 63;
+      return n == 0 ? x : (x << n) | (x >> (64 - n));
+    }
+    case Op::Ror: {
+      const unsigned n = y & 63;
+      return n == 0 ? x : (x >> n) | (x << (64 - n));
+    }
+    case Op::MaxS:
+      return static_cast<std::int64_t>(x) > static_cast<std::int64_t>(y) ? x : y;
+    case Op::MaxU: return x > y ? x : y;
+    case Op::MinS:
+      return static_cast<std::int64_t>(x) < static_cast<std::int64_t>(y) ? x : y;
+    case Op::MinU: return x < y ? x : y;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace rvdyn::semantics

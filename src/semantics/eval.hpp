@@ -1,0 +1,39 @@
+// Evaluators over the semantics IR.
+//
+// ConstEval is the concrete/partial-constant evaluator DataflowAPI's
+// slicing-based jalr resolution and jump-table analysis use (§3.2.3): it
+// folds an expression tree to a 64-bit value when every leaf resolves, and
+// reports "unknown" otherwise. Division follows RISC-V's architected
+// corner-case results (div by zero -> -1, signed overflow wraps).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "semantics/expr.hpp"
+
+namespace rvdyn::semantics {
+
+/// Resolves a register leaf to a value, or nullopt when unknown.
+using RegResolver = std::function<std::optional<std::uint64_t>(isa::Reg)>;
+
+/// Reads `size` bytes of little-endian memory at `addr`, or nullopt when
+/// the address is not statically readable (not in a mapped RO section).
+using MemReader =
+    std::function<std::optional<std::uint64_t>(std::uint64_t addr, unsigned size)>;
+
+/// Evaluate `e` for an instruction located at `pc` with encoded length
+/// `ilen`. Returns nullopt when any leaf is unknown.
+std::optional<std::uint64_t> const_eval(const Expr& e, std::uint64_t pc,
+                                        unsigned ilen, const RegResolver& regs,
+                                        const MemReader& mem);
+
+/// RISC-V architected division results (shared with the emulator so the
+/// analyses and the execution substrate can never disagree).
+std::uint64_t rv_div_s(std::uint64_t a, std::uint64_t b);
+std::uint64_t rv_div_u(std::uint64_t a, std::uint64_t b);
+std::uint64_t rv_rem_s(std::uint64_t a, std::uint64_t b);
+std::uint64_t rv_rem_u(std::uint64_t a, std::uint64_t b);
+
+}  // namespace rvdyn::semantics

@@ -1,0 +1,123 @@
+// Instruction-semantics IR (the paper's SAIL pipeline substitute, §3.2.4).
+//
+// The paper derives DataflowAPI's instruction semantics from the official
+// SAIL specification via an OCaml->JSON->C++ pipeline that strips SAIL's
+// error-handling noise and keeps only the value semantics. We reproduce the
+// same architecture with a compact declarative spec language: each mnemonic
+// has a one-line spec string ("rd = rs1 + sx(imm)" style, see spec.cpp)
+// that is parsed once at startup into the expression trees below. Adding a
+// new extension means adding spec strings — no analysis code changes,
+// matching the paper's "rerun the pipeline" property.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace rvdyn::semantics {
+
+/// Expression operators. Arithmetic follows RV64 semantics (64-bit two's
+/// complement; W-ops modelled with Sext32/Trunc32).
+enum class Op : std::uint8_t {
+  Const,    ///< literal (value in `value`)
+  Reg,      ///< architectural register read (`reg`)
+  Pc,       ///< address of the instruction being evaluated
+  InsnLen,  ///< encoded length of the instruction (2 or 4)
+  Mem,      ///< memory read: kids[0] = address; `size`, `sign_extend`
+  Add, Sub, Mul, Divs, Divu, Rems, Remu,
+  And, Or, Xor,
+  Shl, Shru, Shrs,
+  SltS, SltU,   ///< comparisons producing 0/1
+  Eq, Ne,
+  Sext32, Trunc32,
+  // Zbb bit-manipulation primitives (paper §3.4 extension growth).
+  Clz, Ctz, Cpop,     ///< unary counts over 64 bits
+  Rev8, OrcB,         ///< byte reverse / byte-wise or-combine
+  Rol, Ror,           ///< 64-bit rotates
+  MaxS, MaxU, MinS, MinU,
+  Unknown,  ///< value not modelled (FP results, CSR reads, ...)
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable expression-tree node.
+struct Expr {
+  Op op = Op::Unknown;
+  std::int64_t value = 0;   ///< Const
+  isa::Reg reg{};           ///< Reg
+  std::uint8_t size = 0;    ///< Mem: access size in bytes
+  bool sign_extend = false; ///< Mem: sign- vs zero-extend the loaded value
+  std::vector<ExprPtr> kids;
+
+  static ExprPtr constant(std::int64_t v) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::Const;
+    e->value = v;
+    return e;
+  }
+  static ExprPtr reg_read(isa::Reg r) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::Reg;
+    e->reg = r;
+    return e;
+  }
+  static ExprPtr nullary(Op op) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    return e;
+  }
+  static ExprPtr unary(Op op, ExprPtr k) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->kids.push_back(std::move(k));
+    return e;
+  }
+  static ExprPtr binary(Op op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->kids.push_back(std::move(a));
+    e->kids.push_back(std::move(b));
+    return e;
+  }
+  static ExprPtr mem(ExprPtr addr, std::uint8_t size, bool sign_extend) {
+    auto e = std::make_shared<Expr>();
+    e->op = Op::Mem;
+    e->size = size;
+    e->sign_extend = sign_extend;
+    e->kids.push_back(std::move(addr));
+    return e;
+  }
+};
+
+/// Value semantics of one concrete instruction: at most one register
+/// assignment and at most one memory store (which covers all of RV64GC's
+/// integer subset; pc updates are the CFG's concern, not the semantics').
+struct InsnSemantics {
+  bool has_reg_write = false;
+  isa::Reg written_reg{};
+  ExprPtr reg_value;  ///< value assigned to written_reg
+
+  bool has_mem_write = false;
+  ExprPtr store_addr;
+  ExprPtr store_value;
+  std::uint8_t store_size = 0;
+
+  /// True when the instruction's semantics are modelled precisely (as
+  /// opposed to a conservative "writes Unknown" summary).
+  bool precise = false;
+};
+
+/// Compute the semantics of a decoded instruction, binding the generic
+/// per-mnemonic spec to this instruction's operands. Instructions outside
+/// the modelled subset get a conservative summary (written registers
+/// assigned Unknown).
+InsnSemantics semantics_of(const isa::Instruction& insn);
+
+/// The raw spec string for a mnemonic ("" when the mnemonic has only a
+/// conservative summary). Exposed for tests and documentation tooling.
+const char* semantics_spec(isa::Mnemonic m);
+
+}  // namespace rvdyn::semantics

@@ -1,0 +1,145 @@
+#include "semantics/pipeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/status.hpp"
+#include "semantics/expr.hpp"
+
+namespace rvdyn::semantics {
+
+namespace {
+
+// Minimal JSON reader for the pipeline's flat {"key": "value"} format.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& s) : s_(s) {}
+
+  std::map<std::string, std::string> read_object() {
+    std::map<std::string, std::string> out;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      skip_ws();
+      if (pos_ != s_.size()) throw Error("spec json: trailing content");
+      return out;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = read_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const std::string value = read_string();
+      if (!out.emplace(key, value).second)
+        throw Error("spec json: duplicate key \"" + key + "\"");
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        break;
+      }
+      throw Error("spec json: expected ',' or '}'");
+    }
+    skip_ws();
+    if (pos_ != s_.size()) throw Error("spec json: trailing content");
+    return out;
+  }
+
+ private:
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void expect(char c) {
+    if (peek() != c)
+      throw Error(std::string("spec json: expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  std::string read_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            throw Error(std::string("spec json: unsupported escape \\") + e);
+        }
+        continue;
+      }
+      out += c;
+    }
+    throw Error("spec json: unterminated string");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<isa::Mnemonic, std::string> parse_spec_json(const std::string& json) {
+  JsonReader reader(json);
+  std::map<isa::Mnemonic, std::string> out;
+  for (auto& [key, value] : reader.read_object()) {
+    const isa::Mnemonic mn = isa::mnemonic_from_name(key);
+    if (mn == isa::Mnemonic::kInvalid)
+      throw Error("spec json: unknown mnemonic \"" + key + "\"");
+    out[mn] = value;
+  }
+  return out;
+}
+
+std::string dump_spec_json() {
+  // Collect the active spec (override-aware) for every mnemonic.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (std::uint16_t i = 0;
+       i < static_cast<std::uint16_t>(isa::Mnemonic::kCount); ++i) {
+    const auto mn = static_cast<isa::Mnemonic>(i);
+    const char* spec = semantics_spec(mn);
+    if (spec[0] == '\0') continue;
+    entries.emplace_back(isa::mnemonic_name(mn), spec);
+  }
+  std::sort(entries.begin(), entries.end());
+
+  std::ostringstream out;
+  out << "{\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << "  \"" << escape(entries[i].first) << "\": \""
+        << escape(entries[i].second) << "\"";
+    if (i + 1 < entries.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace rvdyn::semantics

@@ -1,0 +1,36 @@
+// The JSON leg of the semantics pipeline (paper §3.2.4).
+//
+// The paper's flow: SAIL formal spec --(OCaml stage)--> simplified JSON
+// --(second stage)--> C++ semantic classes. This module is that second
+// stage: it ingests the intermediate JSON ({"mnemonic": "spec", ...}) and
+// installs the entries over the built-in table, so regenerating semantics
+// for a new extension is a data update, not a code change. dump_spec_json
+// exports the active table in the same format (round-trippable).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace rvdyn::semantics {
+
+/// Parse a flat JSON object of {"mnemonic": "spec-string"} pairs.
+/// Supports exactly the intermediate format: one object, string keys and
+/// string values, standard escapes. Throws rvdyn::Error on malformed input
+/// or on a key that is not a known mnemonic.
+std::map<isa::Mnemonic, std::string> parse_spec_json(const std::string& json);
+
+/// Install `entries` as overrides consulted before the built-in table
+/// (an empty spec string removes the mnemonic's model, forcing the
+/// conservative summary). Affects subsequent semantics_of calls globally.
+void install_spec_overrides(std::map<isa::Mnemonic, std::string> entries);
+
+/// Drop all overrides (restores the built-in table).
+void clear_spec_overrides();
+
+/// Export the active semantics table (built-ins + overrides) as the
+/// pipeline's JSON intermediate format, keys sorted by mnemonic name.
+std::string dump_spec_json();
+
+}  // namespace rvdyn::semantics

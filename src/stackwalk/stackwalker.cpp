@@ -1,0 +1,150 @@
+#include "stackwalk/stackwalker.hpp"
+
+#include "dataflow/stack_height.hpp"
+
+namespace rvdyn::stackwalk {
+
+namespace {
+
+using parse::Block;
+using parse::Function;
+
+/// Function containing `pc`, plus the block and instruction index.
+struct Location {
+  const Function* func = nullptr;
+  const Block* block = nullptr;
+  std::size_t index = 0;
+};
+
+std::optional<Location> locate(const parse::CodeObject& co,
+                               std::uint64_t pc) {
+  for (const auto& [entry, f] : co.functions()) {
+    const Block* b = f->block_containing(pc);
+    if (!b) continue;
+    for (std::size_t i = 0; i < b->insns().size(); ++i) {
+      if (b->insns()[i].addr == pc) return Location{f.get(), b, i};
+    }
+    // pc inside the block but between decoded boundaries (shouldn't happen
+    // for aligned walks); treat as block start.
+    return Location{f.get(), b, 0};
+  }
+  return std::nullopt;
+}
+
+bool plausible_code_addr(const parse::CodeObject& co, std::uint64_t pc) {
+  return pc != 0 && co.symtab().in_code(pc);
+}
+
+}  // namespace
+
+std::optional<Frame> FramePointerStepper::step(proccontrol::Process& proc,
+                                               const parse::CodeObject& co,
+                                               const Frame& frame) {
+  // RISC-V fp-chain layout: [fp-8] = saved ra, [fp-16] = caller's fp.
+  const std::uint64_t fp = frame.fp;
+  if (fp == 0 || (fp & 7) != 0) return std::nullopt;
+  if (fp <= frame.sp || fp - frame.sp > (1u << 20)) return std::nullopt;
+  const std::uint64_t ra = proc.read_mem(fp - 8, 8);
+  const std::uint64_t caller_fp = proc.read_mem(fp - 16, 8);
+  if (!plausible_code_addr(co, ra)) return std::nullopt;
+  Frame out;
+  out.pc = ra;
+  out.sp = fp;  // caller's sp when it made the call
+  out.fp = caller_fp;
+  return out;
+}
+
+std::optional<Frame> SpHeightStepper::step(proccontrol::Process& proc,
+                                           const parse::CodeObject& co,
+                                           const Frame& frame) {
+  const auto loc = locate(co, frame.pc);
+  if (!loc) return std::nullopt;
+  dataflow::StackHeightAnalysis sh(*loc->func);
+  const auto height = sh.height_before(loc->block, loc->index);
+  if (!height) return std::nullopt;
+  const auto slot = sh.ra_save_slot();
+  // Only step through the save slot when the save provably executed; on a
+  // leaf path (or mid-prologue) the LeafStepper's ra register is the truth.
+  if (!slot || !sh.ra_saved_at(loc->block, loc->index)) return std::nullopt;
+  const std::uint64_t entry_sp =
+      frame.sp - static_cast<std::uint64_t>(*height);
+  const std::uint64_t ra =
+      proc.read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
+  if (!plausible_code_addr(co, ra)) return std::nullopt;
+  Frame out;
+  out.pc = ra;
+  out.sp = entry_sp;
+  out.fp = frame.fp;
+  return out;
+}
+
+std::optional<Frame> LeafStepper::step(proccontrol::Process& proc,
+                                       const parse::CodeObject& co,
+                                       const Frame& frame) {
+  (void)proc;
+  if (frame.ra == 0 || !plausible_code_addr(co, frame.ra))
+    return std::nullopt;
+  Frame out;
+  out.pc = frame.ra;
+  out.sp = frame.sp;  // leaf frames allocate nothing
+  out.fp = frame.fp;
+  return out;
+}
+
+StackWalker::StackWalker(proccontrol::Process& proc,
+                         const parse::CodeObject& co)
+    : proc_(proc), co_(co) {
+  // Order matters: sp-height is the most precise; leaf-ra only applies to
+  // the top frame (ra register still live); the fp chain runs last because
+  // a stale fp register in a leaf would otherwise skip the caller's frame.
+  steppers_.push_back(std::make_unique<SpHeightStepper>());
+  steppers_.push_back(std::make_unique<LeafStepper>());
+  steppers_.push_back(std::make_unique<FramePointerStepper>());
+}
+
+void StackWalker::add_stepper(std::unique_ptr<FrameStepper> stepper) {
+  steppers_.insert(steppers_.begin(), std::move(stepper));
+}
+
+void StackWalker::annotate(Frame* f) const {
+  for (const auto& [entry, func] : co_.functions()) {
+    if (func->block_containing(f->pc)) {
+      f->func_name = func->name();
+      f->func_entry = entry;
+      return;
+    }
+  }
+}
+
+std::vector<Frame> StackWalker::walk(unsigned max_depth) {
+  std::vector<Frame> out;
+  Frame cur;
+  cur.pc = proc_.pc();
+  cur.sp = proc_.get_reg(isa::sp);
+  cur.fp = proc_.get_reg(isa::fp);
+  cur.ra = proc_.get_reg(isa::ra);
+  annotate(&cur);
+
+  for (unsigned depth = 0; depth < max_depth; ++depth) {
+    std::optional<Frame> caller;
+    const char* used = "";
+    for (const auto& stepper : steppers_) {
+      caller = stepper->step(proc_, co_, cur);
+      if (caller) {
+        used = stepper->name();
+        break;
+      }
+    }
+    cur.stepper = used;
+    out.push_back(cur);
+    if (!caller) break;
+    // Avoid trivial self-loops (corrupt chains).
+    if (caller->pc == cur.pc && caller->sp == cur.sp) break;
+    cur = *caller;
+    cur.ra = 0;  // only the top frame's ra register is meaningful
+    annotate(&cur);
+  }
+  return out;
+}
+
+}  // namespace rvdyn::stackwalk

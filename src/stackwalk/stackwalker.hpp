@@ -1,0 +1,98 @@
+// StackwalkerAPI: call-stack collection with a plugin "frame stepper"
+// architecture (paper §2.2, §3.2.7).
+//
+// RISC-V frames come in several shapes: the ABI designates x8 (s0/fp) as
+// the frame pointer, but most compilers reuse it as a general register and
+// address frames purely off sp. The walker therefore tries a list of
+// steppers per frame, in order:
+//  - FramePointerStepper: the textbook fp-chain walk;
+//  - SpHeightStepper: DataflowAPI's stack-height analysis recovers the
+//    frame size and return-address slot for fp-less code (the new "frame
+//    stepper" the paper says RISC-V requires);
+//  - LeafStepper: the first frame's return address may still live in ra.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parse/cfg.hpp"
+#include "proccontrol/process.hpp"
+
+namespace rvdyn::stackwalk {
+
+/// One record of an executing function.
+struct Frame {
+  std::uint64_t pc = 0;       ///< execution address in this frame
+  std::uint64_t sp = 0;       ///< stack pointer on entry to this frame's use
+  std::uint64_t fp = 0;       ///< frame-pointer register value (if tracked)
+  std::uint64_t ra = 0;       ///< return-address register value (top frame)
+  std::string func_name;      ///< resolved function name ("" when unknown)
+  std::uint64_t func_entry = 0;
+  const char* stepper = "";   ///< which plugin produced the *next* frame
+};
+
+/// Plugin interface: given the current frame, produce the caller's frame.
+class FrameStepper {
+ public:
+  virtual ~FrameStepper() = default;
+  virtual const char* name() const = 0;
+  /// Returns the caller frame, or nullopt when this stepper cannot walk
+  /// out of `frame` (the walker then tries the next plugin).
+  virtual std::optional<Frame> step(proccontrol::Process& proc,
+                                    const parse::CodeObject& co,
+                                    const Frame& frame) = 0;
+};
+
+/// Walks fp-chained frames (gcc -fno-omit-frame-pointer layout: saved ra
+/// at fp-8, saved caller fp at fp-16).
+class FramePointerStepper : public FrameStepper {
+ public:
+  const char* name() const override { return "frame-pointer"; }
+  std::optional<Frame> step(proccontrol::Process& proc,
+                            const parse::CodeObject& co,
+                            const Frame& frame) override;
+};
+
+/// Walks fp-less frames using stack-height analysis (paper §3.2.7).
+class SpHeightStepper : public FrameStepper {
+ public:
+  const char* name() const override { return "sp-height"; }
+  std::optional<Frame> step(proccontrol::Process& proc,
+                            const parse::CodeObject& co,
+                            const Frame& frame) override;
+};
+
+/// Top-frame-only: the return address is still in ra (leaf functions or
+/// prologue not yet executed).
+class LeafStepper : public FrameStepper {
+ public:
+  const char* name() const override { return "leaf-ra"; }
+  std::optional<Frame> step(proccontrol::Process& proc,
+                            const parse::CodeObject& co,
+                            const Frame& frame) override;
+};
+
+class StackWalker {
+ public:
+  /// The walker needs the process (registers/memory) and the parsed code
+  /// (function boundaries, stack-height analysis).
+  StackWalker(proccontrol::Process& proc, const parse::CodeObject& co);
+
+  /// Register an additional stepper (tried before the defaults).
+  void add_stepper(std::unique_ptr<FrameStepper> stepper);
+
+  /// Collect the call stack from the current stop, innermost first.
+  std::vector<Frame> walk(unsigned max_depth = 64);
+
+ private:
+  void annotate(Frame* f) const;
+
+  proccontrol::Process& proc_;
+  const parse::CodeObject& co_;
+  std::vector<std::unique_ptr<FrameStepper>> steppers_;
+};
+
+}  // namespace rvdyn::stackwalk

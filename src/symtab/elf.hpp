@@ -1,0 +1,130 @@
+// ELF64 on-disk structures and the constants rvdyn needs.
+//
+// Self-contained (no <elf.h> dependency) so the toolkit builds identically
+// on any host. Only the little-endian 64-bit class is supported, which is
+// what the RISC-V psABI uses for RV64.
+#pragma once
+
+#include <cstdint>
+
+namespace rvdyn::symtab {
+
+// e_ident layout.
+inline constexpr unsigned EI_MAG0 = 0;
+inline constexpr unsigned EI_CLASS = 4;
+inline constexpr unsigned EI_DATA = 5;
+inline constexpr unsigned EI_VERSION = 6;
+inline constexpr unsigned EI_NIDENT = 16;
+inline constexpr std::uint8_t ELFCLASS64 = 2;
+inline constexpr std::uint8_t ELFDATA2LSB = 1;
+
+// e_type.
+inline constexpr std::uint16_t ET_REL = 1;
+inline constexpr std::uint16_t ET_EXEC = 2;
+inline constexpr std::uint16_t ET_DYN = 3;
+
+// e_machine.
+inline constexpr std::uint16_t EM_RISCV = 243;
+
+// RISC-V e_flags (psABI): the fields SymtabAPI extracts to learn which
+// extensions the binary was compiled for (paper §3.2.1).
+inline constexpr std::uint32_t EF_RISCV_RVC = 0x0001;
+inline constexpr std::uint32_t EF_RISCV_FLOAT_ABI_SOFT = 0x0000;
+inline constexpr std::uint32_t EF_RISCV_FLOAT_ABI_SINGLE = 0x0002;
+inline constexpr std::uint32_t EF_RISCV_FLOAT_ABI_DOUBLE = 0x0004;
+inline constexpr std::uint32_t EF_RISCV_FLOAT_ABI_MASK = 0x0006;
+
+// Section types.
+inline constexpr std::uint32_t SHT_NULL = 0;
+inline constexpr std::uint32_t SHT_PROGBITS = 1;
+inline constexpr std::uint32_t SHT_SYMTAB = 2;
+inline constexpr std::uint32_t SHT_STRTAB = 3;
+inline constexpr std::uint32_t SHT_NOBITS = 8;
+inline constexpr std::uint32_t SHT_RISCV_ATTRIBUTES = 0x70000003;
+
+// Section flags.
+inline constexpr std::uint64_t SHF_WRITE = 0x1;
+inline constexpr std::uint64_t SHF_ALLOC = 0x2;
+inline constexpr std::uint64_t SHF_EXECINSTR = 0x4;
+
+// Segment types and flags.
+inline constexpr std::uint32_t PT_LOAD = 1;
+inline constexpr std::uint32_t PF_X = 0x1;
+inline constexpr std::uint32_t PF_W = 0x2;
+inline constexpr std::uint32_t PF_R = 0x4;
+
+// Symbol binding / type (packed into st_info).
+inline constexpr std::uint8_t STB_LOCAL = 0;
+inline constexpr std::uint8_t STB_GLOBAL = 1;
+inline constexpr std::uint8_t STT_NOTYPE = 0;
+inline constexpr std::uint8_t STT_OBJECT = 1;
+inline constexpr std::uint8_t STT_FUNC = 2;
+inline constexpr std::uint8_t STT_SECTION = 3;
+
+inline constexpr std::uint16_t SHN_UNDEF = 0;
+inline constexpr std::uint16_t SHN_ABS = 0xfff1;
+
+constexpr std::uint8_t st_info(std::uint8_t bind, std::uint8_t type) {
+  return static_cast<std::uint8_t>((bind << 4) | (type & 0xf));
+}
+constexpr std::uint8_t st_bind(std::uint8_t info) { return info >> 4; }
+constexpr std::uint8_t st_type(std::uint8_t info) { return info & 0xf; }
+
+#pragma pack(push, 1)
+struct Elf64_Ehdr {
+  std::uint8_t e_ident[EI_NIDENT];
+  std::uint16_t e_type;
+  std::uint16_t e_machine;
+  std::uint32_t e_version;
+  std::uint64_t e_entry;
+  std::uint64_t e_phoff;
+  std::uint64_t e_shoff;
+  std::uint32_t e_flags;
+  std::uint16_t e_ehsize;
+  std::uint16_t e_phentsize;
+  std::uint16_t e_phnum;
+  std::uint16_t e_shentsize;
+  std::uint16_t e_shnum;
+  std::uint16_t e_shstrndx;
+};
+
+struct Elf64_Shdr {
+  std::uint32_t sh_name;
+  std::uint32_t sh_type;
+  std::uint64_t sh_flags;
+  std::uint64_t sh_addr;
+  std::uint64_t sh_offset;
+  std::uint64_t sh_size;
+  std::uint32_t sh_link;
+  std::uint32_t sh_info;
+  std::uint64_t sh_addralign;
+  std::uint64_t sh_entsize;
+};
+
+struct Elf64_Phdr {
+  std::uint32_t p_type;
+  std::uint32_t p_flags;
+  std::uint64_t p_offset;
+  std::uint64_t p_vaddr;
+  std::uint64_t p_paddr;
+  std::uint64_t p_filesz;
+  std::uint64_t p_memsz;
+  std::uint64_t p_align;
+};
+
+struct Elf64_Sym {
+  std::uint32_t st_name;
+  std::uint8_t st_info;
+  std::uint8_t st_other;
+  std::uint16_t st_shndx;
+  std::uint64_t st_value;
+  std::uint64_t st_size;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(Elf64_Ehdr) == 64);
+static_assert(sizeof(Elf64_Shdr) == 64);
+static_assert(sizeof(Elf64_Phdr) == 56);
+static_assert(sizeof(Elf64_Sym) == 24);
+
+}  // namespace rvdyn::symtab

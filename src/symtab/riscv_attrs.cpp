@@ -1,0 +1,110 @@
+#include "symtab/riscv_attrs.hpp"
+
+#include <cstring>
+
+#include "common/leb128.hpp"
+
+namespace rvdyn::symtab {
+
+namespace {
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void write_u32(std::vector<std::uint8_t>& out, std::size_t pos,
+               std::uint32_t v) {
+  std::memcpy(out.data() + pos, &v, 4);
+}
+
+}  // namespace
+
+std::optional<std::string> parse_riscv_arch_attribute(
+    std::span<const std::uint8_t> sec) {
+  if (sec.size() < 1 || sec[0] != 'A') return std::nullopt;
+  std::size_t pos = 1;
+  while (pos + 4 <= sec.size()) {
+    const std::uint32_t sub_len = read_u32(sec.data() + pos);
+    if (sub_len < 4 || pos + sub_len > sec.size()) return std::nullopt;
+    const std::size_t sub_end = pos + sub_len;
+    std::size_t p = pos + 4;
+    // Vendor name (NTBS).
+    const auto* name_begin = sec.data() + p;
+    const auto* name_end = static_cast<const std::uint8_t*>(
+        std::memchr(name_begin, 0, sub_end - p));
+    if (!name_end) return std::nullopt;
+    const std::string vendor(reinterpret_cast<const char*>(name_begin),
+                             static_cast<std::size_t>(name_end - name_begin));
+    p += vendor.size() + 1;
+    if (vendor == "riscv") {
+      // Sub-subsections: uleb128 tag, uint32 length, attribute data.
+      while (p < sub_end) {
+        std::size_t q = p;
+        const std::uint64_t tag = uleb128_read(sec.data(), sub_end, &q);
+        if (q + 4 > sub_end) return std::nullopt;
+        const std::uint32_t len = read_u32(sec.data() + q);
+        const std::size_t ss_end = p + len;
+        if (len < (q + 4 - p) || ss_end > sub_end) return std::nullopt;
+        q += 4;
+        if (tag == Tag_File) {
+          // Attribute list: (uleb128 tag, then NTBS or uleb128 value).
+          while (q < ss_end) {
+            const std::uint64_t atag = uleb128_read(sec.data(), ss_end, &q);
+            if (atag == Tag_RISCV_arch) {
+              const auto* s = sec.data() + q;
+              const auto* e = static_cast<const std::uint8_t*>(
+                  std::memchr(s, 0, ss_end - q));
+              if (!e) return std::nullopt;
+              return std::string(reinterpret_cast<const char*>(s),
+                                 static_cast<std::size_t>(e - s));
+            }
+            // Even tags carry uleb128 values, odd tags carry strings
+            // (generic build-attributes convention).
+            if (atag % 2 == 0) {
+              uleb128_read(sec.data(), ss_end, &q);
+            } else {
+              const auto* s = sec.data() + q;
+              const auto* e = static_cast<const std::uint8_t*>(
+                  std::memchr(s, 0, ss_end - q));
+              if (!e) return std::nullopt;
+              q += static_cast<std::size_t>(e - s) + 1;
+            }
+          }
+        }
+        p = ss_end;
+      }
+    }
+    pos = sub_end;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> build_riscv_attributes(const std::string& arch) {
+  std::vector<std::uint8_t> out;
+  out.push_back('A');
+
+  const std::size_t sub_len_pos = out.size();
+  out.resize(out.size() + 4);  // subsection length, patched below
+  const char vendor[] = "riscv";
+  out.insert(out.end(), vendor, vendor + sizeof(vendor));
+
+  const std::size_t ss_start = out.size();
+  uleb128_write(out, Tag_File);
+  const std::size_t ss_len_pos = out.size();
+  out.resize(out.size() + 4);  // sub-subsection length, patched below
+
+  uleb128_write(out, Tag_RISCV_stack_align);
+  uleb128_write(out, 16);
+  uleb128_write(out, Tag_RISCV_arch);
+  out.insert(out.end(), arch.begin(), arch.end());
+  out.push_back(0);
+
+  write_u32(out, ss_len_pos, static_cast<std::uint32_t>(out.size() - ss_start));
+  write_u32(out, sub_len_pos,
+            static_cast<std::uint32_t>(out.size() - sub_len_pos));
+  return out;
+}
+
+}  // namespace rvdyn::symtab

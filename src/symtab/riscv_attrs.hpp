@@ -1,0 +1,31 @@
+// .riscv.attributes: the RISC-V build-attributes section (paper §3.2.1).
+//
+// Format (RISC-V psABI): a one-byte format version 'A', then a sequence of
+// vendor subsections. Each subsection: uint32 length, NUL-terminated vendor
+// name ("riscv"), then sub-subsections of (uleb128 tag, uint32 length,
+// attributes). The attribute we care about is Tag_RISCV_arch (tag 5), an
+// NTBS holding the ISA string ("rv64imafdc_zicsr_...").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rvdyn::symtab {
+
+inline constexpr std::uint64_t Tag_RISCV_stack_align = 4;
+inline constexpr std::uint64_t Tag_RISCV_arch = 5;
+inline constexpr std::uint64_t Tag_File = 1;
+
+/// Extract the arch ISA string from a .riscv.attributes payload.
+/// Returns nullopt when the section is malformed or has no arch attribute.
+std::optional<std::string> parse_riscv_arch_attribute(
+    std::span<const std::uint8_t> section);
+
+/// Build a minimal .riscv.attributes payload carrying `arch` (and the
+/// standard 16-byte stack alignment), byte-compatible with GCC's output.
+std::vector<std::uint8_t> build_riscv_attributes(const std::string& arch);
+
+}  // namespace rvdyn::symtab

@@ -1,0 +1,401 @@
+#include "symtab/symtab.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/bits.hpp"
+#include "symtab/riscv_attrs.hpp"
+
+namespace rvdyn::symtab {
+
+namespace {
+
+constexpr std::uint64_t kPageSize = 0x1000;
+
+std::string str_at(std::span<const std::uint8_t> image, std::uint64_t strtab_off,
+                   std::uint64_t strtab_size, std::uint32_t idx) {
+  if (idx >= strtab_size) return {};
+  const char* base = reinterpret_cast<const char*>(image.data()) + strtab_off;
+  const std::size_t maxlen = strtab_size - idx;
+  const std::size_t len = ::strnlen(base + idx, maxlen);
+  return std::string(base + idx, len);
+}
+
+}  // namespace
+
+Symtab Symtab::read(std::span<const std::uint8_t> image) {
+  if (image.size() < sizeof(Elf64_Ehdr)) throw Error("ELF: image too small");
+  Elf64_Ehdr eh;
+  std::memcpy(&eh, image.data(), sizeof(eh));
+  if (eh.e_ident[0] != 0x7f || eh.e_ident[1] != 'E' || eh.e_ident[2] != 'L' ||
+      eh.e_ident[3] != 'F')
+    throw Error("ELF: bad magic");
+  if (eh.e_ident[EI_CLASS] != ELFCLASS64 ||
+      eh.e_ident[EI_DATA] != ELFDATA2LSB)
+    throw Error("ELF: only little-endian ELF64 is supported");
+
+  Symtab st;
+  st.e_type = eh.e_type;
+  st.entry = eh.e_entry;
+  st.e_flags = eh.e_flags;
+
+  if (eh.e_shoff == 0 || eh.e_shnum == 0) return st;
+  if (eh.e_shoff + std::uint64_t(eh.e_shnum) * sizeof(Elf64_Shdr) >
+      image.size())
+    throw Error("ELF: section headers out of bounds");
+
+  std::vector<Elf64_Shdr> shdrs(eh.e_shnum);
+  std::memcpy(shdrs.data(), image.data() + eh.e_shoff,
+              shdrs.size() * sizeof(Elf64_Shdr));
+
+  if (eh.e_shstrndx >= eh.e_shnum) throw Error("ELF: bad shstrndx");
+  const Elf64_Shdr& shstr = shdrs[eh.e_shstrndx];
+  if (shstr.sh_offset + shstr.sh_size > image.size())
+    throw Error("ELF: shstrtab out of bounds");
+
+  for (std::uint16_t i = 1; i < eh.e_shnum; ++i) {
+    const Elf64_Shdr& sh = shdrs[i];
+    const std::string name =
+        str_at(image, shstr.sh_offset, shstr.sh_size, sh.sh_name);
+    if (sh.sh_type == SHT_STRTAB || sh.sh_type == SHT_SYMTAB) continue;
+
+    Section s;
+    s.name = name;
+    s.type = sh.sh_type;
+    s.flags = sh.sh_flags;
+    s.addr = sh.sh_addr;
+    s.addralign = sh.sh_addralign ? sh.sh_addralign : 1;
+    s.entsize = sh.sh_entsize;
+    s.link = sh.sh_link;
+    s.info = sh.sh_info;
+    if (sh.sh_type == SHT_NOBITS) {
+      s.nobits_size = sh.sh_size;
+    } else {
+      if (sh.sh_offset + sh.sh_size > image.size())
+        throw Error("ELF: section '" + name + "' out of bounds");
+      s.data.assign(image.begin() + sh.sh_offset,
+                    image.begin() + sh.sh_offset + sh.sh_size);
+    }
+    st.sections_.push_back(std::move(s));
+  }
+
+  // Symbols (from the first SHT_SYMTAB header).
+  for (std::uint16_t i = 1; i < eh.e_shnum; ++i) {
+    const Elf64_Shdr& sh = shdrs[i];
+    if (sh.sh_type != SHT_SYMTAB) continue;
+    if (sh.sh_link >= eh.e_shnum) throw Error("ELF: bad symtab link");
+    const Elf64_Shdr& strtab = shdrs[sh.sh_link];
+    if (sh.sh_offset + sh.sh_size > image.size() ||
+        strtab.sh_offset + strtab.sh_size > image.size())
+      throw Error("ELF: symtab out of bounds");
+    const std::size_t count = sh.sh_size / sizeof(Elf64_Sym);
+    for (std::size_t j = 1; j < count; ++j) {
+      Elf64_Sym sym;
+      std::memcpy(&sym, image.data() + sh.sh_offset + j * sizeof(Elf64_Sym),
+                  sizeof(sym));
+      Symbol out;
+      out.name = str_at(image, strtab.sh_offset, strtab.sh_size, sym.st_name);
+      out.value = sym.st_value;
+      out.size = sym.st_size;
+      out.bind = st_bind(sym.st_info);
+      out.type = st_type(sym.st_info);
+      out.shndx = SHN_ABS;  // executables address symbols by vaddr
+      if (out.type == STT_SECTION) continue;
+      st.symbols_.push_back(std::move(out));
+    }
+    break;
+  }
+  return st;
+}
+
+Symtab Symtab::read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return read(bytes);
+}
+
+std::vector<std::uint8_t> Symtab::write() const {
+  // Build string tables.
+  std::string shstrtab(1, '\0');
+  auto intern_sh = [&shstrtab](const std::string& s) {
+    const auto pos = shstrtab.size();
+    shstrtab += s;
+    shstrtab += '\0';
+    return static_cast<std::uint32_t>(pos);
+  };
+  std::string strtab(1, '\0');
+  auto intern_str = [&strtab](const std::string& s) {
+    if (s.empty()) return 0u;
+    const auto pos = strtab.size();
+    strtab += s;
+    strtab += '\0';
+    return static_cast<std::uint32_t>(pos);
+  };
+
+  // Section layout: NULL + user sections + .symtab + .strtab + .shstrtab.
+  const std::size_t n_user = sections_.size();
+  const std::uint16_t symtab_idx = static_cast<std::uint16_t>(1 + n_user);
+  const std::uint16_t strtab_idx = static_cast<std::uint16_t>(2 + n_user);
+  const std::uint16_t shstrtab_idx = static_cast<std::uint16_t>(3 + n_user);
+  const std::uint16_t shnum = static_cast<std::uint16_t>(4 + n_user);
+
+  // Serialize symbols (locals first, as the spec requires).
+  std::vector<Elf64_Sym> syms;
+  syms.push_back({});  // index 0: undefined symbol
+  std::vector<const Symbol*> ordered;
+  for (const auto& s : symbols_)
+    if (s.bind == STB_LOCAL) ordered.push_back(&s);
+  const std::uint32_t n_local = static_cast<std::uint32_t>(ordered.size() + 1);
+  for (const auto& s : symbols_)
+    if (s.bind != STB_LOCAL) ordered.push_back(&s);
+  for (const Symbol* s : ordered) {
+    Elf64_Sym e{};
+    e.st_name = intern_str(s->name);
+    e.st_info = st_info(s->bind, s->type);
+    e.st_value = s->value;
+    e.st_size = s->size;
+    e.st_shndx = s->shndx;
+    syms.push_back(e);
+  }
+
+  // Program headers: one PT_LOAD per allocatable section.
+  std::vector<const Section*> loadable;
+  for (const auto& s : sections_)
+    if (s.is_alloc()) loadable.push_back(&s);
+
+  const std::uint64_t phoff = sizeof(Elf64_Ehdr);
+  const std::uint64_t headers_end =
+      phoff + loadable.size() * sizeof(Elf64_Phdr);
+
+  // Assign file offsets: allocatable sections congruent to vaddr mod page.
+  std::vector<Elf64_Shdr> shdrs(shnum);
+  std::uint64_t cursor = headers_end;
+  std::vector<std::uint64_t> offsets(sections_.size(), 0);
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    if (s.type == SHT_NOBITS) {
+      // No file bytes, but keep the offset congruent to the vaddr so the
+      // segment table stays uniformly mappable.
+      std::uint64_t off = cursor;
+      const std::uint64_t want = s.addr % kPageSize;
+      if (off % kPageSize != want)
+        off += (want + kPageSize - off % kPageSize) % kPageSize;
+      offsets[i] = off;
+      continue;
+    }
+    std::uint64_t off = align_up(cursor, std::max<std::uint64_t>(s.addralign, 1));
+    if (s.is_alloc()) {
+      // Make offset ≡ vaddr (mod page) so the segment maps directly.
+      const std::uint64_t want = s.addr % kPageSize;
+      if (off % kPageSize != want)
+        off += (want + kPageSize - off % kPageSize) % kPageSize;
+    }
+    offsets[i] = off;
+    cursor = off + s.data.size();
+  }
+  const std::uint64_t symtab_off = align_up(cursor, 8);
+  const std::uint64_t strtab_off = symtab_off + syms.size() * sizeof(Elf64_Sym);
+
+  // Section-header names must be interned before shstrtab gets placed.
+  std::vector<std::uint32_t> name_offsets(sections_.size());
+  for (std::size_t i = 0; i < sections_.size(); ++i)
+    name_offsets[i] = intern_sh(sections_[i].name);
+  const std::uint32_t symtab_name = intern_sh(".symtab");
+  const std::uint32_t strtab_name = intern_sh(".strtab");
+  const std::uint32_t shstrtab_name = intern_sh(".shstrtab");
+
+  const std::uint64_t shstrtab_off = strtab_off + strtab.size();
+  const std::uint64_t shoff = align_up(shstrtab_off + shstrtab.size(), 8);
+
+  // Fill section headers.
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    Elf64_Shdr& sh = shdrs[1 + i];
+    sh.sh_name = name_offsets[i];
+    sh.sh_type = s.type;
+    sh.sh_flags = s.flags;
+    sh.sh_addr = s.addr;
+    sh.sh_offset = offsets[i];
+    sh.sh_size = s.size();
+    sh.sh_link = s.link;
+    sh.sh_info = s.info;
+    sh.sh_addralign = s.addralign;
+    sh.sh_entsize = s.entsize;
+  }
+  shdrs[symtab_idx] = {symtab_name, SHT_SYMTAB, 0, 0, symtab_off,
+                       syms.size() * sizeof(Elf64_Sym), strtab_idx, n_local,
+                       8, sizeof(Elf64_Sym)};
+  shdrs[strtab_idx] = {strtab_name, SHT_STRTAB, 0, 0, strtab_off,
+                       strtab.size(), 0, 0, 1, 0};
+  shdrs[shstrtab_idx] = {shstrtab_name, SHT_STRTAB, 0, 0, shstrtab_off,
+                         shstrtab.size(), 0, 0, 1, 0};
+
+  // Emit the image.
+  std::vector<std::uint8_t> out(shoff + shnum * sizeof(Elf64_Shdr), 0);
+
+  Elf64_Ehdr eh{};
+  eh.e_ident[0] = 0x7f;
+  eh.e_ident[1] = 'E';
+  eh.e_ident[2] = 'L';
+  eh.e_ident[3] = 'F';
+  eh.e_ident[EI_CLASS] = ELFCLASS64;
+  eh.e_ident[EI_DATA] = ELFDATA2LSB;
+  eh.e_ident[EI_VERSION] = 1;
+  eh.e_type = e_type;
+  eh.e_machine = EM_RISCV;
+  eh.e_version = 1;
+  eh.e_entry = entry;
+  eh.e_phoff = loadable.empty() ? 0 : phoff;
+  eh.e_shoff = shoff;
+  eh.e_flags = e_flags;
+  eh.e_ehsize = sizeof(Elf64_Ehdr);
+  eh.e_phentsize = sizeof(Elf64_Phdr);
+  eh.e_phnum = static_cast<std::uint16_t>(loadable.size());
+  eh.e_shentsize = sizeof(Elf64_Shdr);
+  eh.e_shnum = shnum;
+  eh.e_shstrndx = shstrtab_idx;
+  std::memcpy(out.data(), &eh, sizeof(eh));
+
+  // Program headers.
+  std::size_t ph_pos = phoff;
+  for (const Section* s : loadable) {
+    const std::size_t si = static_cast<std::size_t>(s - sections_.data());
+    Elf64_Phdr ph{};
+    ph.p_type = PT_LOAD;
+    ph.p_flags = PF_R;
+    if (s->flags & SHF_WRITE) ph.p_flags |= PF_W;
+    if (s->flags & SHF_EXECINSTR) ph.p_flags |= PF_X;
+    ph.p_offset = offsets[si];
+    ph.p_vaddr = s->addr;
+    ph.p_paddr = s->addr;
+    ph.p_filesz = s->type == SHT_NOBITS ? 0 : s->data.size();
+    ph.p_memsz = s->size();
+    ph.p_align = kPageSize;
+    std::memcpy(out.data() + ph_pos, &ph, sizeof(ph));
+    ph_pos += sizeof(ph);
+  }
+
+  // Section contents.
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    if (s.type == SHT_NOBITS || s.data.empty()) continue;
+    std::memcpy(out.data() + offsets[i], s.data.data(), s.data.size());
+  }
+  std::memcpy(out.data() + symtab_off, syms.data(),
+              syms.size() * sizeof(Elf64_Sym));
+  std::memcpy(out.data() + strtab_off, strtab.data(), strtab.size());
+  std::memcpy(out.data() + shstrtab_off, shstrtab.data(), shstrtab.size());
+  std::memcpy(out.data() + shoff, shdrs.data(), shnum * sizeof(Elf64_Shdr));
+  return out;
+}
+
+void Symtab::write_file(const std::string& path) const {
+  const auto image = write();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(image.data()),
+            static_cast<std::streamsize>(image.size()));
+}
+
+Section* Symtab::find_section(const std::string& name) {
+  for (auto& s : sections_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+const Section* Symtab::find_section(const std::string& name) const {
+  for (const auto& s : sections_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+Section& Symtab::add_section(Section s) {
+  sections_.push_back(std::move(s));
+  return sections_.back();
+}
+
+const Section* Symtab::section_containing(std::uint64_t a) const {
+  for (const auto& s : sections_)
+    if (s.is_alloc() && s.contains(a)) return &s;
+  return nullptr;
+}
+
+Section* Symtab::section_containing(std::uint64_t a) {
+  for (auto& s : sections_)
+    if (s.is_alloc() && s.contains(a)) return &s;
+  return nullptr;
+}
+
+const Symbol* Symtab::find_symbol(const std::string& name) const {
+  for (const auto& s : symbols_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<const Symbol*> Symtab::function_symbols() const {
+  std::vector<const Symbol*> out;
+  for (const auto& s : symbols_)
+    if (s.is_function()) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const Symbol* a, const Symbol* b) { return a->value < b->value; });
+  return out;
+}
+
+isa::ExtensionSet Symtab::extensions() const {
+  // Preferred source: the .riscv.attributes arch string (paper §3.2.1).
+  if (const Section* attrs = find_section(".riscv.attributes")) {
+    if (auto arch = parse_riscv_arch_attribute(attrs->data))
+      return isa::parse_isa_string(*arch);
+  }
+  // Fallback: e_flags, present in every ELF. It only records the C
+  // extension and the float ABI; assume the G baseline integer subset.
+  isa::ExtensionSet s;
+  s.add(isa::Extension::I).add(isa::Extension::M).add(isa::Extension::A)
+      .add(isa::Extension::Zicsr).add(isa::Extension::Zifencei);
+  if (e_flags & EF_RISCV_RVC) s.add(isa::Extension::C);
+  const std::uint32_t fabi = e_flags & EF_RISCV_FLOAT_ABI_MASK;
+  if (fabi == EF_RISCV_FLOAT_ABI_SINGLE) s.add(isa::Extension::F);
+  if (fabi == EF_RISCV_FLOAT_ABI_DOUBLE)
+    s.add(isa::Extension::F).add(isa::Extension::D);
+  return s;
+}
+
+void Symtab::set_extensions(isa::ExtensionSet exts) {
+  e_flags &= ~(EF_RISCV_RVC | EF_RISCV_FLOAT_ABI_MASK);
+  if (exts.has(isa::Extension::C)) e_flags |= EF_RISCV_RVC;
+  if (exts.has(isa::Extension::D)) e_flags |= EF_RISCV_FLOAT_ABI_DOUBLE;
+  else if (exts.has(isa::Extension::F)) e_flags |= EF_RISCV_FLOAT_ABI_SINGLE;
+
+  const auto payload = build_riscv_attributes(isa::isa_string(exts));
+  if (Section* attrs = find_section(".riscv.attributes")) {
+    attrs->data = payload;
+  } else {
+    Section s;
+    s.name = ".riscv.attributes";
+    s.type = SHT_RISCV_ATTRIBUTES;
+    s.data = payload;
+    add_section(std::move(s));
+  }
+}
+
+std::optional<std::uint64_t> Symtab::read_addr(std::uint64_t a,
+                                               unsigned size) const {
+  const Section* s = section_containing(a);
+  if (!s || s->type == SHT_NOBITS) return std::nullopt;
+  if (a + size > s->addr + s->data.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  const std::size_t off = a - s->addr;
+  for (unsigned i = 0; i < size; ++i)
+    v |= static_cast<std::uint64_t>(s->data[off + i]) << (8 * i);
+  return v;
+}
+
+bool Symtab::in_code(std::uint64_t a) const {
+  const Section* s = section_containing(a);
+  return s && s->is_code();
+}
+
+}  // namespace rvdyn::symtab

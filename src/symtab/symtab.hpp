@@ -1,0 +1,117 @@
+// SymtabAPI: platform-independent view of how a binary is structured and
+// stored in its file (paper §2.1, §3.2.1).
+//
+// Provides sections, symbols and the RISC-V-specific extension discovery:
+// `extensions()` implements the paper's policy of preferring the
+// .riscv.attributes arch string and falling back to e_flags bits
+// (EF_RISCV_RVC / FLOAT_ABI), since e_flags is present in every ELF while
+// the attributes section is optional.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "isa/extensions.hpp"
+#include "symtab/elf.hpp"
+
+namespace rvdyn::symtab {
+
+/// One section with its contents held in memory.
+struct Section {
+  std::string name;
+  std::uint32_t type = SHT_PROGBITS;
+  std::uint64_t flags = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t addralign = 1;
+  std::uint64_t entsize = 0;
+  std::uint32_t link = 0;
+  std::uint32_t info = 0;
+  std::vector<std::uint8_t> data;  ///< empty for SHT_NOBITS
+  std::uint64_t nobits_size = 0;   ///< memory size for SHT_NOBITS sections
+
+  std::uint64_t size() const {
+    return type == SHT_NOBITS ? nobits_size : data.size();
+  }
+  bool is_code() const { return flags & SHF_EXECINSTR; }
+  bool is_alloc() const { return flags & SHF_ALLOC; }
+  bool contains(std::uint64_t a) const {
+    return a >= addr && a < addr + size();
+  }
+};
+
+/// One symbol-table entry.
+struct Symbol {
+  std::string name;
+  std::uint64_t value = 0;
+  std::uint64_t size = 0;
+  std::uint8_t bind = STB_GLOBAL;
+  std::uint8_t type = STT_NOTYPE;
+  std::uint16_t shndx = SHN_ABS;  ///< header index (resolved on read/write)
+
+  bool is_function() const { return type == STT_FUNC; }
+};
+
+/// In-memory model of an ELF binary: read, inspect, modify, write.
+class Symtab {
+ public:
+  /// Parse an ELF image. Throws Error on malformed input or on a binary
+  /// that is not little-endian ELF64.
+  static Symtab read(std::span<const std::uint8_t> image);
+  static Symtab read_file(const std::string& path);
+
+  /// Serialize to an ELF executable image with one PT_LOAD per allocatable
+  /// section. Section file offsets are assigned congruent to their virtual
+  /// addresses modulo the page size so the image is directly mappable.
+  std::vector<std::uint8_t> write() const;
+  void write_file(const std::string& path) const;
+
+  // --- header fields ---
+  std::uint16_t e_type = ET_EXEC;
+  std::uint64_t entry = 0;
+  std::uint32_t e_flags = 0;
+
+  // --- sections ---
+  std::vector<Section>& sections() { return sections_; }
+  const std::vector<Section>& sections() const { return sections_; }
+  Section* find_section(const std::string& name);
+  const Section* find_section(const std::string& name) const;
+  Section& add_section(Section s);
+  /// The section whose [addr, addr+size) contains `a`, or nullptr.
+  const Section* section_containing(std::uint64_t a) const;
+  Section* section_containing(std::uint64_t a);
+
+  // --- symbols ---
+  std::vector<Symbol>& symbols() { return symbols_; }
+  const std::vector<Symbol>& symbols() const { return symbols_; }
+  void add_symbol(Symbol s) { symbols_.push_back(std::move(s)); }
+  const Symbol* find_symbol(const std::string& name) const;
+  /// All function symbols (STT_FUNC), the seeds for ParseAPI.
+  std::vector<const Symbol*> function_symbols() const;
+
+  // --- RISC-V extension discovery (paper §3.2.1) ---
+  /// Extension set of the mutatee: parsed from .riscv.attributes when the
+  /// section exists, otherwise derived from e_flags. Returns at least the
+  /// base ISA.
+  isa::ExtensionSet extensions() const;
+
+  /// Record `exts` in both e_flags and a .riscv.attributes section, the
+  /// same two places compilers record them.
+  void set_extensions(isa::ExtensionSet exts);
+
+  /// Read `size` bytes at virtual address `a` across sections; nullopt when
+  /// the range is unmapped or spans a section boundary.
+  std::optional<std::uint64_t> read_addr(std::uint64_t a, unsigned size) const;
+
+  /// True when `a` falls inside a code (SHF_EXECINSTR) section.
+  bool in_code(std::uint64_t a) const;
+
+ private:
+  std::vector<Section> sections_;
+  std::vector<Symbol> symbols_;
+};
+
+}  // namespace rvdyn::symtab

@@ -1,0 +1,503 @@
+// Integration tests: assemble RV64GC programs and execute them on the
+// emulator, checking exit codes, output, memory effects, and that the
+// auto-compression pass preserves program behaviour.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "isa/decoder.hpp"
+#include "symtab/riscv_attrs.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using emu::Machine;
+using emu::StopReason;
+
+symtab::Symtab asm_ok(const std::string& src, assembler::Options opts = {}) {
+  return assembler::assemble(src, opts);
+}
+
+int run_to_exit(Machine& m, const symtab::Symtab& bin,
+                std::uint64_t max_steps = 100'000'000) {
+  m.load(bin);
+  const StopReason r = m.run(max_steps);
+  EXPECT_EQ(static_cast<int>(r), static_cast<int>(StopReason::Exited))
+      << "stopped at pc=0x" << std::hex << m.stop_pc();
+  return m.exit_code();
+}
+
+constexpr const char* kExit42 = R"(
+  .globl _start
+_start:
+  li a0, 42
+  li a7, 93
+  ecall
+)";
+
+TEST(AsmEmu, ExitCode) {
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(kExit42)), 42);
+}
+
+TEST(AsmEmu, ArithmeticChain) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 1000
+    li t1, 337
+    add t2, t0, t1      # 1337
+    slli t2, t2, 4      # 21392
+    srai t2, t2, 2      # 5348
+    andi a0, t2, 255    # 5348 & 255 = 228
+    li a7, 93
+    ecall
+  )";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 228);
+}
+
+TEST(AsmEmu, Li64BitConstants) {
+  // Exercise every materialization path, folding results into one byte.
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0x123456789abcdef0
+    li t1, 0x123456789abcde00
+    sub t2, t0, t1        # 0xf0
+    li t3, -1
+    li t4, 0x7fffffff     # lui/addiw corner
+    li t5, 0x80000000     # needs 64-bit path (positive, not sext32)
+    srli t4, t4, 24       # 0x7f
+    srli t5, t5, 24       # 0x80
+    add a0, t2, t4        # 0x16f
+    add a0, a0, t5        # 0x1ef
+    andi a0, a0, 0xff     # 0xef = 239
+    add a0, a0, t3
+    addi a0, a0, 1        # 239 again
+    li a7, 93
+    ecall
+  )";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 239);
+}
+
+TEST(AsmEmu, LoopsAndBranches) {
+  // sum 1..100 = 5050; exit code 5050 & 0xff = 186
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0          # sum
+    li t1, 1          # i
+    li t2, 100
+loop:
+    add t0, t0, t1
+    addi t1, t1, 1
+    ble t1, t2, loop
+    andi a0, t0, 255
+    li a7, 93
+    ecall
+  )";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 5050 & 0xff);
+}
+
+TEST(AsmEmu, CallRetAndStack) {
+  const char* src = R"(
+    .globl _start
+    .globl double_it
+_start:
+    li a0, 21
+    call double_it
+    li a7, 93
+    ecall
+
+double_it:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    add a0, a0, a0
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 42);
+}
+
+TEST(AsmEmu, DataSectionsAndLa) {
+  const char* src = R"(
+    .data
+value:  .dword 40
+    .bss
+scratch: .zero 8
+    .text
+    .globl _start
+_start:
+    la t0, value
+    ld a0, 0(t0)
+    addi a0, a0, 2
+    la t1, scratch
+    sd a0, 0(t1)
+    ld a0, 0(t1)
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 42);
+}
+
+TEST(AsmEmu, WriteSyscall) {
+  const char* src = R"(
+    .rodata
+msg: .asciz "hello rvdyn\n"
+    .text
+    .globl _start
+_start:
+    li a0, 1
+    la a1, msg
+    li a2, 12
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 0);
+  EXPECT_EQ(m.output(), "hello rvdyn\n");
+}
+
+TEST(AsmEmu, JumpTableViaRodata) {
+  // The classic switch lowering: bounds check, table load, jalr.
+  const char* src = R"(
+    .rodata
+    .align 3
+table:
+    .dword case0
+    .dword case1
+    .dword case2
+    .text
+    .globl _start
+_start:
+    li a0, 2            # selector
+    li t0, 3
+    bgeu a0, t0, default
+    slli t1, a0, 3
+    la t2, table
+    add t1, t1, t2
+    ld t1, 0(t1)
+    jr t1
+case0:
+    li a0, 10
+    j done
+case1:
+    li a0, 20
+    j done
+case2:
+    li a0, 30
+    j done
+default:
+    li a0, 99
+done:
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 30);
+}
+
+TEST(AsmEmu, DoubleFloatMatvec) {
+  // 2.5 * 4.0 + 1.5 = 11.5 -> *2 = 23
+  const char* src = R"(
+    .rodata
+vals: .dword 0x4004000000000000   # 2.5
+      .dword 0x4010000000000000   # 4.0
+      .dword 0x3ff8000000000000   # 1.5
+    .text
+    .globl _start
+_start:
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    fld fa2, 16(t0)
+    fmadd.d fa3, fa0, fa1, fa2    # 11.5
+    fadd.d fa3, fa3, fa3          # 23.0
+    fcvt.l.d a0, fa3
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 23);
+}
+
+TEST(AsmEmu, MulDivRem) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 7
+    li t1, 6
+    mul t2, t0, t1      # 42
+    li t3, 100
+    div t4, t3, t0      # 14
+    rem t5, t3, t0      # 2
+    add a0, t2, t4      # 56
+    add a0, a0, t5      # 58
+    li t6, 0
+    div t6, t3, t6      # div by zero -> -1
+    add a0, a0, t6      # 57
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 57);
+}
+
+TEST(AsmEmu, AtomicsSingleHart) {
+  const char* src = R"(
+    .data
+    .align 3
+cell: .dword 40
+    .text
+    .globl _start
+_start:
+    la t0, cell
+    li t1, 2
+    amoadd.d t2, t1, (t0)   # t2=40, cell=42
+    ld a0, 0(t0)
+retry:
+    lr.d t3, (t0)
+    addi t3, t3, 1
+    sc.d t4, t3, (t0)
+    bnez t4, retry
+    ld a0, 0(t0)            # 43
+    addi a0, a0, -1         # 42
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 42);
+}
+
+TEST(AsmEmu, CompressedAndUncompressedBehaveIdentically) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0
+    li t1, 50
+loop:
+    addi t0, t0, 3
+    addi t1, t1, -1
+    bnez t1, loop
+    andi a0, t0, 255    # 150
+    li a7, 93
+    ecall
+)";
+  assembler::Options with_c;
+  assembler::Options no_c;
+  no_c.extensions = isa::ExtensionSet::rv64g();
+
+  const auto bin_c = asm_ok(src, with_c);
+  const auto bin_g = asm_ok(src, no_c);
+  // The RVC build must actually be smaller.
+  const auto* text_c = bin_c.find_section(".text");
+  const auto* text_g = bin_g.find_section(".text");
+  ASSERT_NE(text_c, nullptr);
+  ASSERT_NE(text_g, nullptr);
+  EXPECT_LT(text_c->data.size(), text_g->data.size());
+
+  Machine mc, mg(isa::ExtensionSet::rv64g());
+  EXPECT_EQ(run_to_exit(mc, bin_c), 150);
+  EXPECT_EQ(run_to_exit(mg, bin_g), 150);
+}
+
+TEST(AsmEmu, RvcBinaryRejectedByNonRvcMachine) {
+  // "li a0, 1" compresses to c.li, which an RV64G hart must reject.
+  const char* src = ".globl _start\n_start:\n  li a0, 1\n  li a7, 93\n  ecall\n";
+  Machine m(isa::ExtensionSet::rv64g());
+  m.load(asm_ok(src));
+  const StopReason r = m.run(1000);
+  EXPECT_EQ(static_cast<int>(r), static_cast<int>(StopReason::IllegalInsn));
+}
+
+TEST(AsmEmu, TailCall) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li a0, 5
+    call wrapper
+    li a7, 93
+    ecall
+wrapper:
+    addi a0, a0, 1
+    tail target        # jalr x0 via t1: call-shaped jump
+target:
+    slli a0, a0, 3     # 48
+    ret
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 48);
+}
+
+TEST(AsmEmu, ClockGettimeVirtualTime) {
+  const char* src = R"(
+    .bss
+ts: .zero 16
+    .text
+    .globl _start
+_start:
+    li a0, 1
+    la a1, ts
+    li a7, 113
+    ecall
+    la a1, ts
+    ld a0, 8(a1)      # nanoseconds field
+    seqz a0, a0       # expect nonzero ns after a few instructions? may be 0
+    li a7, 93
+    ecall
+)";
+  // Just check the call succeeds and time is monotone with work.
+  Machine m;
+  m.load(asm_ok(src));
+  ASSERT_EQ(static_cast<int>(m.run(10000)),
+            static_cast<int>(StopReason::Exited));
+  EXPECT_GT(m.cycles(), 0u);
+  EXPECT_GT(m.instret(), 0u);
+  EXPECT_GE(m.cycles(), m.instret());
+}
+
+TEST(AsmEmu, EbreakStops) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li a0, 1
+    ebreak
+    li a0, 2
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  m.load(asm_ok(src));
+  const StopReason r = m.run(1000);
+  EXPECT_EQ(static_cast<int>(r), static_cast<int>(StopReason::Breakpoint));
+  EXPECT_EQ(m.get_x(10), 1u);
+  // Resume past the (2-byte compressed) ebreak.
+  m.set_pc(m.pc() + 2);
+  EXPECT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Exited));
+  EXPECT_EQ(m.exit_code(), 2);
+}
+
+TEST(AsmEmu, CsrCounters) {
+  const char* src = R"(
+    .globl _start
+_start:
+    rdcycle t0
+    li t1, 0
+    li t2, 10
+l:  addi t1, t1, 1
+    bne t1, t2, l
+    rdcycle t3
+    sub a0, t3, t0
+    sltu a0, x0, a0     # 1 if cycles advanced
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, asm_ok(src)), 1);
+}
+
+// ---- ELF round-trip ----
+
+TEST(Elf, WriteReadRoundTrip) {
+  const auto st = asm_ok(kExit42);
+  const auto image = st.write();
+  const auto st2 = symtab::Symtab::read(image);
+
+  EXPECT_EQ(st2.entry, st.entry);
+  EXPECT_EQ(st2.e_flags, st.e_flags);
+  const auto* text = st2.find_section(".text");
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->data, st.find_section(".text")->data);
+  ASSERT_NE(st2.find_symbol("_start"), nullptr);
+  EXPECT_EQ(st2.find_symbol("_start")->value, st.entry);
+
+  // The re-read binary must still run.
+  Machine m;
+  EXPECT_EQ(run_to_exit(m, st2), 42);
+}
+
+TEST(Elf, ExtensionDiscoveryFromAttributes) {
+  const auto st = asm_ok(kExit42);
+  const auto exts = st.extensions();
+  EXPECT_TRUE(exts.has(isa::Extension::C));
+  EXPECT_TRUE(exts.has(isa::Extension::M));
+  EXPECT_TRUE(exts.has(isa::Extension::D));
+  EXPECT_TRUE(exts.has(isa::Extension::Zicsr));
+}
+
+TEST(Elf, ExtensionFallbackToEFlags) {
+  auto st = asm_ok(kExit42);
+  // Strip the attributes section; e_flags alone must still report RVC + D.
+  auto& secs = st.sections();
+  for (auto it = secs.begin(); it != secs.end(); ++it) {
+    if (it->name == ".riscv.attributes") {
+      secs.erase(it);
+      break;
+    }
+  }
+  const auto exts = st.extensions();
+  EXPECT_TRUE(exts.has(isa::Extension::C));
+  EXPECT_TRUE(exts.has(isa::Extension::D));
+  EXPECT_TRUE(exts.has(isa::Extension::F));
+}
+
+TEST(Elf, AttributesParseRejectsGarbage) {
+  std::vector<std::uint8_t> junk = {0x42, 0x00, 0x01};
+  EXPECT_FALSE(symtab::parse_riscv_arch_attribute(junk).has_value());
+}
+
+TEST(Elf, AttributesBuildParseRoundTrip) {
+  const auto payload = symtab::build_riscv_attributes("rv64imafdc_zicsr");
+  const auto arch = symtab::parse_riscv_arch_attribute(payload);
+  ASSERT_TRUE(arch.has_value());
+  EXPECT_EQ(*arch, "rv64imafdc_zicsr");
+}
+
+TEST(Asm, ErrorsAreLineNumbered) {
+  try {
+    asm_ok(".text\n  bogus a0, a1\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("asm:2"), std::string::npos);
+  }
+}
+
+TEST(Asm, UndefinedLabelFails) {
+  EXPECT_THROW(asm_ok(".text\n_start:\n  j nowhere\n"), Error);
+}
+
+TEST(Asm, ExtensionGating) {
+  assembler::Options opts;
+  opts.extensions = isa::ExtensionSet::rv64i();
+  EXPECT_THROW(asm_ok(".text\n_start:\n  mul a0, a0, a0\n", opts), Error);
+}
+
+TEST(Asm, FunctionSymbolsHaveSizes) {
+  const char* src = R"(
+    .text
+    .globl f
+    .type f, @function
+f:
+    nop
+    nop
+    ret
+    .size f, .-f
+)";
+  const auto st = asm_ok(src);
+  const auto* f = st.find_symbol("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->is_function());
+  EXPECT_GT(f->size, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,326 @@
+// DataflowAPI tests: register liveness (validated against the dead-register
+// optimization's requirements), stack-height analysis, and slicing.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/slicing.hpp"
+#include "dataflow/stack_height.hpp"
+#include "parse/cfg.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using dataflow::Liveness;
+using dataflow::Slicer;
+using dataflow::StackHeightAnalysis;
+using parse::Block;
+using parse::CodeObject;
+using parse::Function;
+
+struct Parsed {
+  symtab::Symtab st;
+  std::unique_ptr<CodeObject> co;
+};
+
+Parsed parse_src(const std::string& src) {
+  Parsed p{assembler::assemble(src), nullptr};
+  p.co = std::make_unique<CodeObject>(p.st);
+  p.co->parse();
+  return p;
+}
+
+// ---- liveness ----
+
+TEST(Liveness, UsedRegisterIsLive) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    add a0, a0, a1
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* b = f->entry_block();
+  // Before the add, a0 and a1 are read: both live.
+  const auto before = live.live_before(b, 0);
+  EXPECT_TRUE(before.contains(isa::a0));
+  EXPECT_TRUE(before.contains(isa::a1));
+}
+
+TEST(Liveness, OverwrittenRegisterIsDeadBefore) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t0, 5        # t0 defined here; its previous value is dead before
+    add a0, a0, t0
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* b = f->entry_block();
+  EXPECT_FALSE(live.live_before(b, 0).contains(isa::t0));
+  EXPECT_TRUE(live.dead_before(b, 0).contains(isa::t0));
+  // After the def (before the add) t0 is live.
+  EXPECT_TRUE(live.live_before(b, 1).contains(isa::t0));
+}
+
+TEST(Liveness, LiveAcrossBranchJoin) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t1, 7
+    beqz a0, skip
+    nop
+skip:
+    add a0, a0, t1   # t1 used on both paths' join
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* entry = f->entry_block();
+  // t1 is live at the branch (index of beqz = 1).
+  EXPECT_TRUE(live.live_before(entry, 1).contains(isa::t1));
+}
+
+TEST(Liveness, DeadAfterLastUse) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    add a0, a0, t1
+    li t1, 0          # kills t1 (old value dead between the two)
+    add a0, a0, t1
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* b = f->entry_block();
+  // Between insn 0 and insn 1, the incoming t1 value is dead.
+  EXPECT_TRUE(live.dead_before(b, 1).contains(isa::t1));
+}
+
+TEST(Liveness, CalleeSavedLiveAtReturn) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* b = f->entry_block();
+  const auto before = live.live_before(b, 0);
+  EXPECT_TRUE(before.contains(isa::sp));
+  EXPECT_TRUE(before.contains(isa::s0));
+  EXPECT_TRUE(before.contains(isa::a0));  // potential return value
+  // Unused temporaries are dead even right at the return.
+  EXPECT_TRUE(live.dead_before(b, 0).contains(isa::t2));
+  EXPECT_TRUE(live.dead_before(b, 0).contains(isa::t3));
+}
+
+TEST(Liveness, CallClobbersAndUsesABI) {
+  auto p = parse_src(R"(
+    .globl f
+    .globl g
+f:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    li a0, 1
+    call g
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+g:
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const Block* entry = f->entry_block();
+  // Find the call instruction index in the entry block.
+  std::size_t call_idx = entry->insns().size() - 1;
+  // a0 (argument) is live right before the call.
+  EXPECT_TRUE(live.live_before(entry, call_idx).contains(isa::a0));
+  // t0 is not live before the call (clobbered by it, never used).
+  EXPECT_TRUE(live.dead_before(entry, call_idx).contains(isa::t0));
+}
+
+TEST(Liveness, DeadNeverIncludesReservedRegs) {
+  auto p = parse_src(".globl f\nf:\n ret\n");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  const auto dead = live.dead_before(f->entry_block(), 0);
+  EXPECT_FALSE(dead.contains(isa::zero));
+  EXPECT_FALSE(dead.contains(isa::sp));
+  EXPECT_FALSE(dead.contains(isa::gp));
+  EXPECT_FALSE(dead.contains(isa::tp));
+}
+
+TEST(Liveness, UnresolvedFlowForcesAllLive) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    jr a1
+)");
+  Function* f = p.co->function_named("f");
+  Liveness live(*f);
+  // With unresolved flow, nothing (except never-dead regs) may be dead.
+  EXPECT_TRUE(live.dead_before(f->entry_block(), 0).empty());
+}
+
+// ---- stack height ----
+
+TEST(StackHeight, StandardPrologueEpilogue) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi sp, sp, -32
+    sd ra, 24(sp)
+    nop
+    ld ra, 24(sp)
+    addi sp, sp, 32
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  const Block* b = f->entry_block();
+  EXPECT_EQ(sh.height_before(b, 0), 0);
+  EXPECT_EQ(sh.height_before(b, 1), -32);
+  EXPECT_EQ(sh.height_before(b, 5), 0);  // after the sp restore
+  EXPECT_EQ(sh.frame_size(), 32);
+  ASSERT_TRUE(sh.ra_save_slot().has_value());
+  EXPECT_EQ(*sh.ra_save_slot(), -32 + 24);  // relative to entry sp
+}
+
+TEST(StackHeight, LeafFunctionHasNoFrame) {
+  auto p = parse_src(".globl f\nf:\n add a0, a0, a1\n ret\n");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  EXPECT_EQ(sh.frame_size(), std::nullopt);
+  EXPECT_EQ(sh.ra_save_slot(), std::nullopt);
+  EXPECT_EQ(sh.height_out(f->entry_block()), 0);
+}
+
+TEST(StackHeight, NonConstantSpGoesUnknown) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    sub sp, sp, a0
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  EXPECT_EQ(sh.height_out(f->entry_block()), std::nullopt);
+}
+
+TEST(StackHeight, ConsistentAcrossBranches) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi sp, sp, -16
+    beqz a0, l
+    nop
+l:
+    addi sp, sp, 16
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  const auto* sym = p.st.find_symbol("l");
+  ASSERT_NE(sym, nullptr);
+  const Block* join = f->block_at(sym->value);
+  ASSERT_NE(join, nullptr);
+  EXPECT_EQ(sh.height_in(join), -16);
+}
+
+// ---- slicing ----
+
+TEST(Slicing, BackwardSliceFollowsDataflow) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t0, 1       # A
+    li t1, 2       # B   (independent of the slice)
+    add t2, t0, t0 # C
+    add a0, t2, a1 # D
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Slicer slicer(*f);
+  const auto& insns = f->entry_block()->insns();
+  const std::uint64_t A = insns[0].addr, B = insns[1].addr,
+                      C = insns[2].addr, D = insns[3].addr;
+  const auto slice = slicer.backward_slice(D);
+  EXPECT_TRUE(slice.count(D));
+  EXPECT_TRUE(slice.count(C));
+  EXPECT_TRUE(slice.count(A));
+  EXPECT_FALSE(slice.count(B));
+}
+
+TEST(Slicing, ForwardSliceFindsAffected) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t0, 1       # A
+    add t1, t0, t0 # B: affected by A
+    li t2, 9       # C: unaffected
+    add a0, t1, t2 # D: affected via B
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Slicer slicer(*f);
+  const auto& insns = f->entry_block()->insns();
+  const auto slice = slicer.forward_slice(insns[0].addr);
+  EXPECT_TRUE(slice.count(insns[1].addr));
+  EXPECT_TRUE(slice.count(insns[3].addr));
+  EXPECT_FALSE(slice.count(insns[2].addr));
+}
+
+TEST(Slicing, ReachingDefsAcrossBranches) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    beqz a0, other
+    li t0, 1       # def 1
+    j join
+other:
+    li t0, 2       # def 2
+join:
+    add a0, t0, t0 # both defs reach
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Slicer slicer(*f);
+  const auto* sym = p.st.find_symbol("join");
+  ASSERT_NE(sym, nullptr);
+  const Block* join = f->block_at(sym->value);
+  ASSERT_NE(join, nullptr);
+  const auto defs = slicer.reaching_defs(join->insns()[0].addr, isa::t0);
+  EXPECT_EQ(defs.size(), 2u);
+}
+
+TEST(Slicing, SliceThroughLoop) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t0, 0
+    li t1, 10
+loop:
+    addi t0, t0, 1   # self-dependent accumulator
+    bne t0, t1, loop
+    mv a0, t0
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  Slicer slicer(*f);
+  // The accumulator's backward slice includes its own increment (loop
+  // carried) and the init.
+  const auto* sym = p.st.find_symbol("loop");
+  ASSERT_NE(sym, nullptr);
+  const Block* loop = f->block_at(sym->value);
+  const std::uint64_t inc = loop->insns()[0].addr;
+  const auto slice = slicer.backward_slice(inc);
+  EXPECT_TRUE(slice.count(inc));
+  EXPECT_TRUE(slice.count(f->entry_block()->insns()[0].addr));
+  EXPECT_GT(slicer.num_edges(), 4u);
+}
+
+}  // namespace

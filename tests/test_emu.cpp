@@ -1,0 +1,416 @@
+// Emulator (hardware substrate) tests: architectural corner cases —
+// division edge values, W-op sign extension, NaN boxing, FP conversion
+// saturation, fclass, memory page-crossing, self-modifying code and the
+// decode cache, syscall ABI, and the cycle model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "isa/encoder.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using emu::Machine;
+using emu::StopReason;
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+
+int run_exit(const std::string& src, Machine* mp = nullptr) {
+  Machine local;
+  Machine& m = mp ? *mp : local;
+  m.load(assembler::assemble(src));
+  EXPECT_EQ(static_cast<int>(m.run(50'000'000)),
+            static_cast<int>(StopReason::Exited));
+  return m.exit_code();
+}
+
+TEST(Emu, DivisionCornerCases) {
+  // RISC-V architected results: x/0 = -1, x%0 = x, INT_MIN/-1 = INT_MIN.
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 100
+    li t1, 0
+    div t2, t0, t1       # -1
+    rem t3, t0, t1       # 100
+    li t4, 1
+    slli t4, t4, 63      # INT64_MIN
+    li t5, -1
+    div t6, t4, t5       # INT64_MIN (wraps)
+    rem s0, t4, t5       # 0
+    # checksum: (-1 & 15) + (100 & 15) + (t6>>60 & 15) + s0
+    andi a0, t2, 15      # 15
+    andi t3, t3, 15      # 4
+    add a0, a0, t3       # 19
+    srli t6, t6, 60      # 8
+    add a0, a0, t6       # 27
+    add a0, a0, s0       # 27
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 27);
+}
+
+TEST(Emu, WordOpsSignExtend) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0x7fffffff
+    addiw t1, t0, 1          # 0x80000000 -> sext -> negative
+    sltz a0, t1              # 1 if negative
+    li t2, 1
+    slliw t3, t2, 31         # also negative
+    sltz t4, t3
+    add a0, a0, t4           # 2
+    li t5, 0xffffffff
+    srliw t6, t5, 4          # tr32 then shift: 0x0fffffff (positive)
+    sgtz t6, t6
+    add a0, a0, t6           # 3
+    sraiw s0, t3, 31         # -1
+    andi s0, s0, 7           # 7
+    add a0, a0, s0           # 10
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 10);
+}
+
+TEST(Emu, MulhVariants) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, -1
+    li t1, -1
+    mulhu t2, t0, t1     # (2^64-1)^2 >> 64 = 0xFFFF...FFFE
+    andi a0, t2, 15      # 14
+    mulh t3, t0, t1      # (-1 * -1) >> 64 = 0
+    add a0, a0, t3       # 14
+    li t4, 2
+    mulhsu t5, t0, t4    # (-1 * 2) >> 64 (signed x unsigned) = -1
+    andi t5, t5, 1       # 1
+    add a0, a0, t5       # 15
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 15);
+}
+
+TEST(Emu, NanBoxingOfSingles) {
+  // flw boxes; reading an improperly boxed single yields NaN.
+  const char* src = R"(
+    .data
+    .align 3
+fval: .word 0x3f800000     # 1.0f
+      .word 0
+    .text
+    .globl _start
+_start:
+    la t0, fval
+    flw fa0, 0(t0)           # properly boxed 1.0f
+    fadd.s fa1, fa0, fa0     # 2.0f
+    fcvt.w.s a0, fa1         # 2
+    # Break the boxing: move a raw integer pattern into the register
+    # as a *double* bit pattern, then use it as a single.
+    li t1, 0x3f800000        # upper bits zero: invalid box
+    fmv.d.x fa2, t1
+    fadd.s fa3, fa2, fa0     # NaN + 1.0f = NaN
+    fclass.s t2, fa3
+    li t3, 0x200             # quiet NaN class bit
+    and t2, t2, t3
+    snez t2, t2
+    add a0, a0, t2           # 3
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 3);
+}
+
+TEST(Emu, FcvtSaturation) {
+  const char* src = R"(
+    .data
+    .align 3
+big:  .dword 0x43F0000000000000   # 2^64 as double (overflows int64)
+neg:  .dword 0xC3F0000000000000   # -2^64
+    .text
+    .globl _start
+_start:
+    la t0, big
+    fld fa0, 0(t0)
+    fcvt.l.d t1, fa0         # saturates to INT64_MAX
+    li t2, -1
+    srli t2, t2, 1           # INT64_MAX
+    xor t3, t1, t2
+    seqz a0, t3              # 1 if saturated correctly
+    la t0, neg
+    fld fa1, 0(t0)
+    fcvt.lu.d t4, fa1        # negative -> 0 for unsigned
+    seqz t4, t4
+    add a0, a0, t4           # 2
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 2);
+}
+
+TEST(Emu, FminFmaxFsgnj) {
+  const char* src = R"(
+    .data
+    .align 3
+vals: .dword 0x3ff0000000000000   # 1.0
+      .dword 0xc000000000000000   # -2.0
+    .text
+    .globl _start
+_start:
+    la t0, vals
+    fld fa0, 0(t0)
+    fld fa1, 8(t0)
+    fmin.d fa2, fa0, fa1     # -2.0
+    fmax.d fa3, fa0, fa1     # 1.0
+    fsgnjx.d fa4, fa3, fa1   # 1.0 with sign flipped by -2.0 -> -1.0
+    fneg.d fa5, fa4          # 1.0
+    fadd.d fa6, fa2, fa3     # -1.0
+    fadd.d fa6, fa6, fa5     # 0.0
+    fcvt.l.d t1, fa6
+    seqz a0, t1
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 1);
+}
+
+TEST(Emu, PageCrossingAccesses) {
+  // An 8-byte store/load spanning a 4KiB page boundary.
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0x20ffc           # 4 bytes before a page boundary
+    li t1, 0x1122334455667788
+    sd t1, 0(t0)
+    ld t2, 0(t0)
+    xor t3, t1, t2
+    seqz a0, t3
+    lw t4, 0(t0)             # low half
+    li t5, 0x55667788
+    xor t4, t4, t5
+    seqz t4, t4
+    add a0, a0, t4           # 2
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 2);
+}
+
+TEST(Emu, SelfModifyingCodeWithFence) {
+  // The program patches an addi immediate in its own text, then executes
+  // fence.i; the decode cache must observe the new bytes.
+  const char* src = R"(
+    .globl _start
+_start:
+    call victim              # first execution: a0 = 11
+    mv s0, a0
+    la t0, victim
+    lw t1, 0(t0)             # addi a0, x0, 11
+    li t2, 0x000fffff        # clear the I-immediate field (bits 31:20)
+    and t1, t1, t2
+    li t3, 22
+    slli t3, t3, 20
+    or t1, t1, t3            # addi a0, x0, 22
+    sw t1, 0(t0)
+    fence.i
+    call victim              # second execution: a0 = 22
+    add a0, a0, s0           # 33
+    li a7, 93
+    ecall
+victim:
+    .option norvc
+    addi a0, x0, 11
+    ret
+)";
+  EXPECT_EQ(run_exit(src), 33);
+}
+
+TEST(Emu, WriteSyscallToStderrAlsoCaptured) {
+  const char* src = R"(
+    .rodata
+m1: .ascii "out"
+m2: .ascii "err"
+    .text
+    .globl _start
+_start:
+    li a0, 1
+    la a1, m1
+    li a2, 3
+    li a7, 64
+    ecall
+    li a0, 2
+    la a1, m2
+    li a2, 3
+    li a7, 64
+    ecall
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_exit(src, &m), 0);
+  EXPECT_EQ(m.output(), "outerr");
+}
+
+TEST(Emu, BrkGrowsHeap) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li a0, 0
+    li a7, 214
+    ecall                    # query current brk
+    mv t0, a0
+    li t1, 0x10000
+    add a0, a0, t1
+    li a7, 214
+    ecall                    # grow by 64KiB
+    sub t2, a0, t0
+    li t3, 0x10000
+    xor t2, t2, t3
+    seqz a0, t2
+    # Touch the new memory.
+    li t4, 0xab
+    sb t4, -1(t0)            # hmm: old brk edge... store inside new region
+    add t5, t0, t1
+    sb t4, -8(t5)
+    lbu t6, -8(t5)
+    xori t6, t6, 0xab
+    seqz t6, t6
+    add a0, a0, t6           # 2
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 2);
+}
+
+TEST(Emu, BadSyscallStops) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li a7, 9999
+    ecall
+)";
+  Machine m;
+  m.load(assembler::assemble(src));
+  EXPECT_EQ(static_cast<int>(m.run(100)),
+            static_cast<int>(StopReason::BadSyscall));
+}
+
+TEST(Emu, BadFetchReported) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 0x99990000
+    jr t0
+)";
+  Machine m;
+  m.load(assembler::assemble(src));
+  EXPECT_EQ(static_cast<int>(m.run(100)),
+            static_cast<int>(StopReason::BadFetch));
+  EXPECT_EQ(m.stop_pc(), 0x99990000u);
+}
+
+TEST(Emu, CycleModelChargesClasses) {
+  Machine m;
+  auto run_one = [&m](Mnemonic mn, std::initializer_list<Operand> ops) {
+    const Instruction insn = isa::assemble(mn, ops);
+    const std::uint32_t w = insn.raw();
+    std::uint8_t bytes[8] = {static_cast<std::uint8_t>(w),
+                             static_cast<std::uint8_t>(w >> 8),
+                             static_cast<std::uint8_t>(w >> 16),
+                             static_cast<std::uint8_t>(w >> 24),
+                             0x73, 0x00, 0x10, 0x00};
+    m.memory().map(0x10000, 16);
+    m.memory().map(0x30000, 0x100);
+    m.write_code(0x10000, bytes, sizeof(bytes));
+    m.set_reg(isa::a1, 0x30000);
+    m.set_pc(0x10000);
+    const std::uint64_t before = m.cycles();
+    EXPECT_EQ(static_cast<int>(m.step()),
+              static_cast<int>(StopReason::Running));
+    return m.cycles() - before;
+  };
+  const auto add_cost =
+      run_one(Mnemonic::add, {Instruction::reg_op(isa::a0, Operand::kWrite),
+                              Instruction::reg_op(isa::a1, Operand::kRead),
+                              Instruction::reg_op(isa::a1, Operand::kRead)});
+  const auto load_cost = run_one(
+      Mnemonic::ld, {Instruction::reg_op(isa::a0, Operand::kWrite),
+                     Instruction::mem_op(isa::a1, 0, 8, Operand::kRead)});
+  const auto div_cost =
+      run_one(Mnemonic::div, {Instruction::reg_op(isa::a0, Operand::kWrite),
+                              Instruction::reg_op(isa::a1, Operand::kRead),
+                              Instruction::reg_op(isa::a1, Operand::kRead)});
+  EXPECT_LT(add_cost, load_cost);
+  EXPECT_LT(load_cost, div_cost);
+}
+
+TEST(Emu, InstretCountsExactly) {
+  const char* src = R"(
+    .globl _start
+_start:
+    nop
+    nop
+    nop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  EXPECT_EQ(run_exit(src, &m), 0);
+  EXPECT_EQ(m.instret(), 6u);
+}
+
+TEST(Emu, TraceHookSeesEveryInstruction) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li t0, 3
+l:  addi t0, t0, -1
+    bnez t0, l
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  Machine m;
+  std::vector<std::uint64_t> pcs;
+  m.set_trace([&](std::uint64_t pc, const isa::Instruction&) {
+    pcs.push_back(pc);
+  });
+  EXPECT_EQ(run_exit(src, &m), 0);
+  EXPECT_EQ(pcs.size(), m.instret());
+  // The loop body pc appears exactly 3 times.
+  std::map<std::uint64_t, int> hist;
+  for (auto pc : pcs) hist[pc]++;
+  int max_count = 0;
+  for (auto& [pc, n] : hist) max_count = std::max(max_count, n);
+  EXPECT_EQ(max_count, 3);
+}
+
+TEST(Emu, StackInitializedAndWritable) {
+  const char* src = R"(
+    .globl _start
+_start:
+    addi sp, sp, -256
+    li t0, 0x42
+    sd t0, 0(sp)
+    sd t0, 248(sp)
+    ld t1, 0(sp)
+    ld t2, 248(sp)
+    add a0, t1, t2
+    andi a0, a0, 255         # 0x84 = 132
+    li a7, 93
+    ecall
+)";
+  EXPECT_EQ(run_exit(src), 132);
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// End-to-end tests for the RVA23 extension-growth path (paper §3.4):
+// Zicond/Zba/Zbb programs assemble under an extended profile, run on the
+// emulator, are analyzable and instrumentable, and are rejected by
+// RV64GC-only components. Plus dynamic instrumentation *removal*
+// (revert_patch), the inverse operation ProcControlAPI layers on the
+// editor's undo deltas.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+#include "proccontrol/process.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using emu::Machine;
+using emu::StopReason;
+
+isa::ExtensionSet rva23ish() {
+  auto s = isa::ExtensionSet::rv64gc();
+  s.add(isa::Extension::Zicond);
+  s.add(isa::Extension::Zba);
+  s.add(isa::Extension::Zbb);
+  return s;
+}
+
+constexpr const char* kBitmanip = R"(
+    .globl _start
+_start:
+    li t0, 0x00f0
+    clz t1, t0            # highest bit is 7: 64 - 8 = 56
+    ctz t2, t0            # 4
+    cpop t3, t0           # 4
+    add a0, t1, t2        # 60
+    add a0, a0, t3        # 64
+    li t4, -5
+    li t5, 3
+    max t6, t4, t5        # 3
+    add a0, a0, t6        # 67
+    min t6, t4, t5        # -5
+    sub a0, a0, t6        # 72
+    li s0, 2
+    li s1, 100
+    sh2add s2, s0, s1     # 100 + 2*4 = 108
+    sub a0, s2, a0        # 36
+    li s3, 0x1234
+    rev8 s4, s3           # 0x3412 << 48
+    srli s4, s4, 48       # 0x3412
+    andi s4, s4, 0xff     # 0x12 = 18
+    sub a0, s4, a0        # -18
+    neg a0, a0            # 18
+    li s5, 0xff
+    czero.eqz s6, s5, x0  # rs2==0 -> 0
+    add a0, a0, s6        # 18
+    czero.nez s7, s5, x0  # rs2==0 -> rs1 = 0xff
+    andi s7, s7, 0x14     # 0x14 = 20
+    add a0, a0, s7        # 38
+    li a7, 93
+    ecall
+)";
+
+TEST(ExtE2E, BitmanipProgramRuns) {
+  assembler::Options opts;
+  opts.extensions = rva23ish();
+  const auto bin = assembler::assemble(kBitmanip, opts);
+  // The ISA string round-trips through .riscv.attributes.
+  EXPECT_TRUE(bin.extensions().has(isa::Extension::Zbb));
+  EXPECT_TRUE(bin.extensions().has(isa::Extension::Zba));
+  EXPECT_TRUE(bin.extensions().has(isa::Extension::Zicond));
+
+  Machine m(rva23ish());
+  m.load(bin);
+  ASSERT_EQ(static_cast<int>(m.run(100000)),
+            static_cast<int>(StopReason::Exited));
+  EXPECT_EQ(m.exit_code(), 38);
+}
+
+TEST(ExtE2E, Rv64gcMachineRejectsBitmanip) {
+  assembler::Options opts;
+  opts.extensions = rva23ish();
+  const auto bin = assembler::assemble(kBitmanip, opts);
+  Machine m;  // plain RV64GC hart
+  m.load(bin);
+  EXPECT_EQ(static_cast<int>(m.run(100000)),
+            static_cast<int>(StopReason::IllegalInsn));
+}
+
+TEST(ExtE2E, AssemblerGatesByProfile) {
+  // Default profile (RV64GC) must reject bit-manip mnemonics.
+  EXPECT_THROW(assembler::assemble(".globl _start\n_start:\n clz a0, a1\n"),
+               Error);
+  EXPECT_THROW(
+      assembler::assemble(".globl _start\n_start:\n sh1add a0, a1, a2\n"),
+      Error);
+}
+
+TEST(ExtE2E, BitmanipBinaryIsInstrumentable) {
+  // The full ParseAPI -> PatchAPI pipeline over an extended-profile binary:
+  // the editor must decode Zbb instructions while relocating, and must
+  // keep its instrumentation inside the mutatee's profile.
+  assembler::Options opts;
+  opts.extensions = rva23ish();
+  auto src = std::string(R"(
+    .globl _start
+    .globl hash
+_start:
+    li s0, 0
+    li s1, 20
+    li a0, 0x9e3779b9
+hloop:
+    call hash
+    addi s0, s0, 1
+    blt s0, s1, hloop
+    andi a0, a0, 255
+    li a7, 93
+    ecall
+hash:
+    rol a0, a0, s0
+    xor a0, a0, s0
+    cpop t0, a0
+    add a0, a0, t0
+    ret
+)");
+  const auto bin = assembler::assemble(src, opts);
+  Machine base(rva23ish());
+  base.load(bin);
+  ASSERT_EQ(static_cast<int>(base.run(100000)),
+            static_cast<int>(StopReason::Exited));
+
+  patch::BinaryEditor editor(bin);
+  const auto c = editor.alloc_var("hashes");
+  editor.insert_at(editor.code().function_named("hash")->entry(),
+                   patch::PointType::FuncEntry, codegen::increment(c));
+  const auto rewritten = editor.commit();
+
+  Machine m(rva23ish());
+  m.load(rewritten);
+  ASSERT_EQ(static_cast<int>(m.run(200000)),
+            static_cast<int>(StopReason::Exited));
+  EXPECT_EQ(m.exit_code(), base.exit_code());
+  EXPECT_EQ(m.memory().read(c.addr, 8), 20u);
+}
+
+TEST(ExtE2E, RevertPatchStopsCounting) {
+  // Dynamic instrumentation removal: counters freeze after revert_patch
+  // and the process still completes correctly.
+  const char* src = R"(
+    .globl _start
+    .globl tick
+_start:
+    li s0, 0
+    li s1, 12
+tloop:
+    call tick
+    addi s0, s0, 1
+    blt s0, s1, tloop
+    mv a0, s2
+    li a7, 93
+    ecall
+tick:
+    addi s2, s2, 1
+    ret
+)";
+  const auto bin = assembler::assemble(src);
+  auto proc = proccontrol::Process::launch(bin);
+
+  patch::BinaryEditor editor(bin);
+  const auto c = editor.alloc_var("ticks");
+  editor.insert_at(editor.code().function_named("tick")->entry(),
+                   patch::PointType::FuncEntry, codegen::increment(c));
+  editor.commit();
+  proc->apply_patch(editor);
+
+  // Run 5 instrumented calls (breakpoint on the loop-head call counterpart:
+  // stop at tick's *relocated* home is awkward — use the counter itself).
+  const auto* tick_sym = bin.find_symbol("tloop");
+  (void)tick_sym;
+  // Step until the counter reads 5.
+  while (proc->read_mem(c.addr, 8) < 5) {
+    const auto ev = proc->step_native();
+    ASSERT_NE(static_cast<int>(ev.kind),
+              static_cast<int>(proccontrol::Event::Kind::Exited));
+  }
+  proc->revert_patch(editor);
+  const auto ev = proc->continue_run();
+  ASSERT_EQ(static_cast<int>(ev.kind),
+            static_cast<int>(proccontrol::Event::Kind::Exited));
+  EXPECT_EQ(ev.exit_code, 12);  // program behaviour unaffected throughout
+  EXPECT_EQ(proc->read_mem(c.addr, 8), 5u);  // counting stopped at revert
+}
+
+TEST(ExtE2E, UndoDeltasInvertApply) {
+  const auto bin = assembler::assemble(R"(
+    .globl _start
+    .globl f
+_start:
+    call f
+    li a7, 93
+    ecall
+f:
+    li a0, 7
+    ret
+)");
+  patch::BinaryEditor editor(bin);
+  const auto c = editor.alloc_var("c");
+  editor.insert_at(editor.code().function_named("f")->entry(),
+                   patch::PointType::FuncEntry, codegen::increment(c));
+  editor.commit();
+  ASSERT_FALSE(editor.undo_deltas().empty());
+  // Undo deltas cover exactly the springboarded ranges of the deltas.
+  for (const auto& undo : editor.undo_deltas()) {
+    bool matched = false;
+    for (const auto& d : editor.deltas())
+      if (d.addr == undo.addr && d.bytes.size() == undo.bytes.size())
+        matched = true;
+    EXPECT_TRUE(matched) << std::hex << undo.addr;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Decoder robustness sweeps: no input bytes may crash the decoder, and
+// every successfully decoded instruction must re-encode to something that
+// decodes back to the same instruction (semantic idempotence over random
+// words — the 32-bit analogue of the exhaustive compressed round trip).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "parse/loops.hpp"
+
+#include "assembler/assembler.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using isa::Decoder;
+using isa::Instruction;
+
+bool same_instruction(const Instruction& a, const Instruction& b) {
+  if (a.mnemonic() != b.mnemonic()) return false;
+  if (a.num_operands() != b.num_operands()) return false;
+  for (unsigned i = 0; i < a.num_operands(); ++i) {
+    const auto& x = a.operand(i);
+    const auto& y = b.operand(i);
+    if (x.kind != y.kind || !(x.reg == y.reg) || x.imm != y.imm ||
+        x.size != y.size)
+      return false;
+  }
+  return true;
+}
+
+class FuzzDecode : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzDecode, RandomWordsNeverCrashAndRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  Decoder dec(isa::ExtensionSet(0xffff));
+  unsigned decoded = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const auto word = static_cast<std::uint32_t>(rng());
+    Instruction insn;
+    if (!dec.decode32(word | 0x3, &insn)) continue;  // force 32-bit space
+    ++decoded;
+    // Rebuild from the operand list; the re-encoded word must decode to an
+    // equal instruction (unconstrained bits like aq/rl may differ).
+    std::vector<isa::Operand> ops;
+    for (unsigned k = 0; k < insn.num_operands(); ++k)
+      ops.push_back(insn.operand(k));
+    const std::uint32_t re = isa::encode32(insn.mnemonic(), ops);
+    Instruction insn2;
+    ASSERT_TRUE(dec.decode32(re, &insn2)) << std::hex << word;
+    EXPECT_TRUE(same_instruction(insn, insn2))
+        << std::hex << word << " -> " << re << ": " << insn.to_string()
+        << " vs " << insn2.to_string();
+  }
+  // A random 32-bit word hits a valid encoding reasonably often.
+  EXPECT_GT(decoded, 100u);
+}
+
+TEST_P(FuzzDecode, RandomHalfwordsNeverCrash) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 40503u + 7);
+  Decoder dec;
+  for (int i = 0; i < 65536; ++i) {
+    const auto half = static_cast<std::uint16_t>(rng());
+    Instruction insn;
+    if ((half & 3) == 3) continue;
+    if (dec.decode16(half, &insn)) {
+      EXPECT_TRUE(insn.valid());
+      EXPECT_EQ(insn.length(), 2u);
+      // Expanded instructions must print without crashing.
+      EXPECT_FALSE(insn.to_string().empty());
+    }
+  }
+}
+
+TEST_P(FuzzDecode, RandomByteStreamsParseSafely) {
+  // Feed random bytes through the stream decoder the way gap parsing does;
+  // decode must consume 0/2/4 bytes and never read out of bounds.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 9176u + 3);
+  std::vector<std::uint8_t> buf(4096);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+  Decoder dec;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    Instruction insn;
+    const unsigned n = dec.decode(buf.data() + off, buf.size() - off, &insn);
+    if (n == 0) {
+      off += 2;  // skip like the gap scanner
+      continue;
+    }
+    ASSERT_TRUE(n == 2 || n == 4);
+    off += n;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDecode, ::testing::Range(0, 8));
+
+// ---- loop nesting (uses the new LoopNest API) ----
+
+TEST(LoopNest, ThreeDeep) {
+  const auto st = assembler::assemble(R"(
+    .globl f
+f:
+    li s0, 0
+l1: li s1, 0
+l2: li s2, 0
+l3: addi s2, s2, 1
+    li t0, 3
+    blt s2, t0, l3
+    addi s1, s1, 1
+    blt s1, t0, l2
+    addi s0, s0, 1
+    blt s0, t0, l1
+    ret
+)");
+  parse::CodeObject co(st);
+  co.parse();
+  const auto* f = co.function_named("f");
+  const auto nest = parse::loop_nest(*f);
+  ASSERT_EQ(nest.loops.size(), 3u);
+
+  unsigned depth1 = 0, depth2 = 0, depth3 = 0;
+  for (std::size_t i = 0; i < nest.loops.size(); ++i) {
+    const unsigned d = nest.depth(i);
+    if (d == 1) ++depth1;
+    if (d == 2) ++depth2;
+    if (d == 3) ++depth3;
+  }
+  EXPECT_EQ(depth1, 1u);
+  EXPECT_EQ(depth2, 1u);
+  EXPECT_EQ(depth3, 1u);
+
+  // The innermost loop's header belongs to the depth-3 loop.
+  const auto* l3 = st.find_symbol("l3");
+  ASSERT_NE(l3, nullptr);
+  const int idx = nest.innermost_containing(l3->value);
+  ASSERT_GE(idx, 0);
+  EXPECT_EQ(nest.depth(static_cast<std::size_t>(idx)), 3u);
+}
+
+TEST(LoopNest, SiblingsShareParent) {
+  const auto st = assembler::assemble(R"(
+    .globl f
+f:
+    li s0, 0
+outer:
+    li s1, 0
+in1:
+    addi s1, s1, 1
+    li t0, 2
+    blt s1, t0, in1
+    li s2, 0
+in2:
+    addi s2, s2, 1
+    li t0, 2
+    blt s2, t0, in2
+    addi s0, s0, 1
+    li t0, 2
+    blt s0, t0, outer
+    ret
+)");
+  parse::CodeObject co(st);
+  co.parse();
+  const auto nest = parse::loop_nest(*co.function_named("f"));
+  ASSERT_EQ(nest.loops.size(), 3u);
+  int outer = -1;
+  for (std::size_t i = 0; i < nest.loops.size(); ++i)
+    if (nest.parent[i] == -1) outer = static_cast<int>(i);
+  ASSERT_GE(outer, 0);
+  unsigned children = 0;
+  for (std::size_t i = 0; i < nest.loops.size(); ++i)
+    if (nest.parent[i] == outer) ++children;
+  EXPECT_EQ(children, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Golden encoding tests: well-known instruction words cross-checked
+// against the RISC-V ISA manual / binutils output, in both directions
+// (decode text, assemble bytes). These anchor the shared opcode table to
+// the real ISA, complementing the internal round-trip properties.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "isa/decoder.hpp"
+
+namespace {
+
+using namespace rvdyn;
+
+struct Golden {
+  std::uint32_t word;
+  const char* text;
+};
+
+// Standard 32-bit encodings (rd/rs fields per the ISA manual examples).
+const Golden kGolden32[] = {
+    {0x00000013, "addi zero, zero, 0"},      // nop
+    {0xff010113, "addi sp, sp, -16"},
+    {0x00058513, "addi a0, a1, 0"},          // mv a0, a1
+    {0x00100513, "addi a0, zero, 1"},        // li a0, 1
+    {0x00c58533, "add a0, a1, a2"},
+    {0x40c58533, "sub a0, a1, a2"},
+    {0x00c5f533, "and a0, a1, a2"},
+    {0x00c5e533, "or a0, a1, a2"},
+    {0x00c5c533, "xor a0, a1, a2"},
+    {0x02c58533, "mul a0, a1, a2"},
+    {0x02c5c533, "div a0, a1, a2"},
+    {0x00013503, "ld a0, 0(sp)"},
+    {0x00113423, "sd ra, 8(sp)"},
+    {0x00052503, "lw a0, 0(a0)"},
+    {0x12345537, "lui a0, 305418240"},       // lui a0, 0x12345
+    {0x00000297, "auipc t0, 0"},
+    {0x000000ef, "jal ra, .+0"},
+    {0x00008067, "jalr zero, ra, 0"},        // ret
+    {0x00000073, "ecall"},
+    {0x00100073, "ebreak"},
+    {0x0000100f, "fence.i"},
+    {0x00b50463, "beq a0, a1, .+8"},
+    {0x00053507, "fld fa0, 0(a0)"},
+    {0x02c5f553, "fadd.d fa0, fa1, fa2"},
+    {0x6ac5f543, "fmadd.d fa0, fa1, fa2, fa3"},
+    {0xc0002573, "csrrs a0, csr3072, zero"},  // rdcycle a0
+    {0x00b6252f, "amoadd.w a0, a1, 0(a2)"},
+    {0x0e05d533, "czero.eqz a0, a1, zero"},
+    {0x20b52533, "sh1add a0, a0, a1"},
+};
+
+TEST(Golden, KnownWordsDecodeToKnownText) {
+  isa::Decoder dec(isa::ExtensionSet(0xffff));
+  for (const Golden& g : kGolden32) {
+    isa::Instruction insn;
+    ASSERT_TRUE(dec.decode32(g.word, &insn))
+        << std::hex << g.word << " failed to decode";
+    EXPECT_EQ(insn.to_string(), g.text) << std::hex << g.word;
+  }
+}
+
+// Compressed encodings (hand-checked against the C-extension tables).
+struct Golden16 {
+  std::uint16_t half;
+  const char* text;  // canonical expansion
+};
+
+const Golden16 kGolden16[] = {
+    {0x0001, "addi zero, zero, 0"},  // c.nop
+    {0x1141, "addi sp, sp, -16"},    // c.addi16sp -16
+    {0x4501, "addi a0, zero, 0"},    // c.li a0, 0
+    {0x852e, "add a0, zero, a1"},    // c.mv a0, a1
+    {0x952e, "add a0, a0, a1"},      // c.add a0, a1
+    {0x8082, "jalr zero, ra, 0"},    // c.jr ra = ret
+    {0x9002, "ebreak"},              // c.ebreak
+    {0xa001, "jal zero, .+0"},       // c.j .
+    {0x6502, "ld a0, 0(sp)"},        // c.ldsp a0, 0
+    {0xe02a, "sd a0, 0(sp)"},        // c.sdsp a0, 0
+    {0x4108, "lw a0, 0(a0)"},        // c.lw a0, 0(a0)
+    {0x050a, "slli a0, a0, 2"},      // c.slli
+    {0x8905, "andi a0, a0, 1"},      // c.andi
+};
+
+TEST(Golden, KnownCompressedExpansions) {
+  isa::Decoder dec;
+  for (const Golden16& g : kGolden16) {
+    isa::Instruction insn;
+    ASSERT_TRUE(dec.decode16(g.half, &insn))
+        << std::hex << g.half << " failed to decode";
+    EXPECT_TRUE(insn.compressed());
+    EXPECT_EQ(insn.to_string(), g.text) << std::hex << g.half;
+  }
+}
+
+// Assembler golden bytes: source line -> exact encoding.
+struct AsmGolden {
+  const char* line;
+  std::vector<std::uint8_t> bytes;
+};
+
+TEST(Golden, AssemblerEmitsKnownBytes) {
+  const AsmGolden cases[] = {
+      {"add a0, a1, a2", {0x33, 0x85, 0xc5, 0x00}},
+      {"sub a0, a1, a2", {0x33, 0x85, 0xc5, 0x40}},
+      {"ecall", {0x73, 0x00, 0x00, 0x00}},
+      {"sd t0, 8(a0)", {0x23, 0x34, 0x55, 0x00}},  // not compressible
+      {"sd ra, 8(sp)", {0x06, 0xe4}},   // compresses to c.sdsp ra, 8
+      {"ret", {0x82, 0x80}},            // compresses to c.jr ra
+      {"nop", {0x13, 0x00, 0x00, 0x00}},
+  };
+  for (const auto& c : cases) {
+    const std::string src = std::string(".globl _start\n_start:\n  ") +
+                            c.line + "\n";
+    const auto st = assembler::assemble(src);
+    const auto* text = st.find_section(".text");
+    ASSERT_NE(text, nullptr) << c.line;
+    ASSERT_GE(text->data.size(), c.bytes.size()) << c.line;
+    for (std::size_t i = 0; i < c.bytes.size(); ++i)
+      EXPECT_EQ(text->data[i], c.bytes[i]) << c.line << " byte " << i;
+  }
+}
+
+TEST(Golden, AssemblerUncompressedMode) {
+  assembler::Options opts;
+  opts.extensions = isa::ExtensionSet::rv64g();
+  const auto st = assembler::assemble(
+      ".globl _start\n_start:\n  ret\n", opts);
+  const auto* text = st.find_section(".text");
+  // Without RVC, ret is the 4-byte jalr: 0x00008067.
+  ASSERT_GE(text->data.size(), 4u);
+  EXPECT_EQ(text->data[0], 0x67);
+  EXPECT_EQ(text->data[1], 0x80);
+  EXPECT_EQ(text->data[2], 0x00);
+  EXPECT_EQ(text->data[3], 0x00);
+}
+
+}  // namespace

@@ -1,0 +1,314 @@
+// Interprocedural analyses: call-graph structure (SCCs, recursion,
+// reachability) and (may-use, must-def) register summaries, including
+// their effect on liveness at call sites — the precision feed for the
+// dead-register optimization.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "dataflow/liveness.hpp"
+#include "dataflow/summaries.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+#include "parse/callgraph.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using dataflow::Liveness;
+using dataflow::Summaries;
+using parse::CallGraph;
+using parse::CodeObject;
+
+struct Parsed {
+  symtab::Symtab st;
+  std::unique_ptr<CodeObject> co;
+};
+
+Parsed parse_src(const std::string& src) {
+  Parsed p{assembler::assemble(src), nullptr};
+  p.co = std::make_unique<CodeObject>(p.st);
+  p.co->parse();
+  return p;
+}
+
+std::uint64_t entry_of(const Parsed& p, const char* name) {
+  const auto* f = p.co->function_named(name);
+  EXPECT_NE(f, nullptr) << name;
+  return f->entry();
+}
+
+constexpr const char* kChain = R"(
+    .globl _start
+    .globl top
+    .globl mid
+    .globl leaf
+_start:
+    call top
+    li a7, 93
+    ecall
+top:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    call mid
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+mid:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    call leaf
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+leaf:
+    addi a0, a0, 1
+    ret
+)";
+
+TEST(CallGraph, EdgesAndReachability) {
+  auto p = parse_src(kChain);
+  CallGraph cg(*p.co);
+  const auto start = entry_of(p, "_start"), top = entry_of(p, "top"),
+             mid = entry_of(p, "mid"), leaf = entry_of(p, "leaf");
+  EXPECT_TRUE(cg.callees(start).count(top));
+  EXPECT_TRUE(cg.callees(top).count(mid));
+  EXPECT_TRUE(cg.callers(leaf).count(mid));
+  EXPECT_TRUE(cg.callers(mid).count(top));
+
+  const auto reach = cg.reachable_from(top);
+  EXPECT_TRUE(reach.count(top));
+  EXPECT_TRUE(reach.count(mid));
+  EXPECT_TRUE(reach.count(leaf));
+  EXPECT_FALSE(reach.count(start));
+}
+
+TEST(CallGraph, BottomUpOrderPutsCalleesFirst) {
+  auto p = parse_src(kChain);
+  CallGraph cg(*p.co);
+  const auto order = cg.bottom_up_order();
+  auto pos = [&](std::uint64_t f) {
+    return std::find(order.begin(), order.end(), f) - order.begin();
+  };
+  EXPECT_LT(pos(entry_of(p, "leaf")), pos(entry_of(p, "mid")));
+  EXPECT_LT(pos(entry_of(p, "mid")), pos(entry_of(p, "top")));
+  EXPECT_LT(pos(entry_of(p, "top")), pos(entry_of(p, "_start")));
+}
+
+TEST(CallGraph, DetectsSelfRecursion) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl rec
+    .globl plain
+_start:
+    call rec
+    call plain
+    li a7, 93
+    ecall
+rec:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    beqz a0, rdone
+    addi a0, a0, -1
+    call rec
+rdone:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+plain:
+    ret
+)");
+  CallGraph cg(*p.co);
+  EXPECT_TRUE(cg.is_recursive(entry_of(p, "rec")));
+  EXPECT_FALSE(cg.is_recursive(entry_of(p, "plain")));
+  EXPECT_FALSE(cg.is_recursive(entry_of(p, "_start")));
+}
+
+TEST(CallGraph, DetectsMutualRecursionScc) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl even
+    .globl odd
+_start:
+    li a0, 6
+    call even
+    li a7, 93
+    ecall
+even:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    beqz a0, etrue
+    addi a0, a0, -1
+    call odd
+    j edone
+etrue:
+    li a0, 1
+edone:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+odd:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    beqz a0, ofalse
+    addi a0, a0, -1
+    call even
+    j odone
+ofalse:
+    li a0, 0
+odone:
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)");
+  CallGraph cg(*p.co);
+  EXPECT_TRUE(cg.is_recursive(entry_of(p, "even")));
+  EXPECT_TRUE(cg.is_recursive(entry_of(p, "odd")));
+  // They share an SCC.
+  bool found_pair = false;
+  for (const auto& scc : cg.sccs())
+    if (scc.size() == 2) found_pair = true;
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(CallGraph, UnknownCalleesFlagged) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl indirect
+_start:
+    li a7, 93
+    ecall
+indirect:
+    jalr ra, 0(a5)
+    ret
+)");
+  CallGraph cg(*p.co);
+  EXPECT_TRUE(cg.has_unknown_callees().count(entry_of(p, "indirect")));
+  EXPECT_FALSE(cg.has_unknown_callees().count(entry_of(p, "_start")));
+}
+
+// ---- summaries ----
+
+TEST(Summaries, LeafUsesOnlyWhatItReads) {
+  auto p = parse_src(kChain);
+  Summaries sums(*p.co);
+  const auto* leaf = sums.lookup(entry_of(p, "leaf"));
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->precise);
+  // leaf reads a0 (and implicitly ra for the return, sp passes through).
+  EXPECT_TRUE(leaf->may_use.contains(isa::a0));
+  EXPECT_TRUE(leaf->may_use.contains(isa::ra));
+  EXPECT_FALSE(leaf->may_use.contains(isa::a1));
+  EXPECT_FALSE(leaf->may_use.contains(isa::a7));
+  EXPECT_FALSE(leaf->may_use.contains(isa::t0));
+  // leaf definitely writes a0 and nothing else interesting.
+  EXPECT_TRUE(leaf->must_def.contains(isa::a0));
+  EXPECT_FALSE(leaf->must_def.contains(isa::t0));
+}
+
+TEST(Summaries, TransitiveThroughTheChain) {
+  auto p = parse_src(kChain);
+  Summaries sums(*p.co);
+  const auto* top = sums.lookup(entry_of(p, "top"));
+  ASSERT_NE(top, nullptr);
+  // top transitively reads a0 (via mid -> leaf).
+  EXPECT_TRUE(top->may_use.contains(isa::a0));
+  EXPECT_FALSE(top->may_use.contains(isa::a3));
+  // And definitely writes a0 transitively.
+  EXPECT_TRUE(top->must_def.contains(isa::a0));
+}
+
+TEST(Summaries, CallSiteLivenessSharpens) {
+  // At the `call leaf` inside mid: with the ABI model all argument
+  // registers are live (potential args); with summaries only a0 is.
+  auto p = parse_src(kChain);
+  const auto* mid = p.co->function_named("mid");
+  ASSERT_NE(mid, nullptr);
+  const parse::Block* callsite = nullptr;
+  for (const auto& [a, b] : mid->blocks())
+    for (const auto& e : b->succs())
+      if (e.type == parse::EdgeType::Call) callsite = b.get();
+  ASSERT_NE(callsite, nullptr);
+  const std::size_t term = callsite->insns().size() - 1;
+
+  Liveness abi(*mid);
+  EXPECT_TRUE(abi.live_before(callsite, term).contains(isa::a2));
+  EXPECT_TRUE(abi.live_before(callsite, term).contains(isa::a7));
+
+  Summaries sums(*p.co);
+  Liveness sharp(*mid, &sums);
+  EXPECT_TRUE(sharp.live_before(callsite, term).contains(isa::a0));
+  // a1 stays live either way: it can pass through leaf and mid to mid's
+  // caller as a potential second return value. a2-a7 cannot (they are not
+  // return registers), so the summary frees them.
+  EXPECT_TRUE(sharp.live_before(callsite, term).contains(isa::a1));
+  EXPECT_FALSE(sharp.live_before(callsite, term).contains(isa::a2));
+  EXPECT_FALSE(sharp.live_before(callsite, term).contains(isa::a7));
+  // More dead registers for instrumentation at the call site.
+  EXPECT_GT(sharp.dead_before(callsite, term).count(),
+            abi.dead_before(callsite, term).count());
+}
+
+TEST(Summaries, RecursiveFunctionsStaySound) {
+  const auto bin = assembler::assemble(workloads::fib_program(10));
+  CodeObject co(bin);
+  co.parse();
+  Summaries sums(co);
+  const auto* fib = co.function_named("fib");
+  ASSERT_NE(fib, nullptr);
+  const auto* s = sums.lookup(fib->entry());
+  ASSERT_NE(s, nullptr);
+  // fib reads a0; its intra-SCC recursion falls back to the ABI model, so
+  // may_use keeps the full argument set — sound, never under-approximate.
+  EXPECT_TRUE(s->may_use.contains(isa::a0));
+  // The base case (n < 2) returns with a0 untouched, so a0 is NOT a
+  // must-def; t0 (the threshold constant) is written on every path.
+  EXPECT_FALSE(s->must_def.contains(isa::a0));
+  EXPECT_TRUE(s->must_def.contains(isa::t0));
+}
+
+TEST(Summaries, UnknownCalleeForcesConservative) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl fptr
+_start:
+    li a7, 93
+    ecall
+fptr:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    jalr ra, 0(a5)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)");
+  Summaries sums(*p.co);
+  const auto* s = sums.lookup(entry_of(p, "fptr"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->precise);
+  EXPECT_TRUE(s->must_def.empty());     // guarantees nothing
+  EXPECT_TRUE(s->may_use.contains(isa::a0));  // full ABI argument set
+  EXPECT_TRUE(s->may_use.contains(isa::a7));
+}
+
+TEST(Summaries, InstrumentedBinariesStillCorrect) {
+  // End-to-end guard: summary-driven liveness must never let the patcher
+  // clobber a register the program needs. Reuse the chain workload with
+  // deep instrumentation and verify behaviour.
+  auto st = assembler::assemble(kChain);
+  patch::BinaryEditor editor(st);
+  const auto c = editor.alloc_var("c");
+  for (const auto& [entry, f] : editor.code().functions())
+    editor.insert_at(entry, patch::PointType::BlockEntry,
+                     codegen::increment(c));
+  const auto rewritten = editor.commit();
+  emu::Machine base, inst;
+  base.load(st);
+  base.run(100000);
+  inst.load(rewritten);
+  inst.run(200000);
+  EXPECT_EQ(inst.exit_code(), base.exit_code());
+  EXPECT_GT(inst.memory().read(c.addr, 8), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,470 @@
+// InstructionAPI tests: decoding, encoding, operand access information,
+// extension gating, and encode->decode round-trip properties.
+#include <gtest/gtest.h>
+
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+
+namespace {
+
+using namespace rvdyn::isa;
+
+Instruction decode32_or_die(std::uint32_t word,
+                            ExtensionSet profile = ExtensionSet::rv64gc()) {
+  Decoder dec(profile);
+  Instruction out;
+  EXPECT_TRUE(dec.decode32(word, &out)) << std::hex << word;
+  return out;
+}
+
+// ---- basic decode checks against hand-encoded words ----
+
+TEST(Decode, AddiSpSpMinus16) {
+  // addi sp, sp, -16  =  0xff010113
+  Instruction i = decode32_or_die(0xff010113);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::addi);
+  EXPECT_EQ(i.length(), 4u);
+  ASSERT_EQ(i.num_operands(), 3u);
+  EXPECT_EQ(i.operand(0).reg, sp);
+  EXPECT_TRUE(i.operand(0).writes());
+  EXPECT_EQ(i.operand(1).reg, sp);
+  EXPECT_TRUE(i.operand(1).reads());
+  EXPECT_EQ(i.operand(2).imm, -16);
+  EXPECT_EQ(i.to_string(), "addi sp, sp, -16");
+}
+
+TEST(Decode, LoadDoubleword) {
+  // ld a0, 8(sp) = 0x00813503
+  Instruction i = decode32_or_die(0x00813503);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::ld);
+  EXPECT_TRUE(i.reads_memory());
+  ASSERT_EQ(i.num_operands(), 2u);
+  EXPECT_EQ(i.operand(0).reg, a0);
+  EXPECT_TRUE(i.operand(0).writes());
+  const Operand& mem = i.operand(1);
+  EXPECT_TRUE(mem.is_mem());
+  EXPECT_EQ(mem.reg, sp);
+  EXPECT_EQ(mem.imm, 8);
+  EXPECT_EQ(mem.size, 8);
+  EXPECT_TRUE(mem.reads());
+}
+
+TEST(Decode, StoreWord) {
+  // sw a5, -20(s0) = 0xfef42623
+  Instruction i = decode32_or_die(0xfef42623);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::sw);
+  EXPECT_TRUE(i.writes_memory());
+  EXPECT_EQ(i.operand(0).reg, a5);
+  EXPECT_TRUE(i.operand(0).reads());
+  EXPECT_EQ(i.operand(1).reg, s0);
+  EXPECT_EQ(i.operand(1).imm, -20);
+  EXPECT_EQ(i.operand(1).size, 4);
+  EXPECT_TRUE(i.operand(1).writes());
+}
+
+TEST(Decode, JalRa) {
+  // jal ra, +2048 -> 0x7ff0 00ef? Build via encoder, verify decoder fields.
+  Instruction i =
+      assemble(Mnemonic::jal, {Instruction::reg_op(ra, Operand::kWrite),
+                               Instruction::pcrel_op(2048)});
+  EXPECT_TRUE(i.is_jal());
+  EXPECT_EQ(i.link_reg(), ra);
+  EXPECT_EQ(i.branch_offset(), 2048);
+}
+
+TEST(Decode, JalrIsIndirect) {
+  // jalr x0, 0(ra) = ret = 0x00008067
+  Instruction i = decode32_or_die(0x00008067);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::jalr);
+  EXPECT_TRUE(i.is_jalr());
+  EXPECT_EQ(i.link_reg(), zero);
+  EXPECT_EQ(i.operand(1).reg, ra);
+}
+
+TEST(Decode, BranchOffsets) {
+  // beq a0, a1, -8
+  Instruction i =
+      assemble(Mnemonic::beq, {Instruction::reg_op(a0, Operand::kRead),
+                               Instruction::reg_op(a1, Operand::kRead),
+                               Instruction::pcrel_op(-8)});
+  EXPECT_TRUE(i.is_cond_branch());
+  EXPECT_EQ(i.branch_offset(), -8);
+}
+
+TEST(Decode, LuiEffectiveConstant) {
+  Instruction i =
+      assemble(Mnemonic::lui, {Instruction::reg_op(t0, Operand::kWrite),
+                               Instruction::imm_op(0x12345000)});
+  EXPECT_EQ(i.mnemonic(), Mnemonic::lui);
+  EXPECT_EQ(i.operand(1).imm, 0x12345000);
+}
+
+TEST(Decode, AuipcNegative) {
+  Instruction i =
+      assemble(Mnemonic::auipc, {Instruction::reg_op(t0, Operand::kWrite),
+                                 Instruction::imm_op(-0x1000)});
+  EXPECT_EQ(i.operand(1).imm, -0x1000);
+}
+
+TEST(Decode, EcallEbreak) {
+  EXPECT_EQ(decode32_or_die(0x00000073).mnemonic(), Mnemonic::ecall);
+  EXPECT_EQ(decode32_or_die(0x00100073).mnemonic(), Mnemonic::ebreak);
+}
+
+TEST(Decode, InvalidWord) {
+  Decoder dec;
+  Instruction out;
+  EXPECT_FALSE(dec.decode32(0x00000000, &out));
+  EXPECT_FALSE(dec.decode32(0xffffffff, &out));
+}
+
+TEST(Decode, MulRequiresMExtension) {
+  // mul a0, a1, a2 should decode under rv64gc but not rv64i.
+  const std::uint32_t word = 0x02c58533;
+  Instruction out;
+  EXPECT_TRUE(Decoder(ExtensionSet::rv64gc()).decode32(word, &out));
+  EXPECT_EQ(out.mnemonic(), Mnemonic::mul);
+  EXPECT_FALSE(Decoder(ExtensionSet::rv64i()).decode32(word, &out));
+}
+
+TEST(Decode, FloatDoubleOps) {
+  // fadd.d fa0, fa1, fa2 (rm=dynamic) = 0x02c5f553
+  Instruction i = decode32_or_die(0x02c5f553);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::fadd_d);
+  EXPECT_TRUE(i.has_flag(F_FLOAT));
+  EXPECT_EQ(i.operand(0).reg, f(10));
+  EXPECT_EQ(i.operand(1).reg, f(11));
+  EXPECT_EQ(i.operand(2).reg, f(12));
+}
+
+TEST(Decode, AtomicAmoAdd) {
+  // amoadd.w a0, a1, (a2): f5=00000, f3=010
+  Instruction i = assemble(
+      Mnemonic::amoadd_w,
+      {Instruction::reg_op(a0, Operand::kWrite),
+       Instruction::reg_op(a1, Operand::kRead),
+       Instruction::mem_op(a2, 0, 4, Operand::kRW)});
+  EXPECT_TRUE(i.has_flag(F_ATOMIC));
+  EXPECT_TRUE(i.reads_memory());
+  EXPECT_TRUE(i.writes_memory());
+}
+
+// ---- register sets ----
+
+TEST(RegSets, ReadWriteSets) {
+  // add a0, a1, a2
+  Instruction i = decode32_or_die(0x00c58533);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::add);
+  RegSet r = i.regs_read();
+  EXPECT_TRUE(r.contains(a1));
+  EXPECT_TRUE(r.contains(a2));
+  EXPECT_FALSE(r.contains(a0));
+  RegSet w = i.regs_written();
+  EXPECT_TRUE(w.contains(a0));
+  EXPECT_EQ(w.count(), 1u);
+}
+
+TEST(RegSets, WritesToX0AreDropped) {
+  // addi x0, x0, 0 (canonical nop)
+  Instruction i = decode32_or_die(0x00000013);
+  EXPECT_TRUE(i.regs_written().empty());
+}
+
+TEST(RegSets, MemBaseIsRead) {
+  Instruction i = decode32_or_die(0x00813503);  // ld a0, 8(sp)
+  EXPECT_TRUE(i.regs_read().contains(sp));
+}
+
+// ---- compressed decoding ----
+
+TEST(Compressed, CAddi) {
+  // c.addi sp, -16: f3=000 q1, rd=2, imm=-16 -> 0x1141
+  Decoder dec;
+  Instruction i;
+  ASSERT_TRUE(dec.decode16(0x1141, &i));
+  EXPECT_EQ(i.mnemonic(), Mnemonic::addi);
+  EXPECT_TRUE(i.compressed());
+  EXPECT_EQ(i.length(), 2u);
+  EXPECT_EQ(i.operand(0).reg, sp);
+  EXPECT_EQ(i.operand(2).imm, -16);
+}
+
+TEST(Compressed, CLiAndCMv) {
+  Decoder dec;
+  Instruction i;
+  // c.li a0, 1 = 0x4505
+  ASSERT_TRUE(dec.decode16(0x4505, &i));
+  EXPECT_EQ(i.mnemonic(), Mnemonic::addi);
+  EXPECT_EQ(i.operand(0).reg, a0);
+  EXPECT_EQ(i.operand(1).reg, zero);
+  EXPECT_EQ(i.operand(2).imm, 1);
+  // c.mv a0, a1 = 0x852e
+  ASSERT_TRUE(dec.decode16(0x852e, &i));
+  EXPECT_EQ(i.mnemonic(), Mnemonic::add);
+  EXPECT_EQ(i.operand(0).reg, a0);
+  EXPECT_EQ(i.operand(1).reg, zero);
+  EXPECT_EQ(i.operand(2).reg, a1);
+}
+
+TEST(Compressed, CJrIsJalr) {
+  // c.jr ra (= ret) = 0x8082
+  Decoder dec;
+  Instruction i;
+  ASSERT_TRUE(dec.decode16(0x8082, &i));
+  EXPECT_EQ(i.mnemonic(), Mnemonic::jalr);
+  EXPECT_TRUE(i.compressed());
+  EXPECT_EQ(i.link_reg(), zero);
+  EXPECT_EQ(i.operand(1).reg, ra);
+}
+
+TEST(Compressed, CEbreak) {
+  Decoder dec;
+  Instruction i;
+  ASSERT_TRUE(dec.decode16(0x9002, &i));
+  EXPECT_EQ(i.mnemonic(), Mnemonic::ebreak);
+}
+
+TEST(Compressed, RejectedWithoutCExtension) {
+  Decoder dec(ExtensionSet::rv64g());
+  const std::uint8_t bytes[] = {0x41, 0x11};  // c.addi sp, -16
+  Instruction i;
+  EXPECT_EQ(dec.decode(bytes, sizeof(bytes), &i), 0u);
+}
+
+TEST(Compressed, AllZeroHalfwordIsInvalid) {
+  Decoder dec;
+  Instruction i;
+  EXPECT_FALSE(dec.decode16(0x0000, &i));
+}
+
+// ---- stream decoding ----
+
+TEST(Stream, MixedWidths) {
+  // c.addi sp,-16 ; addi a0, a0, 1 ; c.ebreak
+  const std::uint8_t bytes[] = {0x41, 0x11, 0x13, 0x05,
+                                0x15, 0x00, 0x02, 0x90};
+  Decoder dec;
+  Instruction i;
+  std::size_t off = 0;
+  unsigned n = dec.decode(bytes + off, sizeof(bytes) - off, &i);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::addi);
+  off += n;
+  n = dec.decode(bytes + off, sizeof(bytes) - off, &i);
+  ASSERT_EQ(n, 4u);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::addi);
+  EXPECT_EQ(i.operand(2).imm, 1);
+  off += n;
+  n = dec.decode(bytes + off, sizeof(bytes) - off, &i);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(i.mnemonic(), Mnemonic::ebreak);
+}
+
+TEST(Stream, TruncatedBuffer) {
+  const std::uint8_t bytes[] = {0x13};  // first byte of a 4-byte insn
+  Decoder dec;
+  Instruction i;
+  EXPECT_EQ(dec.decode(bytes, 1, &i), 0u);
+}
+
+// ---- encode -> decode round-trip properties ----
+
+struct RoundTripCase {
+  Mnemonic mn;
+  std::vector<Operand> ops;
+};
+
+class EncodeRoundTrip : public ::testing::TestWithParam<int> {};
+
+// Every R-type integer op over a sweep of register triples.
+TEST_P(EncodeRoundTrip, RTypeSweep) {
+  const int seed = GetParam();
+  static const Mnemonic kRType[] = {
+      Mnemonic::add,  Mnemonic::sub,  Mnemonic::sll,  Mnemonic::slt,
+      Mnemonic::sltu, Mnemonic::xor_, Mnemonic::srl,  Mnemonic::sra,
+      Mnemonic::or_,  Mnemonic::and_, Mnemonic::addw, Mnemonic::subw,
+      Mnemonic::mul,  Mnemonic::div,  Mnemonic::remu, Mnemonic::mulhu};
+  for (const Mnemonic mn : kRType) {
+    const Reg rd = x(static_cast<std::uint8_t>((seed * 7 + 3) % 32));
+    const Reg rs1 = x(static_cast<std::uint8_t>((seed * 5 + 11) % 32));
+    const Reg rs2 = x(static_cast<std::uint8_t>((seed * 3 + 17) % 32));
+    Instruction i =
+        assemble(mn, {Instruction::reg_op(rd, Operand::kWrite),
+                      Instruction::reg_op(rs1, Operand::kRead),
+                      Instruction::reg_op(rs2, Operand::kRead)});
+    EXPECT_EQ(i.mnemonic(), mn);
+    EXPECT_EQ(i.operand(0).reg, rd);
+    EXPECT_EQ(i.operand(1).reg, rs1);
+    EXPECT_EQ(i.operand(2).reg, rs2);
+  }
+}
+
+TEST_P(EncodeRoundTrip, ITypeImmediateSweep) {
+  const int seed = GetParam();
+  const std::int64_t imms[] = {-2048, -1, 0, 1, 7, 42, 2047,
+                               seed * 97 % 2048};
+  for (const std::int64_t imm : imms) {
+    Instruction i =
+        assemble(Mnemonic::addi, {Instruction::reg_op(a0, Operand::kWrite),
+                                  Instruction::reg_op(a1, Operand::kRead),
+                                  Instruction::imm_op(imm)});
+    EXPECT_EQ(i.operand(2).imm, imm);
+  }
+}
+
+TEST_P(EncodeRoundTrip, BranchOffsetSweep) {
+  const int seed = GetParam();
+  const std::int64_t offs[] = {-4096, -2, 0, 2, 8, 4094,
+                               (seed * 61 % 2048) * 2 - 2048};
+  for (const std::int64_t off : offs) {
+    Instruction i =
+        assemble(Mnemonic::bne, {Instruction::reg_op(a0, Operand::kRead),
+                                 Instruction::reg_op(zero, Operand::kRead),
+                                 Instruction::pcrel_op(off)});
+    EXPECT_EQ(i.branch_offset(), off);
+  }
+}
+
+TEST_P(EncodeRoundTrip, JalOffsetSweep) {
+  const int seed = GetParam();
+  const std::int64_t offs[] = {-1048576, -2, 0, 2, 1048574,
+                               (seed * 4099 % 1000000) * 2 - 1000000};
+  for (const std::int64_t off : offs) {
+    Instruction i =
+        assemble(Mnemonic::jal, {Instruction::reg_op(ra, Operand::kWrite),
+                                 Instruction::pcrel_op(off)});
+    EXPECT_EQ(i.branch_offset(), off);
+  }
+}
+
+TEST_P(EncodeRoundTrip, MemoryDisplacementSweep) {
+  const int seed = GetParam();
+  const std::int64_t disps[] = {-2048, -8, 0, 8, 2047, seed * 13 % 2048};
+  for (const std::int64_t d : disps) {
+    Instruction ld_i =
+        assemble(Mnemonic::ld, {Instruction::reg_op(a0, Operand::kWrite),
+                                Instruction::mem_op(sp, d, 8, Operand::kRead)});
+    EXPECT_EQ(ld_i.operand(1).imm, d);
+    Instruction sd_i = assemble(
+        Mnemonic::sd, {Instruction::reg_op(a0, Operand::kRead),
+                       Instruction::mem_op(sp, d, 8, Operand::kWrite)});
+    EXPECT_EQ(sd_i.operand(1).imm, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EncodeRoundTrip, ::testing::Range(0, 16));
+
+// Exhaustive compressed round-trip: for every 16-bit pattern that decodes,
+// compressing the expansion must give back an equivalent instruction.
+TEST(Compressed, ExhaustiveExpandCompressRoundTrip) {
+  Decoder dec;
+  unsigned decoded = 0, recompressed = 0;
+  for (std::uint32_t h = 0; h <= 0xffff; ++h) {
+    if (!is_compressed_encoding(static_cast<std::uint16_t>(h))) continue;
+    Instruction exp;
+    if (!dec.decode16(static_cast<std::uint16_t>(h), &exp)) continue;
+    ++decoded;
+    auto back = compress(exp);
+    if (!back) continue;  // hints and a few asymmetric forms stay expanded
+    ++recompressed;
+    // Re-expanding the compressed encoding must give the same instruction.
+    Instruction exp2;
+    ASSERT_TRUE(dec.decode16(*back, &exp2)) << std::hex << h;
+    EXPECT_EQ(exp.mnemonic(), exp2.mnemonic()) << std::hex << h;
+    ASSERT_EQ(exp.num_operands(), exp2.num_operands()) << std::hex << h;
+    for (unsigned k = 0; k < exp.num_operands(); ++k) {
+      EXPECT_EQ(static_cast<int>(exp.operand(k).kind),
+                static_cast<int>(exp2.operand(k).kind));
+      EXPECT_EQ(exp.operand(k).reg, exp2.operand(k).reg) << std::hex << h;
+      EXPECT_EQ(exp.operand(k).imm, exp2.operand(k).imm) << std::hex << h;
+    }
+  }
+  // Sanity: a substantial portion of the compressed space decodes and
+  // round-trips (c.nop-style hints legitimately stay expanded).
+  EXPECT_GT(decoded, 20000u);
+  EXPECT_GT(recompressed, 15000u);
+}
+
+// Exhaustive-by-construction 32-bit round trip: decode every word that any
+// table entry could produce by sweeping the operand fields.
+TEST(Decode, TableDrivenFieldSweep) {
+  Decoder dec(ExtensionSet(0xffff));  // accept every known extension
+  for (std::uint16_t m = 0; m < static_cast<std::uint16_t>(Mnemonic::kCount);
+       ++m) {
+    const OpcodeInfo& info = opcode_info(static_cast<Mnemonic>(m));
+    // Sweep a few register-field patterns through the unmasked bits.
+    for (const std::uint32_t fill :
+         {0u, 0xffffffffu, 0x55555555u, 0xaaaaaaaau, 0x12345678u}) {
+      const std::uint32_t word = info.match | (fill & ~info.mask);
+      Instruction out;
+      ASSERT_TRUE(dec.decode32(word, &out))
+          << info.text << " fill=" << std::hex << fill;
+      EXPECT_EQ(out.mnemonic(), static_cast<Mnemonic>(m))
+          << info.text << " fill=" << std::hex << fill
+          << " decoded as " << mnemonic_name(out.mnemonic());
+    }
+  }
+}
+
+TEST(Encode, OutOfRangeImmediatesThrow) {
+  EXPECT_THROW(
+      assemble(Mnemonic::addi, {Instruction::reg_op(a0, Operand::kWrite),
+                                Instruction::reg_op(a0, Operand::kRead),
+                                Instruction::imm_op(4096)}),
+      rvdyn::Error);
+  EXPECT_THROW(
+      assemble(Mnemonic::jal, {Instruction::reg_op(ra, Operand::kWrite),
+                               Instruction::pcrel_op(1 << 21)}),
+      rvdyn::Error);
+  EXPECT_THROW(
+      assemble(Mnemonic::beq, {Instruction::reg_op(a0, Operand::kRead),
+                               Instruction::reg_op(a1, Operand::kRead),
+                               Instruction::pcrel_op(3)}),  // misaligned
+      rvdyn::Error);
+}
+
+// ---- registers and extensions ----
+
+TEST(Registers, NamesAndParsing) {
+  EXPECT_EQ(reg_name(sp), "sp");
+  EXPECT_EQ(reg_name(f(10)), "fa0");
+  EXPECT_EQ(reg_arch_name(t6), "x31");
+  Reg r;
+  EXPECT_TRUE(parse_reg("a0", &r));
+  EXPECT_EQ(r, a0);
+  EXPECT_TRUE(parse_reg("x8", &r));
+  EXPECT_EQ(r, s0);
+  EXPECT_TRUE(parse_reg("fp", &r));
+  EXPECT_EQ(r, s0);
+  EXPECT_TRUE(parse_reg("ft11", &r));
+  EXPECT_EQ(r, f(31));
+  EXPECT_FALSE(parse_reg("x32", &r));
+  EXPECT_FALSE(parse_reg("bogus", &r));
+}
+
+TEST(Registers, CallerSaved) {
+  EXPECT_TRUE(is_caller_saved(t0));
+  EXPECT_TRUE(is_caller_saved(a7));
+  EXPECT_TRUE(is_caller_saved(ra));
+  EXPECT_FALSE(is_caller_saved(s0));
+  EXPECT_FALSE(is_caller_saved(sp));
+  EXPECT_TRUE(is_caller_saved(f(0)));
+  EXPECT_FALSE(is_caller_saved(f(9)));
+}
+
+TEST(Extensions, IsaStringRoundTrip) {
+  const ExtensionSet gc = ExtensionSet::rv64gc();
+  EXPECT_EQ(parse_isa_string(isa_string(gc)), gc);
+  EXPECT_TRUE(parse_isa_string("rv64gc").has(Extension::M));
+  EXPECT_TRUE(parse_isa_string("rv64gc").has(Extension::C));
+  EXPECT_TRUE(parse_isa_string("rv64gc").has(Extension::Zicsr));
+  EXPECT_FALSE(parse_isa_string("rv64imac").has(Extension::D));
+  EXPECT_TRUE(parse_isa_string("rv64i2p1_m2a_zicsr2p0").has(Extension::M));
+}
+
+TEST(Extensions, ProfileInclusion) {
+  EXPECT_TRUE(ExtensionSet::rv64gc().includes(ExtensionSet::rv64g()));
+  EXPECT_FALSE(ExtensionSet::rv64g().includes(ExtensionSet::rv64gc()));
+}
+
+}  // namespace

@@ -1,0 +1,508 @@
+// ParseAPI tests: CFG construction, block splitting, and the paper's
+// jal/jalr multi-use classification (§3.2.3) — returns, calls, jumps,
+// tail calls, jump tables, and unresolvable transfers.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "parse/classify.hpp"
+#include "parse/loops.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using parse::BranchKind;
+using parse::Block;
+using parse::CodeObject;
+using parse::EdgeType;
+using parse::Function;
+
+struct Parsed {
+  symtab::Symtab st;
+  std::unique_ptr<CodeObject> co;
+};
+
+Parsed parse_src(const std::string& src, parse::ParseOptions opts = {},
+                 assembler::Options aopts = {}) {
+  Parsed p{assembler::assemble(src, aopts), nullptr};
+  p.co = std::make_unique<CodeObject>(p.st);
+  p.co->parse(opts);
+  return p;
+}
+
+bool has_edge(const Block* b, EdgeType t) {
+  for (const auto& e : b->succs())
+    if (e.type == t) return true;
+  return false;
+}
+
+const parse::Edge* edge_of(const Block* b, EdgeType t) {
+  for (const auto& e : b->succs())
+    if (e.type == t) return &e;
+  return nullptr;
+}
+
+// Terminating block(s) of a function with a given edge type.
+std::vector<const Block*> blocks_with_edge(const Function* f, EdgeType t) {
+  std::vector<const Block*> out;
+  for (const auto& [a, b] : f->blocks())
+    if (has_edge(b.get(), t)) out.push_back(b.get());
+  return out;
+}
+
+TEST(Parse, StraightLineFunction) {
+  auto p = parse_src(R"(
+    .globl _start
+_start:
+    li a0, 0
+    li a7, 93
+    ecall
+)");
+  Function* f = p.co->function_named("_start");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->blocks().size(), 1u);
+  EXPECT_EQ(f->entry_block()->insns().size(), 3u);  // li, li, ecall
+}
+
+TEST(Parse, BranchSplitsIntoDiamond) {
+  auto p = parse_src(R"(
+    .globl _start
+_start:
+    beqz a0, iszero
+    li a1, 1
+    j done
+iszero:
+    li a1, 0
+done:
+    li a7, 93
+    ecall
+)");
+  Function* f = p.co->function_named("_start");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->blocks().size(), 4u);
+  const Block* entry = f->entry_block();
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(has_edge(entry, EdgeType::Taken));
+  EXPECT_TRUE(has_edge(entry, EdgeType::NotTaken));
+}
+
+TEST(Parse, BackwardBranchSplitsLoopHead) {
+  auto p = parse_src(R"(
+    .globl _start
+_start:
+    li t0, 10
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    li a7, 93
+    ecall
+)");
+  Function* f = p.co->function_named("_start");
+  ASSERT_NE(f, nullptr);
+  // Blocks: entry (li), loop body, exit.
+  EXPECT_EQ(f->blocks().size(), 3u);
+  const auto loops = parse::find_loops(*f);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].blocks.size(), 1u);
+  EXPECT_EQ(loops[0].backedge_sources.size(), 1u);
+  EXPECT_EQ(loops[0].backedge_sources[0], loops[0].header);
+}
+
+TEST(Parse, CallCreatesInterproceduralEdgeAndFallthrough) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl callee
+_start:
+    call callee
+    li a7, 93
+    ecall
+callee:
+    ret
+)");
+  Function* f = p.co->function_named("_start");
+  Function* callee = p.co->function_named("callee");
+  ASSERT_NE(f, nullptr);
+  ASSERT_NE(callee, nullptr);
+  const auto callers = blocks_with_edge(f, EdgeType::Call);
+  ASSERT_EQ(callers.size(), 1u);
+  EXPECT_EQ(edge_of(callers[0], EdgeType::Call)->target, callee->entry());
+  EXPECT_TRUE(has_edge(callers[0], EdgeType::CallFallthrough));
+  EXPECT_TRUE(f->callees().count(callee->entry()));
+  EXPECT_EQ(f->stats().n_calls, 1u);
+}
+
+TEST(Parse, ReturnViaJalrRa) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi a0, a0, 1
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_returns, 1u);
+  EXPECT_FALSE(blocks_with_edge(f, EdgeType::Return).empty());
+}
+
+TEST(Parse, TailCallViaJalJump) {
+  // A plain j to another function's entry is a tail call (paper §3.2.3).
+  auto p = parse_src(R"(
+    .globl f
+    .globl g
+f:
+    addi a0, a0, 1
+    j g
+g:
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_tail_calls, 1u);
+  const auto tails = blocks_with_edge(f, EdgeType::TailCall);
+  ASSERT_EQ(tails.size(), 1u);
+  EXPECT_EQ(edge_of(tails[0], EdgeType::TailCall)->target,
+            p.co->function_named("g")->entry());
+}
+
+TEST(Parse, TailCallViaAuipcJalrPseudo) {
+  // The `tail` pseudo expands to auipc t1 + jalr x0, lo(t1): exactly the
+  // multi-instruction sequence the paper says ParseAPI must fuse.
+  auto p = parse_src(R"(
+    .globl f
+    .globl g
+f:
+    addi a0, a0, 1
+    tail g
+g:
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_tail_calls, 1u);
+  EXPECT_TRUE(f->callees().count(p.co->function_named("g")->entry()));
+}
+
+TEST(Parse, FarCallViaAuipcJalrIsACall) {
+  auto p = parse_src(R"(
+    .globl _start
+    .globl far
+_start:
+    call far
+    li a7, 93
+    ecall
+far:
+    ret
+)");
+  Function* f = p.co->function_named("_start");
+  ASSERT_NE(f, nullptr);
+  // `call` expands to auipc ra + jalr ra: must classify as a call with a
+  // resolved target, not an unresolved indirect jump.
+  EXPECT_EQ(f->stats().n_calls, 1u);
+  EXPECT_EQ(f->stats().n_unresolved, 0u);
+  EXPECT_TRUE(f->callees().count(p.co->function_named("far")->entry()));
+}
+
+TEST(Parse, IntraFunctionIndirectJumpViaConstant) {
+  // An auipc+jalr pair targeting a label in the same function must be an
+  // unconditional Jump, not a call or tail call.
+  auto p = parse_src(R"(
+    .globl f
+f:
+    la t0, inside
+    jr t0
+    nop
+inside:
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_tail_calls, 0u);
+  const auto jumps = blocks_with_edge(f, EdgeType::Jump);
+  ASSERT_EQ(jumps.size(), 1u);
+  ASSERT_NE(f->block_at(edge_of(jumps[0], EdgeType::Jump)->target), nullptr);
+}
+
+TEST(Parse, JumpTableResolved) {
+  auto p = parse_src(R"(
+    .rodata
+    .align 3
+table:
+    .dword case0
+    .dword case1
+    .dword case2
+    .dword case3
+    .text
+    .globl dispatch
+dispatch:
+    li t0, 4
+    bgeu a0, t0, default
+    slli t1, a0, 3
+    la t2, table
+    add t1, t1, t2
+    ld t1, 0(t1)
+    jr t1
+case0: li a0, 10
+       ret
+case1: li a0, 20
+       ret
+case2: li a0, 30
+       ret
+case3: li a0, 40
+       ret
+default:
+    li a0, 99
+    ret
+)");
+  Function* f = p.co->function_named("dispatch");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_jump_tables, 1u);
+  const auto dispatchers = blocks_with_edge(f, EdgeType::IndirectJump);
+  ASSERT_EQ(dispatchers.size(), 1u);
+  unsigned n_indirect = 0;
+  for (const auto& e : dispatchers[0]->succs())
+    if (e.type == EdgeType::IndirectJump) ++n_indirect;
+  EXPECT_EQ(n_indirect, 4u);  // the bound check caps the table at 4 entries
+  // All four case blocks reached and parsed (each ends in a return).
+  EXPECT_EQ(f->stats().n_returns, 5u);
+}
+
+TEST(Parse, UnresolvedIndirectCall) {
+  // A function-pointer call through an argument register cannot resolve.
+  auto p = parse_src(R"(
+    .globl f
+f:
+    jalr ra, 0(a0)
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  // jalr with a link register is a call even when the target is unknown.
+  EXPECT_EQ(f->stats().n_calls, 1u);
+}
+
+TEST(Parse, UnresolvedIndirectJump) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    jr a1
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->stats().n_unresolved, 1u);
+}
+
+TEST(Parse, FunctionDiscoveryThroughCallsOnly) {
+  // helper has no symbol: it must be discovered via the call edge.
+  assembler::Options aopts;
+  auto st = assembler::assemble(R"(
+    .globl _start
+_start:
+    call helper
+    li a7, 93
+    ecall
+helper:
+    ret
+)", aopts);
+  // Strip all symbols except _start to force traversal discovery.
+  auto& syms = st.symbols();
+  syms.erase(std::remove_if(syms.begin(), syms.end(),
+                            [](const symtab::Symbol& s) {
+                              return s.name != "_start";
+                            }),
+             syms.end());
+  CodeObject co(st);
+  co.parse();
+  ASSERT_EQ(co.functions().size(), 2u);
+  // The discovered function gets a synthetic name.
+  bool found = false;
+  for (const auto& [a, f] : co.functions())
+    if (f->name().rfind("func_", 0) == 0) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Parse, GapParsingFindsUnreferencedFunction) {
+  // orphan is never called and has no symbol; gap parsing must find its
+  // prologue (addi sp, sp, -16).
+  auto st = assembler::assemble(R"(
+    .globl _start
+_start:
+    li a7, 93
+    ecall
+orphan:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)");
+  auto& syms = st.symbols();
+  syms.erase(std::remove_if(syms.begin(), syms.end(),
+                            [](const symtab::Symbol& s) {
+                              return s.name != "_start";
+                            }),
+             syms.end());
+  CodeObject co(st);
+  parse::ParseOptions opts;
+  opts.gap_parsing = true;
+  co.parse(opts);
+  EXPECT_GE(co.functions().size(), 2u);
+
+  parse::ParseOptions no_gaps;
+  no_gaps.gap_parsing = false;
+  CodeObject co2(st);
+  co2.parse(no_gaps);
+  EXPECT_EQ(co2.functions().size(), 1u);
+}
+
+TEST(Parse, PredecessorsRebuilt) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    beqz a0, a
+    j b
+a:  nop
+b:  ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  // Block "b" has two predecessors: the jump block and fallthrough from a.
+  unsigned max_preds = 0;
+  for (const auto& [addr, blk] : f->blocks())
+    max_preds = std::max(max_preds,
+                         static_cast<unsigned>(blk->preds().size()));
+  EXPECT_EQ(max_preds, 2u);
+}
+
+TEST(Parse, NestedLoops) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    li t0, 0          # i
+outer:
+    li t1, 0          # j
+inner:
+    addi t1, t1, 1
+    li t3, 10
+    blt t1, t3, inner
+    addi t0, t0, 1
+    li t3, 10
+    blt t0, t3, outer
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  const auto loops = parse::find_loops(*f);
+  ASSERT_EQ(loops.size(), 2u);
+  // The outer loop strictly contains the inner one.
+  const auto& a = loops[0].blocks.size() > loops[1].blocks.size() ? loops[0] : loops[1];
+  const auto& b = loops[0].blocks.size() > loops[1].blocks.size() ? loops[1] : loops[0];
+  for (std::uint64_t blk : b.blocks) EXPECT_TRUE(a.contains(blk));
+  EXPECT_GT(a.blocks.size(), b.blocks.size());
+}
+
+TEST(Parse, DominatorsOfDiamond) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    beqz a0, l
+    nop
+    j m
+l:  nop
+m:  ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  const auto idom = parse::immediate_dominators(*f);
+  // Every block's immediate dominator chain reaches the entry.
+  for (const auto& [addr, blk] : f->blocks()) {
+    if (!idom.count(addr)) continue;
+    EXPECT_TRUE(parse::dominates(idom, f->entry(), addr));
+  }
+  // The join block is dominated by the entry but not by either arm.
+  const Block* join = nullptr;
+  for (const auto& [addr, blk] : f->blocks())
+    if (blk->preds().size() == 2) join = blk.get();
+  ASSERT_NE(join, nullptr);
+  for (const Block* pred : join->preds())
+    EXPECT_FALSE(parse::dominates(idom, pred->start(), join->start()));
+}
+
+TEST(Parse, ParallelMatchesSerial) {
+  // Build a binary with many functions and compare serial vs parallel.
+  std::string src = ".globl _start\n_start:\n";
+  for (int i = 0; i < 40; ++i) src += "  call f" + std::to_string(i) + "\n";
+  src += "  li a7, 93\n  ecall\n";
+  for (int i = 0; i < 40; ++i) {
+    src += ".globl f" + std::to_string(i) + "\nf" + std::to_string(i) + ":\n";
+    src += "  addi sp, sp, -16\n  sd ra, 8(sp)\n";
+    src += "  li t0, " + std::to_string(i) + "\n";
+    src += "  beqz t0, f" + std::to_string(i) + "_done\n  nop\n";
+    src += "f" + std::to_string(i) + "_done:\n";
+    src += "  ld ra, 8(sp)\n  addi sp, sp, 16\n  ret\n";
+  }
+  auto st = assembler::assemble(src);
+
+  CodeObject serial(st);
+  parse::ParseOptions sopts;
+  sopts.num_threads = 1;
+  serial.parse(sopts);
+
+  CodeObject par(st);
+  parse::ParseOptions popts;
+  popts.num_threads = 4;
+  par.parse(popts);
+
+  ASSERT_EQ(serial.functions().size(), par.functions().size());
+  for (const auto& [entry, fs] : serial.functions()) {
+    Function* fp = par.function_at(entry);
+    ASSERT_NE(fp, nullptr);
+    EXPECT_EQ(fs->blocks().size(), fp->blocks().size()) << fs->name();
+    EXPECT_EQ(fs->stats().n_returns, fp->stats().n_returns);
+    EXPECT_EQ(fs->callees(), fp->callees());
+    for (const auto& [ba, bb] : fs->blocks()) {
+      Block* other = fp->block_at(ba);
+      ASSERT_NE(other, nullptr);
+      EXPECT_EQ(bb->insns().size(), other->insns().size());
+      EXPECT_EQ(bb->succs().size(), other->succs().size());
+    }
+  }
+}
+
+TEST(Parse, BlockSplittingOnLateDiscoveredTarget) {
+  // The branch lands in the middle of what first parses as one block.
+  auto p = parse_src(R"(
+    .globl f
+f:
+    nop
+    nop
+mid:
+    nop
+    beqz a0, mid
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  ASSERT_NE(f, nullptr);
+  // `mid` must have become its own block.
+  const auto* st_sym = p.st.find_symbol("mid");
+  ASSERT_NE(st_sym, nullptr);
+  EXPECT_NE(f->block_at(st_sym->value), nullptr);
+}
+
+TEST(Parse, StatsAggregate) {
+  auto p = parse_src(R"(
+    .globl _start
+_start:
+    call a
+    call b
+    li a7, 93
+    ecall
+a:  ret
+b:  ret
+)");
+  const auto total = p.co->total_stats();
+  EXPECT_EQ(total.n_calls, 2u);
+  EXPECT_EQ(total.n_returns, 2u);
+  EXPECT_GE(total.n_blocks, 5u);
+  EXPECT_GE(total.n_insns, 8u);
+}
+
+}  // namespace

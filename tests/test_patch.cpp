@@ -1,0 +1,478 @@
+// PatchAPI tests: static binary rewriting end-to-end. Programs are
+// assembled, instrumented, rewritten, re-loaded and executed on the
+// emulator; checks cover behaviour preservation, counter correctness at
+// every point type, the displacement-strategy ladder (§3.1.2) and the
+// trap-table worst case.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using codegen::increment;
+using emu::Machine;
+using emu::StopReason;
+using patch::BinaryEditor;
+using patch::PointType;
+
+int run_binary(const symtab::Symtab& bin, Machine* out_machine = nullptr,
+               std::uint64_t max_steps = 100'000'000) {
+  Machine local;
+  Machine& m = out_machine ? *out_machine : local;
+  m.load(bin);
+  const StopReason r = m.run(max_steps);
+  EXPECT_EQ(static_cast<int>(r), static_cast<int>(StopReason::Exited))
+      << "stopped at pc=0x" << std::hex << m.stop_pc();
+  return m.exit_code();
+}
+
+// Run a rewritten binary that may contain trap springboards: handle
+// Breakpoint stops by consulting the trap table (what ProcControlAPI's
+// runtime does for the paper's §3.1.2 worst case).
+int run_with_traps(const symtab::Symtab& bin,
+                   const std::vector<patch::TrapEntry>& traps, Machine* mp,
+                   std::uint64_t max_steps = 100'000'000) {
+  Machine& m = *mp;
+  m.load(bin);
+  while (true) {
+    const StopReason r = m.run(max_steps);
+    if (r == StopReason::Exited) return m.exit_code();
+    if (r != StopReason::Breakpoint) {
+      ADD_FAILURE() << "unexpected stop " << static_cast<int>(r) << " at 0x"
+                    << std::hex << m.stop_pc();
+      return -1;
+    }
+    bool redirected = false;
+    for (const auto& t : traps)
+      if (t.from == m.pc()) {
+        m.set_pc(t.to);
+        redirected = true;
+        break;
+      }
+    if (!redirected) {
+      ADD_FAILURE() << "trap with no table entry at 0x" << std::hex << m.pc();
+      return -1;
+    }
+  }
+}
+
+constexpr const char* kCallLoop = R"(
+    .globl _start
+    .globl work
+_start:
+    li s0, 0          # i
+    li s1, 10
+loop:
+    mv a0, s0
+    call work
+    addi s0, s0, 1
+    blt s0, s1, loop
+    mv a0, s2         # accumulated result
+    andi a0, a0, 255
+    li a7, 93
+    ecall
+
+work:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    slli a0, a0, 1
+    add s2, s2, a0
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)";
+// sum of 2*i for i in 0..9 = 90
+
+TEST(Patch, FunctionEntryCounter) {
+  auto st = assembler::assemble(kCallLoop);
+  const int base_exit = run_binary(st);
+  ASSERT_EQ(base_exit, 90);
+
+  BinaryEditor editor(st);
+  const auto counter = editor.alloc_var("calls");
+  const auto* f = editor.code().function_named("work");
+  ASSERT_NE(f, nullptr);
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(counter));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);  // behaviour preserved
+  EXPECT_EQ(m.memory().read(counter.addr, 8), 10u);
+  EXPECT_EQ(editor.stats().relocated_functions, 1u);
+  EXPECT_EQ(editor.stats().snippets_inserted, 1u);
+}
+
+TEST(Patch, FunctionExitCounterMatchesEntry) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto entries = editor.alloc_var("entries");
+  const auto exits = editor.alloc_var("exits");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(entries));
+  editor.insert_at(f->entry(), PointType::FuncExit, increment(exits));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(entries.addr, 8), 10u);
+  EXPECT_EQ(m.memory().read(exits.addr, 8), 10u);
+}
+
+TEST(Patch, BasicBlockCounters) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto blocks = editor.alloc_var("blocks");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(f->entry(), PointType::BlockEntry, increment(blocks));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  // work is a single block, executed 10 times.
+  EXPECT_EQ(m.memory().read(blocks.addr, 8),
+            10u * f->blocks().size());
+}
+
+TEST(Patch, CallSiteCounter) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto calls = editor.alloc_var("callsites");
+  const auto* f = editor.code().function_named("_start");
+  editor.insert_at(f->entry(), PointType::CallSite, increment(calls));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(calls.addr, 8), 10u);
+}
+
+TEST(Patch, LoopBackedgeCounter) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto backs = editor.alloc_var("backedges");
+  const auto* f = editor.code().function_named("_start");
+  editor.insert_at(f->entry(), PointType::LoopBackedge, increment(backs));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  // The loop runs 10 iterations: 9 back edges.
+  EXPECT_EQ(m.memory().read(backs.addr, 8), 9u);
+}
+
+TEST(Patch, LoopEntryCounterFiresOnce) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto entries = editor.alloc_var("loopentries");
+  const auto* f = editor.code().function_named("_start");
+  editor.insert_at(f->entry(), PointType::LoopEntry, increment(entries));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(entries.addr, 8), 1u);
+}
+
+TEST(Patch, EdgeInstrumentationTakenVsNotTaken) {
+  const char* src = R"(
+    .globl _start
+_start:
+    li s0, 0
+    li s1, 0          # taken counter mirror (computed by program: none)
+    li t0, 0          # i
+    li t1, 20
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi s0, s0, 1    # odd path
+even:
+    addi t0, t0, 1
+    blt t0, t1, loop
+    mv a0, s0
+    li a7, 93
+    ecall
+)";
+  auto st = assembler::assemble(src);
+  ASSERT_EQ(run_binary(st), 10);
+
+  BinaryEditor editor(st);
+  const auto* f = editor.code().function_named("_start");
+  // Instrument the beqz taken edge (to `even`) specifically.
+  const auto points = patch::find_points(*f, PointType::Edge);
+  const auto taken_var = editor.alloc_var("taken");
+  bool found = false;
+  for (const auto& p : points) {
+    const auto* b = f->block_at(p.block);
+    if (!b || b->insns().empty()) continue;
+    if (b->last().insn.mnemonic() == isa::Mnemonic::beq) {
+      for (const auto& e : b->succs()) {
+        if (e.type == parse::EdgeType::Taken && e.target == p.aux) {
+          editor.insert(p, increment(taken_var));
+          found = true;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 10);
+  // beqz taken on even i: 10 of 20 iterations.
+  EXPECT_EQ(m.memory().read(taken_var.addr, 8), 10u);
+}
+
+TEST(Patch, JumpTableFunctionSurvivesRewriting) {
+  const char* src = R"(
+    .rodata
+    .align 3
+table:
+    .dword case0
+    .dword case1
+    .dword case2
+    .text
+    .globl _start
+    .globl dispatch
+_start:
+    li s0, 0    # selector
+    li s1, 0    # sum
+dloop:
+    mv a0, s0
+    call dispatch
+    add s1, s1, a0
+    addi s0, s0, 1
+    li t0, 3
+    blt s0, t0, dloop
+    mv a0, s1         # 10+20+30 = 60
+    li a7, 93
+    ecall
+dispatch:
+    li t0, 3
+    bgeu a0, t0, ddefault
+    slli t1, a0, 3
+    la t2, table
+    add t1, t1, t2
+    ld t1, 0(t1)
+    jr t1
+case0: li a0, 10
+       ret
+case1: li a0, 20
+       ret
+case2: li a0, 30
+       ret
+ddefault:
+    li a0, 99
+    ret
+)";
+  auto st = assembler::assemble(src);
+  ASSERT_EQ(run_binary(st), 60);
+
+  BinaryEditor editor(st);
+  const auto counter = editor.alloc_var("dispatches");
+  const auto* f = editor.code().function_named("dispatch");
+  ASSERT_NE(f, nullptr);
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(counter));
+  auto rewritten = editor.commit();
+
+  // The jump table still targets original addresses; springboards at the
+  // indirect-jump targets must carry control back into relocated code.
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 60);
+  EXPECT_EQ(m.memory().read(counter.addr, 8), 3u);
+}
+
+TEST(Patch, SpillBaselineStillCorrect) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  editor.set_use_dead_registers(false);  // x86-style always-spill baseline
+  const auto counter = editor.alloc_var("c");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(f->entry(), PointType::BlockEntry, increment(counter));
+  auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(counter.addr, 8), 10u);
+  EXPECT_GT(editor.stats().gen.scratch_spilled, 0u);
+}
+
+TEST(Patch, DisplacementJalIsDefault) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto c = editor.alloc_var("c");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(c));
+  editor.commit();
+  // Patch area is ~1MiB away: jal reaches it; c.j (±2KiB) does not.
+  EXPECT_EQ(editor.stats().entry_jal, 1u);
+  EXPECT_EQ(editor.stats().entry_trap, 0u);
+}
+
+TEST(Patch, DisplacementFarBaseUsesAuipcJalr) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  editor.set_patch_base(0x40000000, 0x40100000);  // ~1GiB away: beyond jal
+  const auto c = editor.alloc_var("c");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(c));
+  auto rewritten = editor.commit();
+  EXPECT_EQ(editor.stats().entry_auipc_jalr, 1u);
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(c.addr, 8), 10u);
+}
+
+TEST(Patch, DisplacementTrapWorstCase) {
+  // A 4-byte function (single c.jr + c.something? here: 2-byte ret after a
+  // 2-byte add) that is too small for jal and has a far patch base: the
+  // rewriter must fall back to a trap springboard (paper §3.1.2).
+  const char* src = R"(
+    .globl _start
+    .globl tiny
+_start:
+    li s0, 0
+    li s1, 5
+tloop:
+    mv a0, s0
+    call tiny
+    add s1, s1, a0
+    addi s0, s0, 1
+    li t0, 5
+    blt s0, t0, tloop
+    mv a0, s1        # 5 + (1+2+3+4+5) = 20
+    li a7, 93
+    ecall
+tiny:
+    addi a0, a0, 1
+    ret
+)";
+  auto st = assembler::assemble(src);
+  ASSERT_EQ(run_binary(st), 20);
+
+  BinaryEditor editor(st);
+  editor.set_patch_base(0x40000000, 0x40100000);  // force far target
+  const auto c = editor.alloc_var("c");
+  const auto* f = editor.code().function_named("tiny");
+  ASSERT_NE(f, nullptr);
+  // tiny = c.addi (2B) + c.jr (2B): 4-byte budget, too small for the
+  // 8-byte auipc+jalr pair and out of jal range.
+  ASSERT_LT(f->extent_end() - f->entry(), 8u);
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(c));
+  auto rewritten = editor.commit();
+  EXPECT_EQ(editor.stats().entry_trap, 1u);
+  ASSERT_FALSE(editor.trap_table().empty());
+
+  Machine m;
+  EXPECT_EQ(run_with_traps(rewritten, editor.trap_table(), &m), 20);
+  EXPECT_EQ(m.memory().read(c.addr, 8), 5u);
+}
+
+TEST(Patch, TrapSectionRoundTrip) {
+  // `tiny` (4 bytes, far patch base) forces the trap springboard.
+  const char* src = R"(
+    .globl _start
+    .globl tiny
+_start:
+    call tiny
+    li a7, 93
+    ecall
+tiny:
+    addi a0, a0, 1
+    ret
+)";
+  auto st = assembler::assemble(src);
+  BinaryEditor editor(st);
+  editor.set_patch_base(0x40000000, 0x40100000);
+  const auto c = editor.alloc_var("c");
+  editor.insert_at(editor.code().function_named("tiny")->entry(),
+                   PointType::FuncEntry, increment(c));
+  auto rewritten = editor.commit();
+  ASSERT_FALSE(editor.trap_table().empty());
+  const auto* sec = rewritten.find_section(".rvdyn.traps");
+  ASSERT_NE(sec, nullptr);
+  const auto parsed = BinaryEditor::parse_trap_section(sec->data);
+  ASSERT_EQ(parsed.size(), editor.trap_table().size());
+  EXPECT_EQ(parsed[0].from, editor.trap_table()[0].from);
+  EXPECT_EQ(parsed[0].to, editor.trap_table()[0].to);
+}
+
+TEST(Patch, MultipleSnippetsAtOnePointRunInOrder) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto v = editor.alloc_var("v");
+  const auto* f = editor.code().function_named("work");
+  // v = (v + 1) * 2 per entry; after 10 entries starting at 0: 2046.
+  editor.insert_at(f->entry(), PointType::FuncEntry, increment(v));
+  editor.insert_at(f->entry(), PointType::FuncEntry,
+                   codegen::assign(v, codegen::binary(codegen::BinOp::Mul,
+                                                      codegen::var_expr(v),
+                                                      codegen::constant(2))));
+  auto rewritten = editor.commit();
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(v.addr, 8), 2046u);
+}
+
+TEST(Patch, RewrittenElfSurvivesDiskRoundTrip) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto c = editor.alloc_var("c");
+  editor.insert_at(editor.code().function_named("work")->entry(),
+                   PointType::FuncEntry, increment(c));
+  auto rewritten = editor.commit();
+
+  const auto image = rewritten.write();
+  const auto reloaded = symtab::Symtab::read(image);
+  Machine m;
+  EXPECT_EQ(run_binary(reloaded, &m), 90);
+  EXPECT_EQ(m.memory().read(c.addr, 8), 10u);
+  // The variable symbol is findable in the rewritten binary.
+  ASSERT_NE(reloaded.find_symbol("rvdyn$c"), nullptr);
+  EXPECT_EQ(reloaded.find_symbol("rvdyn$c")->value, c.addr);
+}
+
+TEST(Patch, InstrumentingEveryFunction) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto c = editor.alloc_var("all");
+  for (const auto& [entry, f] : editor.code().functions())
+    editor.insert_at(entry, PointType::FuncEntry, increment(c));
+  auto rewritten = editor.commit();
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(c.addr, 8), 11u);  // _start once + work 10x
+}
+
+TEST(Patch, CommitTwiceThrows) {
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto c = editor.alloc_var("c");
+  editor.insert_at(editor.code().function_named("work")->entry(),
+                   PointType::FuncEntry, increment(c));
+  editor.commit();
+  EXPECT_THROW(editor.commit(), Error);
+}
+
+TEST(Patch, ConditionalSnippetAtEntry) {
+  // Count only calls with a0 >= 5 (predicated instrumentation).
+  auto st = assembler::assemble(kCallLoop);
+  BinaryEditor editor(st);
+  const auto c = editor.alloc_var("big");
+  const auto* f = editor.code().function_named("work");
+  editor.insert_at(
+      f->entry(), PointType::FuncEntry,
+      codegen::if_then(codegen::binary(codegen::BinOp::GeS,
+                                       codegen::read_reg(isa::a0),
+                                       codegen::constant(5)),
+                       increment(c)));
+  auto rewritten = editor.commit();
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 90);
+  EXPECT_EQ(m.memory().read(c.addr, 8), 5u);  // a0 in 5..9
+}
+
+}  // namespace

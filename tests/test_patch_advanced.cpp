@@ -1,0 +1,230 @@
+// Advanced PatchAPI tests: instruction-level points, long-branch
+// relaxation for oversized snippets, stacked (rewrite-the-rewritten)
+// instrumentation, and dynamic-point instrumentation idioms built from
+// operand access information.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "patch/editor.hpp"
+#include "proccontrol/process.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using codegen::increment;
+using emu::Machine;
+using emu::StopReason;
+using patch::BinaryEditor;
+using patch::PointType;
+
+int run_binary(const symtab::Symtab& bin, Machine* out = nullptr,
+               std::uint64_t max_steps = 400'000'000) {
+  Machine local;
+  Machine& m = out ? *out : local;
+  m.load(bin);
+  EXPECT_EQ(static_cast<int>(m.run(max_steps)),
+            static_cast<int>(StopReason::Exited))
+      << "stopped at pc=0x" << std::hex << m.stop_pc();
+  return m.exit_code();
+}
+
+TEST(PatchInsn, CountOneSpecificInstruction) {
+  // Count executions of the fmadd.d in matmul's inner loop: exactly n^3.
+  const int n = 12;
+  auto st = assembler::assemble(workloads::matmul_program(n, 1));
+  BinaryEditor editor(st);
+  const auto* f = editor.code().function_named("matmul");
+  ASSERT_NE(f, nullptr);
+
+  std::uint64_t fmadd_addr = 0;
+  for (const auto& [a, b] : f->blocks())
+    for (const auto& pi : b->insns())
+      if (pi.insn.mnemonic() == isa::Mnemonic::fmadd_d) fmadd_addr = pi.addr;
+  ASSERT_NE(fmadd_addr, 0u);
+
+  const auto c = editor.alloc_var("fmadds");
+  editor.insert(patch::insn_point(*f, fmadd_addr), increment(c));
+  const auto rewritten = editor.commit();
+
+  Machine m;
+  const int base_exit = run_binary(st);
+  EXPECT_EQ(run_binary(rewritten, &m), base_exit);
+  EXPECT_EQ(m.memory().read(c.addr, 8),
+            static_cast<std::uint64_t>(n) * n * n);
+}
+
+TEST(PatchInsn, InsnPointRejectsNonBoundary) {
+  auto st = assembler::assemble(workloads::fib_program(5));
+  BinaryEditor editor(st);
+  const auto* f = editor.code().function_named("fib");
+  EXPECT_THROW(patch::insn_point(*f, f->entry() + 1), Error);
+  EXPECT_THROW(patch::insn_point(*f, 0xdead0000), Error);
+}
+
+TEST(PatchInsn, FindAllInstructionPoints) {
+  auto st = assembler::assemble(workloads::fib_program(5));
+  parse::CodeObject co(st);
+  co.parse();
+  const auto* f = co.function_named("fib");
+  const auto points = patch::find_points(*f, PointType::Instruction);
+  EXPECT_EQ(points.size(), static_cast<std::size_t>(f->stats().n_insns));
+}
+
+TEST(PatchInsn, MemoryWatchIdiom) {
+  // Instrument the store in the loop and record the base register's value
+  // (the effective address minus static displacement) into a "last store
+  // address" variable — memory tracing from operand access info.
+  const char* src = R"(
+    .bss
+buf: .zero 256
+    .text
+    .globl _start
+_start:
+    la s0, buf
+    li s1, 0
+    li s2, 8
+sloop:
+    slli t0, s1, 3
+    add t1, s0, t0
+    sd s1, 0(t1)
+    addi s1, s1, 1
+    blt s1, s2, sloop
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  auto st = assembler::assemble(src);
+  BinaryEditor editor(st);
+  const auto* f = editor.code().function_named("_start");
+  ASSERT_NE(f, nullptr);
+
+  std::uint64_t store_addr = 0;
+  isa::Reg base{};
+  std::int64_t disp = 0;
+  for (const auto& [a, b] : f->blocks()) {
+    for (const auto& pi : b->insns()) {
+      if (pi.insn.mnemonic() != isa::Mnemonic::sd) continue;
+      store_addr = pi.addr;
+      base = pi.insn.operand(1).reg;
+      disp = pi.insn.operand(1).imm;
+    }
+  }
+  ASSERT_NE(store_addr, 0u);
+
+  // last_addr = base_reg + disp, computed before the store each time.
+  const auto last_addr = editor.alloc_var("last_addr");
+  editor.insert(patch::insn_point(*f, store_addr),
+                codegen::assign(last_addr,
+                                codegen::binary(codegen::BinOp::Add,
+                                                codegen::read_reg(base),
+                                                codegen::constant(disp))));
+  const auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 0);
+  const auto* buf_sym = st.find_symbol("buf");
+  ASSERT_NE(buf_sym, nullptr);
+  // The last store in the loop hits buf + 7*8.
+  EXPECT_EQ(m.memory().read(last_addr.addr, 8), buf_sym->value + 7 * 8);
+}
+
+TEST(PatchRelax, HugeSnippetTriggersLongBranches) {
+  // A snippet of ~600 statements makes the relocated function exceed the
+  // conditional branch's ±4KiB reach; the rewriter must switch to the
+  // inverted-branch + jal long form, and behaviour must be preserved.
+  const char* src = R"(
+    .globl _start
+    .globl looper
+_start:
+    call looper
+    li a7, 93
+    ecall
+looper:
+    li t0, 0
+    li t1, 25
+lloop:
+    addi t0, t0, 1
+    blt t0, t1, lloop
+    mv a0, t0
+    ret
+)";
+  auto st = assembler::assemble(src);
+  const int base_exit = run_binary(st);
+  ASSERT_EQ(base_exit, 25);
+
+  BinaryEditor editor(st);
+  const auto big = editor.alloc_var("big");
+  std::vector<codegen::SnippetPtr> stmts;
+  for (int i = 0; i < 600; ++i) stmts.push_back(increment(big));
+  const auto* f = editor.code().function_named("looper");
+  // Attach the huge snippet to the loop body block (executes 25 times).
+  editor.insert_at(f->entry(), PointType::LoopBackedge,
+                   codegen::sequence(stmts));
+  const auto rewritten = editor.commit();
+
+  Machine m;
+  EXPECT_EQ(run_binary(rewritten, &m), 25);
+  // 24 back edges, 600 increments each.
+  EXPECT_EQ(m.memory().read(big.addr, 8), 24u * 600u);
+}
+
+TEST(PatchStacked, RewriteTheRewrittenBinary) {
+  // Instrument, then instrument the result again with a second editor:
+  // both counters must observe the full execution.
+  auto st = assembler::assemble(workloads::call_churn_program(30));
+  const int base_exit = run_binary(st);
+
+  BinaryEditor first(st);
+  const auto c1 = first.alloc_var("first");
+  first.insert_at(first.code().function_named("wrapper")->entry(),
+                  PointType::FuncEntry, increment(c1));
+  const auto once = first.commit();
+
+  // Round-trip through the on-disk form, as a real tool chain would.
+  const auto reloaded = symtab::Symtab::read(once.write());
+  BinaryEditor second(reloaded);
+  // The wrapper symbol still points at the (now springboarded) original
+  // entry; the second rewrite relocates the springboard.
+  const auto* wrapper2 = second.code().function_named("wrapper");
+  ASSERT_NE(wrapper2, nullptr);
+  const auto c2 = second.alloc_var("second");
+  second.insert_at(wrapper2->entry(), PointType::FuncEntry, increment(c2));
+  const auto twice = second.commit();
+
+  // The 4-byte springboard block from the first rewrite cannot hold an
+  // 8-byte far jump, so the second rewrite's entry patch degrades to a
+  // trap — run under the trap-aware ProcControl runtime.
+  auto proc = proccontrol::Process::launch(twice);
+  proc->install_trap_table(second.trap_table());
+  const auto ev = proc->continue_run();
+  ASSERT_EQ(static_cast<int>(ev.kind),
+            static_cast<int>(proccontrol::Event::Kind::Exited));
+  EXPECT_EQ(ev.exit_code, base_exit);
+  EXPECT_EQ(proc->read_mem(c1.addr, 8), 30u);
+  EXPECT_EQ(proc->read_mem(c2.addr, 8), 30u);
+}
+
+TEST(PatchInsn, InstructionAndBlockPointsCompose) {
+  // Both point kinds at overlapping locations run, in a defined order
+  // (block-entry snippets first, then the instruction snippet).
+  auto st = assembler::assemble(workloads::call_churn_program(10));
+  BinaryEditor editor(st);
+  const auto* leaf = editor.code().function_named("leaf");
+  ASSERT_NE(leaf, nullptr);
+  const auto a = editor.alloc_var("a");
+  const auto b = editor.alloc_var("b");
+  editor.insert_at(leaf->entry(), PointType::BlockEntry, increment(a));
+  editor.insert(patch::insn_point(*leaf, leaf->entry()),
+                codegen::assign(b, codegen::binary(codegen::BinOp::Mul,
+                                                   codegen::var_expr(a),
+                                                   codegen::constant(2))));
+  const auto rewritten = editor.commit();
+  Machine m;
+  run_binary(rewritten, &m);
+  EXPECT_EQ(m.memory().read(a.addr, 8), 10u);
+  EXPECT_EQ(m.memory().read(b.addr, 8), 20u);  // b follows a's update
+}
+
+}  // namespace

@@ -1,0 +1,374 @@
+// Semantics-pipeline tests (the SAIL substitute, §3.2.4).
+//
+// The key property: for every mnemonic with a precise spec, evaluating the
+// parsed semantics expression must agree with the emulator executing the
+// same instruction from the same machine state — a differential check
+// between the two independent interpretations of the ISA, run over
+// parameterized random-state sweeps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "emu/machine.hpp"
+#include "isa/encoder.hpp"
+#include "semantics/eval.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+
+Operand W(isa::Reg r) { return Instruction::reg_op(r, Operand::kWrite); }
+Operand R(isa::Reg r) { return Instruction::reg_op(r, Operand::kRead); }
+Operand I(std::int64_t v) { return Instruction::imm_op(v); }
+
+// Execute one instruction on a machine seeded with `regs`; returns the
+// value left in `rd`.
+std::uint64_t emulate_one(const Instruction& insn,
+                          const std::array<std::uint64_t, 32>& regs,
+                          isa::Reg rd) {
+  emu::Machine m(isa::ExtensionSet(0xffff));  // all extensions enabled
+  constexpr std::uint64_t kBase = 0x10000;
+  const std::uint32_t w = insn.raw();
+  std::uint8_t bytes[8] = {
+      static_cast<std::uint8_t>(w),       static_cast<std::uint8_t>(w >> 8),
+      static_cast<std::uint8_t>(w >> 16), static_cast<std::uint8_t>(w >> 24),
+      0x73, 0x00, 0x10, 0x00};  // ebreak
+  m.memory().map(kBase, 16);
+  m.write_code(kBase, bytes, sizeof(bytes));
+  for (unsigned i = 1; i < 32; ++i) m.set_x(i, regs[i]);
+  m.set_pc(kBase);
+  EXPECT_EQ(static_cast<int>(m.run(4)),
+            static_cast<int>(emu::StopReason::Breakpoint))
+      << insn.to_string();
+  return m.get_reg(rd);
+}
+
+// Evaluate the same instruction through the semantics pipeline.
+std::optional<std::uint64_t> eval_semantics(
+    const Instruction& insn, const std::array<std::uint64_t, 32>& regs) {
+  const auto sem = semantics::semantics_of(insn);
+  if (!sem.precise || !sem.has_reg_write) return std::nullopt;
+  const semantics::RegResolver rr =
+      [&](isa::Reg r) -> std::optional<std::uint64_t> {
+    return r.cls == isa::RegClass::Int ? std::optional(regs[r.num])
+                                       : std::nullopt;
+  };
+  return semantics::const_eval(*sem.reg_value, 0x10000, insn.length(), rr,
+                               semantics::MemReader{});
+}
+
+// The precisely-modelled register-to-register subset.
+const Mnemonic kRegOps[] = {
+    Mnemonic::add,   Mnemonic::sub,   Mnemonic::sll,   Mnemonic::slt,
+    Mnemonic::sltu,  Mnemonic::xor_,  Mnemonic::srl,   Mnemonic::sra,
+    Mnemonic::or_,   Mnemonic::and_,  Mnemonic::addw,  Mnemonic::subw,
+    Mnemonic::sllw,  Mnemonic::srlw,  Mnemonic::sraw,  Mnemonic::mul,
+    Mnemonic::mulw,  Mnemonic::div,   Mnemonic::divu,  Mnemonic::rem,
+    Mnemonic::remu,  Mnemonic::divw,  Mnemonic::divuw, Mnemonic::remw,
+    Mnemonic::remuw, Mnemonic::czero_eqz, Mnemonic::czero_nez,
+    // Zba / Zbb (RVA23 growth path): validated the same way.
+    Mnemonic::add_uw, Mnemonic::sh1add, Mnemonic::sh2add, Mnemonic::sh3add,
+    Mnemonic::sh1add_uw, Mnemonic::sh2add_uw, Mnemonic::sh3add_uw,
+    Mnemonic::andn, Mnemonic::orn,  Mnemonic::xnor,  Mnemonic::max,
+    Mnemonic::maxu, Mnemonic::min,  Mnemonic::minu,  Mnemonic::rol,
+    Mnemonic::ror,  Mnemonic::rolw, Mnemonic::rorw};
+
+class SemanticsDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemanticsDifferential, RegOpsAgreeWithEmulator) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 0x9e3779b9 + 7);
+  std::array<std::uint64_t, 32> regs{};
+  for (unsigned i = 1; i < 32; ++i) {
+    // Mix full-range values with interesting corner cases.
+    switch (rng() % 5) {
+      case 0: regs[i] = rng(); break;
+      case 1: regs[i] = 0; break;
+      case 2: regs[i] = ~0ULL; break;
+      case 3: regs[i] = 0x8000000000000000ULL; break;
+      case 4: regs[i] = rng() & 0xff; break;
+    }
+  }
+  for (const Mnemonic mn : kRegOps) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const isa::Reg rs2 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const Instruction insn = isa::assemble(mn, {W(rd), R(rs1), R(rs2)});
+    const auto sem_val = eval_semantics(insn, regs);
+    ASSERT_TRUE(sem_val.has_value()) << insn.to_string();
+    const std::uint64_t emu_val = emulate_one(insn, regs, rd);
+    EXPECT_EQ(*sem_val, emu_val)
+        << insn.to_string() << " rs1=0x" << std::hex << regs[rs1.num]
+        << " rs2=0x" << regs[rs2.num];
+  }
+}
+
+TEST_P(SemanticsDifferential, ImmOpsAgreeWithEmulator) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 11);
+  std::array<std::uint64_t, 32> regs{};
+  for (unsigned i = 1; i < 32; ++i) regs[i] = rng();
+
+  const Mnemonic imm_ops[] = {Mnemonic::addi,  Mnemonic::slti,
+                              Mnemonic::sltiu, Mnemonic::xori,
+                              Mnemonic::ori,   Mnemonic::andi,
+                              Mnemonic::addiw};
+  for (const Mnemonic mn : imm_ops) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const std::int64_t imm =
+        static_cast<std::int64_t>(rng() % 4096) - 2048;
+    const Instruction insn = isa::assemble(mn, {W(rd), R(rs1), I(imm)});
+    const auto sem_val = eval_semantics(insn, regs);
+    ASSERT_TRUE(sem_val.has_value());
+    EXPECT_EQ(*sem_val, emulate_one(insn, regs, rd)) << insn.to_string();
+  }
+  // Shifts (distinct immediate ranges).
+  for (const Mnemonic mn :
+       {Mnemonic::slli, Mnemonic::srli, Mnemonic::srai}) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const Instruction insn =
+        isa::assemble(mn, {W(rd), R(rs1), I(static_cast<std::int64_t>(rng() % 64))});
+    EXPECT_EQ(*eval_semantics(insn, regs), emulate_one(insn, regs, rd))
+        << insn.to_string();
+  }
+  for (const Mnemonic mn :
+       {Mnemonic::slliw, Mnemonic::srliw, Mnemonic::sraiw}) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const Instruction insn =
+        isa::assemble(mn, {W(rd), R(rs1), I(static_cast<std::int64_t>(rng() % 32))});
+    EXPECT_EQ(*eval_semantics(insn, regs), emulate_one(insn, regs, rd))
+        << insn.to_string();
+  }
+}
+
+TEST_P(SemanticsDifferential, ZbbUnaryAndImmediateOpsAgree) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 5);
+  std::array<std::uint64_t, 32> regs{};
+  for (unsigned i = 1; i < 32; ++i) {
+    switch (rng() % 4) {
+      case 0: regs[i] = rng(); break;
+      case 1: regs[i] = 0; break;
+      case 2: regs[i] = 1ULL << (rng() % 64); break;
+      case 3: regs[i] = rng() & 0xffff; break;
+    }
+  }
+  // Unary "ds" forms.
+  for (const Mnemonic mn :
+       {Mnemonic::clz, Mnemonic::ctz, Mnemonic::cpop, Mnemonic::clzw,
+        Mnemonic::ctzw, Mnemonic::cpopw, Mnemonic::sext_b, Mnemonic::sext_h,
+        Mnemonic::zext_h, Mnemonic::rev8, Mnemonic::orc_b}) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const Instruction insn = isa::assemble(mn, {W(rd), R(rs1)});
+    const auto sem_val = eval_semantics(insn, regs);
+    ASSERT_TRUE(sem_val.has_value()) << insn.to_string();
+    EXPECT_EQ(*sem_val, emulate_one(insn, regs, rd))
+        << insn.to_string() << " rs1=0x" << std::hex << regs[rs1.num];
+  }
+  // Immediate rotates/shifts.
+  for (int k = 0; k < 4; ++k) {
+    const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+    const isa::Reg rs1 = isa::x(static_cast<std::uint8_t>(rng() % 32));
+    const Instruction rori = isa::assemble(
+        Mnemonic::rori,
+        {W(rd), R(rs1), I(static_cast<std::int64_t>(rng() % 64))});
+    EXPECT_EQ(*eval_semantics(rori, regs), emulate_one(rori, regs, rd))
+        << rori.to_string();
+    const Instruction roriw = isa::assemble(
+        Mnemonic::roriw,
+        {W(rd), R(rs1), I(static_cast<std::int64_t>(rng() % 32))});
+    EXPECT_EQ(*eval_semantics(roriw, regs), emulate_one(roriw, regs, rd))
+        << roriw.to_string();
+    const Instruction slli_uw = isa::assemble(
+        Mnemonic::slli_uw,
+        {W(rd), R(rs1), I(static_cast<std::int64_t>(rng() % 64))});
+    EXPECT_EQ(*eval_semantics(slli_uw, regs),
+              emulate_one(slli_uw, regs, rd))
+        << slli_uw.to_string();
+  }
+}
+
+TEST_P(SemanticsDifferential, UpperImmediatesAgree) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 977 + 3);
+  std::array<std::uint64_t, 32> regs{};
+  const isa::Reg rd = isa::x(static_cast<std::uint8_t>(1 + rng() % 31));
+  const std::int64_t field =
+      (static_cast<std::int64_t>(rng() % (1 << 20)) - (1 << 19)) << 12;
+  for (const Mnemonic mn : {Mnemonic::lui, Mnemonic::auipc}) {
+    const Instruction insn = isa::assemble(mn, {W(rd), I(field)});
+    EXPECT_EQ(*eval_semantics(insn, regs), emulate_one(insn, regs, rd))
+        << insn.to_string() << " field=" << field;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStates, SemanticsDifferential,
+                         ::testing::Range(0, 32));
+
+// ---- loads/stores through the semantics memory model ----
+
+TEST(Semantics, LoadSemanticsMatchEmulator) {
+  emu::Machine m;
+  constexpr std::uint64_t kData = 0x30000;
+  m.memory().map(kData, 0x100);
+  m.memory().write(kData + 8, 0xfedcba9876543210ULL, 8);
+
+  const Mnemonic loads[] = {Mnemonic::lb, Mnemonic::lbu, Mnemonic::lh,
+                            Mnemonic::lhu, Mnemonic::lw, Mnemonic::lwu,
+                            Mnemonic::ld};
+  for (const Mnemonic mn : loads) {
+    const auto& info = isa::opcode_info(mn);
+    const Instruction insn = isa::assemble(
+        mn, {W(isa::a0),
+             Instruction::mem_op(isa::a1, 8, info.mem_size, Operand::kRead)});
+    const auto sem = semantics::semantics_of(insn);
+    ASSERT_TRUE(sem.precise);
+    const semantics::RegResolver rr =
+        [&](isa::Reg r) -> std::optional<std::uint64_t> {
+      if (r == isa::a1) return kData;
+      return std::nullopt;
+    };
+    const semantics::MemReader mr =
+        [&](std::uint64_t addr, unsigned size) -> std::optional<std::uint64_t> {
+      return m.memory().read(addr, size);
+    };
+    const auto v = semantics::const_eval(*sem.reg_value, 0, 4, rr, mr);
+    ASSERT_TRUE(v.has_value()) << insn.to_string();
+
+    // Emulate the same load.
+    emu::Machine m2;
+    m2.memory().write(kData + 8, 0xfedcba9876543210ULL, 8);
+    const std::uint32_t w = insn.raw();
+    std::uint8_t bytes[8] = {static_cast<std::uint8_t>(w),
+                             static_cast<std::uint8_t>(w >> 8),
+                             static_cast<std::uint8_t>(w >> 16),
+                             static_cast<std::uint8_t>(w >> 24),
+                             0x73, 0x00, 0x10, 0x00};
+    m2.memory().map(0x10000, 16);
+    m2.write_code(0x10000, bytes, sizeof(bytes));
+    m2.set_reg(isa::a1, kData);
+    m2.set_pc(0x10000);
+    m2.run(2);
+    EXPECT_EQ(*v, m2.get_reg(isa::a0)) << insn.to_string();
+  }
+}
+
+TEST(Semantics, StoreSemanticsDescribeTheWrite) {
+  const Instruction insn = isa::assemble(
+      Mnemonic::sd, {R(isa::a0),
+                     Instruction::mem_op(isa::sp, -16, 8, Operand::kWrite)});
+  const auto sem = semantics::semantics_of(insn);
+  ASSERT_TRUE(sem.precise);
+  EXPECT_FALSE(sem.has_reg_write);
+  ASSERT_TRUE(sem.has_mem_write);
+  EXPECT_EQ(sem.store_size, 8);
+  const semantics::RegResolver rr =
+      [](isa::Reg r) -> std::optional<std::uint64_t> {
+    if (r == isa::sp) return 0x1000;
+    if (r == isa::a0) return 42;
+    return std::nullopt;
+  };
+  EXPECT_EQ(semantics::const_eval(*sem.store_addr, 0, 4, rr, {}),
+            std::optional<std::uint64_t>(0x1000 - 16));
+  EXPECT_EQ(semantics::const_eval(*sem.store_value, 0, 4, rr, {}),
+            std::optional<std::uint64_t>(42));
+}
+
+// ---- pipeline structure ----
+
+TEST(Semantics, LinkWriteOfCalls) {
+  const Instruction jal = isa::assemble(
+      Mnemonic::jal, {W(isa::ra), Instruction::pcrel_op(0x100)});
+  const auto sem = semantics::semantics_of(jal);
+  ASSERT_TRUE(sem.precise);
+  ASSERT_TRUE(sem.has_reg_write);
+  EXPECT_EQ(sem.written_reg, isa::ra);
+  // rd = pc + ilen.
+  const auto v = semantics::const_eval(*sem.reg_value, 0x5000, 4, {}, {});
+  EXPECT_EQ(v, std::optional<std::uint64_t>(0x5004));
+}
+
+TEST(Semantics, BranchesHaveNoRegisterEffects) {
+  const Instruction beq = isa::assemble(
+      Mnemonic::beq, {R(isa::a0), R(isa::a1), Instruction::pcrel_op(8)});
+  const auto sem = semantics::semantics_of(beq);
+  EXPECT_TRUE(sem.precise);
+  EXPECT_FALSE(sem.has_reg_write);
+  EXPECT_FALSE(sem.has_mem_write);
+}
+
+TEST(Semantics, X0WritesAreDropped) {
+  // addi x0, x0, 0 (nop): the spec writes rd, but x0 defs must vanish.
+  const Instruction nop = isa::assemble(
+      Mnemonic::addi, {W(isa::zero), R(isa::zero), I(0)});
+  const auto sem = semantics::semantics_of(nop);
+  EXPECT_TRUE(sem.precise);
+  EXPECT_FALSE(sem.has_reg_write);
+}
+
+TEST(Semantics, X0ReadsAsZero) {
+  const Instruction insn = isa::assemble(
+      Mnemonic::add, {W(isa::a0), R(isa::zero), R(isa::zero)});
+  const auto sem = semantics::semantics_of(insn);
+  // Even with no register resolver, x0 + x0 folds to 0.
+  EXPECT_EQ(semantics::const_eval(*sem.reg_value, 0, 4, {}, {}),
+            std::optional<std::uint64_t>(0));
+}
+
+TEST(Semantics, ConservativeFallbackForFloat) {
+  const Instruction insn = isa::assemble(
+      Mnemonic::fadd_d,
+      {W(isa::f(0)), R(isa::f(1)), R(isa::f(2))});
+  const auto sem = semantics::semantics_of(insn);
+  EXPECT_FALSE(sem.precise);
+  ASSERT_TRUE(sem.has_reg_write);
+  EXPECT_EQ(sem.written_reg, isa::f(0));
+  EXPECT_EQ(semantics::const_eval(*sem.reg_value, 0, 4, {}, {}),
+            std::nullopt);
+}
+
+TEST(Semantics, SpecTableCoverage) {
+  // Every precisely-modelled integer mnemonic must actually parse; a typo
+  // in a spec string should fail loudly here, not deep inside an analysis.
+  unsigned precise = 0;
+  for (std::uint16_t i = 0; i < static_cast<std::uint16_t>(Mnemonic::kCount);
+       ++i) {
+    const Mnemonic mn = static_cast<Mnemonic>(i);
+    const char* spec = semantics::semantics_spec(mn);
+    if (spec[0] == '\0') continue;
+    ++precise;
+  }
+  // The integer subset: ~60 mnemonics carry specs.
+  EXPECT_GE(precise, 55u);
+}
+
+TEST(Semantics, ZicondEndToEnd) {
+  // The paper's §3.4 growth path: the new extension decodes, evaluates and
+  // emulates consistently without any analysis-code changes.
+  std::array<std::uint64_t, 32> regs{};
+  regs[11] = 77;  // a1
+  regs[12] = 0;   // a2
+  const Instruction eqz = isa::assemble(
+      Mnemonic::czero_eqz, {W(isa::a0), R(isa::a1), R(isa::a2)});
+  EXPECT_EQ(eval_semantics(eqz, regs), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(emulate_one(eqz, regs, isa::a0), 0u);
+  regs[12] = 5;
+  EXPECT_EQ(eval_semantics(eqz, regs), std::optional<std::uint64_t>(77));
+  EXPECT_EQ(emulate_one(eqz, regs, isa::a0), 77u);
+
+  const Instruction nez = isa::assemble(
+      Mnemonic::czero_nez, {W(isa::a0), R(isa::a1), R(isa::a2)});
+  EXPECT_EQ(emulate_one(nez, regs, isa::a0), 0u);
+  // Extension gating: an RV64GC-only decoder must reject the encoding.
+  isa::Decoder gc(isa::ExtensionSet::rv64gc());
+  Instruction out;
+  EXPECT_FALSE(gc.decode32(eqz.raw(), &out));
+  isa::ExtensionSet with_cond = isa::ExtensionSet::rv64gc();
+  with_cond.add(isa::Extension::Zicond);
+  EXPECT_TRUE(isa::Decoder(with_cond).decode32(eqz.raw(), &out));
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Data-watchpoint tests: the emulator's hardware-debug-register analogue
+// and its ProcControlAPI surface.
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hpp"
+#include "emu/machine.hpp"
+#include "proccontrol/process.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using emu::Machine;
+using emu::StopReason;
+using proccontrol::Event;
+using proccontrol::Process;
+
+constexpr const char* kWriter = R"(
+    .bss
+    .align 3
+cell:  .zero 8
+other: .zero 8
+    .text
+    .globl _start
+_start:
+    la t0, other
+    li t1, 1
+    sd t1, 0(t0)      # unwatched write
+    la t0, cell
+    li t1, 2
+    sd t1, 0(t0)      # watched write (first hit)
+    ld t2, 0(t0)      # watched read
+    li t1, 3
+    sd t1, 0(t0)      # watched write (second hit)
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+
+TEST(Watchpoints, WriteWatchFiresPerStore) {
+  const auto bin = assembler::assemble(kWriter);
+  const auto* cell = bin.find_symbol("cell");
+  ASSERT_NE(cell, nullptr);
+
+  Machine m;
+  m.load(bin);
+  m.set_watchpoint(cell->value, 8, /*on_read=*/false, /*on_write=*/true);
+
+  ASSERT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Watchpoint));
+  EXPECT_TRUE(m.watch_hit().was_write);
+  EXPECT_EQ(m.watch_hit().addr, cell->value);
+  // The store completed before the stop.
+  EXPECT_EQ(m.memory().read(cell->value, 8), 2u);
+
+  ASSERT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Watchpoint));
+  EXPECT_EQ(m.memory().read(cell->value, 8), 3u);
+
+  EXPECT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Exited));
+}
+
+TEST(Watchpoints, ReadWatchSeesTheLoad) {
+  const auto bin = assembler::assemble(kWriter);
+  const auto* cell = bin.find_symbol("cell");
+  Machine m;
+  m.load(bin);
+  m.set_watchpoint(cell->value, 8, /*on_read=*/true, /*on_write=*/false);
+  ASSERT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Watchpoint));
+  EXPECT_FALSE(m.watch_hit().was_write);
+  EXPECT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Exited));
+}
+
+TEST(Watchpoints, PartialOverlapDetected) {
+  // A 1-byte watch inside an 8-byte store range must fire.
+  const auto bin = assembler::assemble(kWriter);
+  const auto* cell = bin.find_symbol("cell");
+  Machine m;
+  m.load(bin);
+  m.set_watchpoint(cell->value + 3, 1, false, true);
+  EXPECT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Watchpoint));
+}
+
+TEST(Watchpoints, ClearStopsFiring) {
+  const auto bin = assembler::assemble(kWriter);
+  const auto* cell = bin.find_symbol("cell");
+  Machine m;
+  m.load(bin);
+  const unsigned id = m.set_watchpoint(cell->value, 8, false, true);
+  ASSERT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Watchpoint));
+  m.clear_watchpoint(id);
+  EXPECT_EQ(static_cast<int>(m.run(1000)),
+            static_cast<int>(StopReason::Exited));
+}
+
+TEST(Watchpoints, ProcControlSurface) {
+  const auto bin = assembler::assemble(kWriter);
+  const auto* cell = bin.find_symbol("cell");
+  auto proc = Process::launch(bin);
+  proc->set_watchpoint(cell->value, 8);  // write watch by default
+
+  int hits = 0;
+  while (true) {
+    const Event ev = proc->continue_run();
+    if (ev.kind == Event::Kind::Exited) break;
+    ASSERT_EQ(static_cast<int>(ev.kind),
+              static_cast<int>(Event::Kind::WatchHit));
+    ++hits;
+    // The event reports the accessing instruction's pc inside _start.
+    EXPECT_TRUE(bin.in_code(ev.addr));
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Watchpoints, FindTheCorruptingStore) {
+  // The classic debugger workflow: who wrote this variable? The watchpoint
+  // pc identifies the exact store among several candidates.
+  const char* src = R"(
+    .bss
+    .align 3
+victim: .zero 8
+    .text
+    .globl _start
+_start:
+    la s0, victim
+    li t0, 0
+    li t1, 10
+wloop:
+    addi t0, t0, 1
+    blt t0, t1, wloop
+    sd t0, 0(s0)      # <- the store we want to catch
+    li a0, 0
+    li a7, 93
+    ecall
+)";
+  const auto bin = assembler::assemble(src);
+  const auto* victim = bin.find_symbol("victim");
+  auto proc = Process::launch(bin);
+  proc->set_watchpoint(victim->value, 8);
+  const Event ev = proc->continue_run();
+  ASSERT_EQ(static_cast<int>(ev.kind),
+            static_cast<int>(Event::Kind::WatchHit));
+  // Decode the reported instruction: it must be the sd.
+  std::uint8_t buf[4];
+  for (int i = 0; i < 4; ++i)
+    buf[i] = static_cast<std::uint8_t>(proc->read_mem(ev.addr + i, 1));
+  isa::Decoder dec;
+  isa::Instruction insn;
+  ASSERT_GT(dec.decode(buf, 4, &insn), 0u);
+  EXPECT_EQ(insn.mnemonic(), isa::Mnemonic::sd);
+  EXPECT_EQ(proc->machine().watch_hit().addr, victim->value);
+}
+
+}  // namespace
