@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "assembler/assembler.hpp"
+#include "bench_util.hpp"
 #include "isa/decoder.hpp"
 #include "isa/encoder.hpp"
 #include "workloads/workloads.hpp"
@@ -47,6 +48,27 @@ void BM_DecodeStream(benchmark::State& state) {
       static_cast<double>(insns), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_DecodeStream)->Arg(0)->Arg(1)->ArgNames({"rvc"});
+
+void BM_DecodeRange(benchmark::State& state) {
+  const bool rvc = state.range(0) != 0;
+  const auto bytes = code_bytes(rvc);
+  isa::Decoder dec(rvc ? isa::ExtensionSet::rv64gc()
+                       : isa::ExtensionSet::rv64g());
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    dec.decode_range(bytes.data(), bytes.size(),
+                     [&](std::size_t, const isa::Instruction& out, unsigned) {
+                       benchmark::DoNotOptimize(out);
+                       ++insns;
+                       return true;
+                     });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["insns/s"] = benchmark::Counter(
+      static_cast<double>(insns), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeRange)->Arg(0)->Arg(1)->ArgNames({"rvc"});
 
 void BM_DecodeSingle32(benchmark::State& state) {
   isa::Decoder dec;
@@ -100,4 +122,7 @@ BENCHMARK(BM_Compress);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rvdyn::bench::run_benchmarks_with_json(argc, argv,
+                                                "BENCH_decode.json");
+}

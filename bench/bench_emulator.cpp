@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "assembler/assembler.hpp"
+#include "bench_util.hpp"
 #include "codegen/snippet.hpp"
 #include "emu/machine.hpp"
 #include "patch/editor.hpp"
@@ -82,4 +83,7 @@ BENCHMARK(BM_RewriteLatency)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return rvdyn::bench::run_benchmarks_with_json(argc, argv,
+                                                "BENCH_emulator.json");
+}

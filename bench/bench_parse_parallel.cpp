@@ -17,6 +17,7 @@ int main() {
                 "this run verifies\ndeterminism (identical CFGs per thread "
                 "count) and measures pool overhead.\n");
   std::printf("\n");
+  bench::JsonWriter json("BENCH_parse_parallel.json");
   for (const int n_funcs : {500, 2000, 8000}) {
     const auto bin =
         assembler::assemble(workloads::many_function_program(n_funcs));
@@ -50,9 +51,15 @@ int main() {
       if (threads == 1) serial_ms = best;
       std::printf("%10u %12.2f %9.2fx %10u\n", threads, best,
                   serial_ms / best, blocks);
+      char name[64];
+      std::snprintf(name, sizeof(name), "parse_%dfn_%ut", n_funcs, threads);
+      json.add(name, {{"wall_ms", best},
+                      {"speedup", serial_ms / best},
+                      {"blocks", static_cast<double>(blocks)}});
     }
     std::printf("\n");
   }
+  json.write();
   std::printf(
       "expected: near-linear speedup up to the hardware thread count while\n"
       "functions outnumber workers (block counts identical across thread\n"

@@ -20,6 +20,7 @@ int main() {
   std::printf("%-28s %12s %14s\n", "mode", "wall (ms)", "steps/s");
 
   double native_ms = 0;
+  bench::JsonWriter json("BENCH_singlestep.json");
   for (const bool emulated : {false, true}) {
     auto proc = Process::launch(bin);
     const auto t0 = std::chrono::steady_clock::now();
@@ -36,7 +37,10 @@ int main() {
     std::printf("%-28s %12.2f %14.0f\n",
                 emulated ? "breakpoint-emulated (RISC-V)" : "native (ptrace elsewhere)",
                 ms, done / (ms / 1e3));
+    json.add(emulated ? "singlestep_emulated" : "singlestep_native",
+             {{"wall_ms", ms}, {"steps_per_s", done / (ms / 1e3)}});
   }
+  json.write();
   std::printf("\nexpected: emulated stepping markedly slower — each step "
               "decodes the\ninstruction, computes successors, and patches "
               "trap bytes in and out\n(native/emulated wall ratio shown "

@@ -3,10 +3,14 @@
 // mutatee's own clock_gettime-based timing plus machine counters.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "assembler/assembler.hpp"
 #include "codegen/snippet.hpp"
@@ -15,6 +19,73 @@
 #include "proccontrol/process.hpp"
 
 namespace rvdyn::bench {
+
+// ---- machine-readable benchmark output ------------------------------------
+//
+// Every bench writes a BENCH_<name>.json into the working directory so the
+// perf trajectory is tracked across PRs (commit the files alongside code
+// changes that move the numbers).
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs google-benchmark with a
+/// default `--benchmark_out=<default_out> --benchmark_out_format=json`.
+/// Explicit --benchmark_out on the command line wins.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const char* default_out) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = std::string("--benchmark_out=") + default_out;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Minimal JSON emitter for the hand-rolled (printf-style) harnesses; writes
+/// the same `{"benchmarks": [{"name": ..., metrics...}]}` shape
+/// google-benchmark uses so downstream tooling can parse either.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  void add(std::string name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    entries_.push_back({std::move(name), std::move(metrics)});
+  }
+
+  /// Write the collected entries; returns false on I/O failure.
+  bool write() const {
+    std::FILE* fp = std::fopen(path_.c_str(), "w");
+    if (!fp) return false;
+    std::fprintf(fp, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(fp, "    {\"name\": \"%s\"", e.name.c_str());
+      for (const auto& [key, value] : e.metrics)
+        std::fprintf(fp, ", \"%s\": %.6g", key.c_str(), value);
+      std::fprintf(fp, "}%s\n", i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(fp, "  ]\n}\n");
+    std::fclose(fp);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 struct RunResult {
   int exit_code = 0;

@@ -189,7 +189,8 @@ bench/CMakeFiles/bench_emulator.dir/bench_emulator.cpp.o: \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /root/repo/src/common/status.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/symtab/elf.hpp \
- /root/repo/src/codegen/snippet.hpp /usr/include/c++/12/memory \
+ /root/repo/bench/bench_util.hpp /root/repo/src/codegen/snippet.hpp \
+ /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -229,4 +230,5 @@ bench/CMakeFiles/bench_emulator.dir/bench_emulator.cpp.o: \
  /root/repo/src/isa/mnemonics.def /root/repo/src/patch/editor.hpp \
  /root/repo/src/codegen/codegen.hpp /root/repo/src/parse/cfg.hpp \
  /root/repo/src/patch/point.hpp /root/repo/src/parse/loops.hpp \
+ /root/repo/src/proccontrol/process.hpp \
  /root/repo/src/workloads/workloads.hpp

@@ -210,11 +210,11 @@ src/CMakeFiles/rvdyn_emu.dir/emu/machine.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/isa/decoder.hpp \
- /usr/include/c++/12/cstddef /root/repo/src/isa/extensions.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/isa/extensions.hpp \
  /root/repo/src/isa/instruction.hpp /root/repo/src/isa/registers.hpp \
  /root/repo/src/isa/mnemonics.def /root/repo/src/symtab/symtab.hpp \
  /usr/include/c++/12/span /root/repo/src/common/status.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/symtab/elf.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

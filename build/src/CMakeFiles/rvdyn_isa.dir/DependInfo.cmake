@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/isa/compress.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o.d"
+  "/root/repo/src/isa/decode_table.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o.d"
   "/root/repo/src/isa/decoder.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o.d"
   "/root/repo/src/isa/decoder_c.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o.d"
   "/root/repo/src/isa/encoder.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o"
   "CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o.d"
   "CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o"
   "CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o.d"
   "CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o"

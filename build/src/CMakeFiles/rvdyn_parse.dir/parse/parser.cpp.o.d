@@ -197,6 +197,7 @@ src/CMakeFiles/rvdyn_parse.dir/parse/parser.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/isa/decoder.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/isa/extensions.hpp /root/repo/src/isa/instruction.hpp \
  /usr/include/c++/12/array /root/repo/src/isa/registers.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
@@ -229,6 +230,5 @@ src/CMakeFiles/rvdyn_parse.dir/parse/parser.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/symtab/symtab.hpp \
  /usr/include/c++/12/span /root/repo/src/common/status.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/symtab/elf.hpp \
  /root/repo/src/semantics/expr.hpp

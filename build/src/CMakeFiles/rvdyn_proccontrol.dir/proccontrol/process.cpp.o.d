@@ -214,11 +214,11 @@ src/CMakeFiles/rvdyn_proccontrol.dir/proccontrol/process.cpp.o: \
  /root/repo/src/emu/memory.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/isa/decoder.hpp /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/isa/extensions.hpp /root/repo/src/isa/instruction.hpp \
  /root/repo/src/isa/registers.hpp /root/repo/src/isa/mnemonics.def \
  /root/repo/src/symtab/symtab.hpp /usr/include/c++/12/span \
- /root/repo/src/common/status.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /root/repo/src/common/status.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/symtab/elf.hpp \
  /root/repo/src/patch/editor.hpp /root/repo/src/codegen/codegen.hpp \
  /root/repo/src/codegen/snippet.hpp /root/repo/src/parse/cfg.hpp \

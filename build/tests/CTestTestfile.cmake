@@ -8,8 +8,10 @@ include("/root/repo/build/tests/test_asm_features[1]_include.cmake")
 include("/root/repo/build/tests/test_assembler_emu[1]_include.cmake")
 include("/root/repo/build/tests/test_codegen[1]_include.cmake")
 include("/root/repo/build/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/tests/test_decode_fastpath[1]_include.cmake")
 include("/root/repo/build/tests/test_dot[1]_include.cmake")
 include("/root/repo/build/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_emu_cache[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions_e2e[1]_include.cmake")
 include("/root/repo/build/tests/test_fuzz_decode[1]_include.cmake")
 include("/root/repo/build/tests/test_golden_encodings[1]_include.cmake")

@@ -82,7 +82,13 @@ void Machine::load(const symtab::Symtab& binary) {
   mem_.map(kStackTop - kStackSize, kStackSize);
   set_x(2, kStackTop - 64);  // sp, with a little headroom for argv scaffolding
   stop_ = StopReason::Running;
-  icache_.clear();
+  flush_code_caches();
+}
+
+void Machine::flush_code_caches() {
+  for (ICacheLine& line : icache_) line.tag = ~0ULL;
+  bcache_.clear();
+  flush_pending_ = false;
 }
 
 void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
@@ -90,22 +96,50 @@ void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
   mem_.write_bytes(addr, data, n);
   // Invalidate decoded entries that may overlap the patched range
   // (entries start at most 3 bytes before addr).
-  for (std::uint64_t a = addr >= 3 ? addr - 3 : 0; a < addr + n; ++a)
-    icache_.erase(a);
+  const std::uint64_t hi = addr + n;
+  for (std::uint64_t a = addr >= 3 ? addr - 3 : 0; a < hi; ++a) {
+    ICacheLine& line = icache_[(a >> 1) & (kICacheLines - 1)];
+    if (line.tag == a) line.tag = ~0ULL;
+  }
+  if (in_block_) {
+    // Patching from inside block execution (e.g. a trace hook): erasing
+    // bcache_ here would destroy the vector being iterated, so defer to
+    // a full flush at the next safe point instead.
+    flush_pending_ = true;
+    return;
+  }
+  for (auto it = bcache_.begin(); it != bcache_.end();) {
+    if (it->second.start < hi && it->second.end > addr)
+      it = bcache_.erase(it);
+    else
+      ++it;
+  }
 }
 
 bool Machine::fetch(std::uint64_t pc, Instruction* out, unsigned* len) {
-  auto it = icache_.find(pc);
-  if (it != icache_.end()) {
-    *out = it->second.insn;
-    *len = it->second.len;
-    return *len != 0;
+  ICacheLine& line = icache_[(pc >> 1) & (kICacheLines - 1)];
+  if (line.tag == pc) {
+    *out = line.insn;
+    *len = line.len;
+    return line.len != 0;
   }
-  if (!mem_.is_mapped(pc)) return false;
+  // Fetch without mapping pages as a side effect: a compressed instruction
+  // in the last two mapped bytes of a page must decode, and the bytes past
+  // it must stay unmapped.
   std::uint8_t buf[4];
-  mem_.read_bytes(pc, buf, 4);
-  const unsigned n = decoder_.decode(buf, 4, out);
-  icache_[pc] = {*out, n};
+  std::size_t avail = 4;
+  if (!mem_.try_read_bytes(pc, buf, 4)) {
+    if (!mem_.try_read_bytes(pc, buf, 2)) return false;  // pc unmapped
+    avail = 2;
+  }
+  const unsigned n = decoder_.decode(buf, avail, out);
+  // Don't cache a failure seen through a truncated page-tail read: mapping
+  // the next page later can legitimately turn it into a valid instruction.
+  if (n != 0 || avail == 4) {
+    line.tag = pc;
+    line.len = n;
+    line.insn = *out;
+  }
   *len = n;
   return n != 0;
 }
@@ -132,10 +166,56 @@ void Machine::charge(const Instruction& insn, bool taken_branch) {
   cycles_ += c;
 }
 
+const Machine::BlockEntry* Machine::lookup_or_build_block(std::uint64_t pc) {
+  const auto it = bcache_.find(pc);
+  if (it != bcache_.end()) return &it->second;
+  BlockEntry blk;
+  blk.start = pc;
+  std::uint64_t a = pc;
+  Instruction insn;
+  unsigned len = 0;
+  while (blk.insns.size() < kMaxBlockInsns) {
+    if (!fetch(a, &insn, &len)) break;
+    blk.insns.push_back(insn);
+    a += len;
+    // Straight-line runs only: stop at anything that redirects or may stop
+    // execution (branches/jumps, ecall, ebreak, fence/fence.i).
+    if (insn.is_control_flow() ||
+        (insn.flags() & (isa::F_ECALL | isa::F_EBREAK | isa::F_FENCE)))
+      break;
+  }
+  if (blk.insns.empty()) return nullptr;
+  blk.end = a;
+  if (bcache_.size() >= kMaxBlocks) bcache_.clear();
+  const auto ins = bcache_.emplace(pc, std::move(blk)).first;
+  return &ins->second;
+}
+
 StopReason Machine::run(std::uint64_t max_steps) {
   stop_ = StopReason::Running;
-  for (std::uint64_t i = 0; i < max_steps; ++i) {
+  std::uint64_t remaining = max_steps;
+  while (remaining > 0) {
+    if (flush_pending_) flush_code_caches();
+    const BlockEntry* blk = lookup_or_build_block(pc_);
+    if (blk != nullptr && blk->insns.size() <= remaining) {
+      // Execute the whole straight-line run without per-instruction
+      // fetch/dispatch. Only the last instruction can redirect pc, so each
+      // iteration resumes exactly where the next cached insn was decoded.
+      in_block_ = true;
+      for (const Instruction& insn : blk->insns) {
+        const StopReason r = exec_insn(insn, insn.length());
+        --remaining;
+        if (r != StopReason::Running) {
+          in_block_ = false;
+          stop_ = r;
+          return r;
+        }
+      }
+      in_block_ = false;
+      continue;
+    }
     const StopReason r = exec_one();
+    --remaining;
     if (r != StopReason::Running) {
       stop_ = r;
       return r;
@@ -186,10 +266,15 @@ bool Machine::check_watchpoints(std::uint64_t pc, const Instruction& insn) {
 }
 
 StopReason Machine::exec_one() {
+  if (flush_pending_) flush_code_caches();
   Instruction insn;
   unsigned len = 0;
   if (!fetch(pc_, &insn, &len))
     return mem_.is_mapped(pc_) ? StopReason::IllegalInsn : StopReason::BadFetch;
+  return exec_insn(insn, len);
+}
+
+StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
   if (trace_) trace_(pc_, insn);
   const bool watch_fires = check_watchpoints(pc_, insn);
 
@@ -405,7 +490,9 @@ StopReason Machine::exec_one() {
 
     case Mnemonic::fence:
     case Mnemonic::fence_i:
-      if (insn.mnemonic() == Mnemonic::fence_i) icache_.clear();
+      // Deferred: a fence.i inside a cached block must not destroy the
+      // block vector mid-iteration. The flush happens before the next fetch.
+      if (insn.mnemonic() == Mnemonic::fence_i) flush_pending_ = true;
       break;
     case Mnemonic::ecall: {
       const StopReason r = syscall();

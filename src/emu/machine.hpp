@@ -139,6 +139,10 @@ class Machine {
 
  private:
   StopReason exec_one();
+  /// Execute one already-fetched instruction: trace hook, watchpoints, the
+  /// dispatch switch, accounting, pc update. Shared by exec_one and the
+  /// cached-block loop in run().
+  StopReason exec_insn(const isa::Instruction& insn, unsigned len);
   bool fetch(std::uint64_t pc, isa::Instruction* out, unsigned* len);
   StopReason syscall();
   void charge(const isa::Instruction& insn, bool taken_branch);
@@ -160,11 +164,39 @@ class Machine {
   std::string out_;
   TraceHook trace_;
 
-  struct CacheEntry {
+  // --- decoded-code caches -------------------------------------------------
+  // Two levels replace the old per-PC unordered_map:
+  //  * a direct-mapped, tag-checked predecoded cache (one hash-free probe
+  //    per fetch; len == 0 caches "these bytes do not decode"), and
+  //  * a basic-block cache of straight-line decoded runs, so run() executes
+  //    whole blocks without per-instruction fetch/dispatch.
+  // Invalidation: write_code evicts precisely; fence.i flushes everything
+  // (deferred via flush_pending_ so a fence.i *inside* a cached block does
+  // not destroy the vector being iterated).
+  struct ICacheLine {
+    std::uint64_t tag = ~0ULL;  ///< pc of the cached decode, ~0 = empty
+    unsigned len = 0;           ///< 0 = pc does not decode (cached failure)
     isa::Instruction insn;
-    unsigned len = 0;
   };
-  std::unordered_map<std::uint64_t, CacheEntry> icache_;
+  static constexpr std::size_t kICacheLines = 4096;  // 2-byte-granular index
+  std::vector<ICacheLine> icache_ = std::vector<ICacheLine>(kICacheLines);
+
+  struct BlockEntry {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;  ///< one past the last decoded byte
+    std::vector<isa::Instruction> insns;
+  };
+  static constexpr std::size_t kMaxBlockInsns = 256;
+  static constexpr std::size_t kMaxBlocks = 16384;  // crude size bound
+  std::unordered_map<std::uint64_t, BlockEntry> bcache_;
+  bool flush_pending_ = false;  ///< fence.i ran; flush at next safe point
+  bool in_block_ = false;       ///< run() is iterating a cached block
+
+  /// Cached block starting at `pc`, building it on miss; nullptr when the
+  /// first instruction does not fetch (caller falls back to exec_one for
+  /// the fault path).
+  const BlockEntry* lookup_or_build_block(std::uint64_t pc);
+  void flush_code_caches();
 
   struct Watchpoint {
     unsigned id;

@@ -68,6 +68,25 @@ class Memory {
     for (std::size_t i = 0; i < n; ++i) data[i] = read8(addr + i);
   }
 
+  /// Copy `n` bytes into `data` without allocating pages. Returns false
+  /// (leaving `data` unspecified) when any byte of the range is unmapped.
+  /// This is the instruction-fetch interface: a fetch must never map pages
+  /// as a side effect the way the zero-fill-on-touch read path does.
+  bool try_read_bytes(std::uint64_t addr, std::uint8_t* data,
+                      std::size_t n) const {
+    std::size_t i = 0;
+    while (i < n) {
+      const auto it = pages_.find((addr + i) >> kPageBits);
+      if (it == pages_.end()) return false;
+      const std::uint64_t off = (addr + i) & (kPageSize - 1);
+      std::size_t chunk = kPageSize - off;
+      if (chunk > n - i) chunk = n - i;
+      std::memcpy(data + i, it->second->data() + off, chunk);
+      i += chunk;
+    }
+    return true;
+  }
+
  private:
   using Page = std::array<std::uint8_t, kPageSize>;
 

@@ -1,0 +1,346 @@
+#include "isa/decode_table.hpp"
+
+#include <algorithm>
+
+#include "isa/decoder.hpp"
+#include "isa/registers.hpp"
+
+namespace rvdyn::isa::detail {
+
+namespace {
+
+Reg rd_of(std::uint32_t w, RegClass c = RegClass::Int) {
+  return Reg(c, static_cast<std::uint8_t>(bits(w, 7, 5)));
+}
+Reg rs1_of(std::uint32_t w, RegClass c = RegClass::Int) {
+  return Reg(c, static_cast<std::uint8_t>(bits(w, 15, 5)));
+}
+Reg rs2_of(std::uint32_t w, RegClass c = RegClass::Int) {
+  return Reg(c, static_cast<std::uint8_t>(bits(w, 20, 5)));
+}
+Reg rs3_of(std::uint32_t w, RegClass c = RegClass::Fp) {
+  return Reg(c, static_cast<std::uint8_t>(bits(w, 27, 5)));
+}
+
+// Compile one spec character; access/size resolution that build_operands
+// used to redo per decode happens exactly once, here.
+CompiledOperand compile_spec_char(char c, const OpcodeInfo& info) {
+  CompiledOperand op{};
+  switch (c) {
+    case 'd': op.step = OpStep::Rd; break;
+    case 's': op.step = OpStep::Rs1; break;
+    case 't': op.step = OpStep::Rs2; break;
+    case 'D': op.step = OpStep::FRd; break;
+    case 'S': op.step = OpStep::FRs1; break;
+    case 'T': op.step = OpStep::FRs2; break;
+    case 'R': op.step = OpStep::FRs3; break;
+    case 'i': op.step = OpStep::ImmI; break;
+    case 'u': op.step = OpStep::ImmU; break;
+    case 'b': op.step = OpStep::PcRelB; break;
+    case 'a': op.step = OpStep::PcRelJ; break;
+    case 'z': op.step = OpStep::Shamt6; break;
+    case 'w': op.step = OpStep::Shamt5; break;
+    case 'm':
+      op.step = OpStep::MemI;
+      op.access = (info.flags & F_STORE) && !(info.flags & F_LOAD)
+                      ? Operand::kWrite
+                      : Operand::kRead;
+      op.size = info.mem_size;
+      break;
+    case 'M':
+      op.step = OpStep::MemS;
+      op.access = Operand::kWrite;
+      op.size = info.mem_size;
+      break;
+    case 'A': {
+      op.step = OpStep::MemA;
+      std::uint8_t access = Operand::kNone;
+      if (info.flags & F_LOAD) access |= Operand::kRead;
+      if (info.flags & F_STORE) access |= Operand::kWrite;
+      op.access = access;
+      op.size = info.mem_size;
+      break;
+    }
+    case 'c': op.step = OpStep::Csr; break;
+    case 'Z': op.step = OpStep::Zimm; break;
+    case 'x': op.step = OpStep::RoundMode; break;
+    default: op.step = OpStep::RoundMode; break;  // unreachable for valid specs
+  }
+  return op;
+}
+
+DecodeEntry compile_entry(const OpcodeInfo& info) {
+  DecodeEntry e;
+  e.match = info.match;
+  e.mask = info.mask;
+  e.mnemonic = info.mnemonic;
+  e.ext = info.ext;
+  for (const char* p = info.spec; *p && e.nops < Instruction::kMaxOperands; ++p)
+    e.ops[e.nops++] = compile_spec_char(*p, info);
+  // Prototype: the decoded form of word 0 — every field a real decode would
+  // produce from the bits is then overwritten by patch_decoded.
+  e.proto.set(info.mnemonic, 0, 4);
+  emit_operands(e, 0, &e.proto);
+  return e;
+}
+
+// Deterministic most-specific-first order: larger mask population wins,
+// mnemonic index breaks ties (the reference scan sorts identically so the
+// two paths stay bit-compatible).
+bool more_specific(const DecodeEntry& a, const DecodeEntry& b) {
+  const int pa = __builtin_popcount(a.mask), pb = __builtin_popcount(b.mask);
+  if (pa != pb) return pa > pb;
+  return a.mnemonic < b.mnemonic;
+}
+
+constexpr std::uint32_t kFunct3Mask = 0x7000;
+constexpr std::uint32_t kFunct7Mask = 0xfe000000;
+
+DispatchTable build_dispatch_table() {
+  DispatchTable t;
+  std::vector<DecodeEntry> slot_lists[128 * 8];
+  for (std::uint16_t m = 0; m < static_cast<std::uint16_t>(Mnemonic::kCount);
+       ++m) {
+    const OpcodeInfo& info = opcode_info(static_cast<Mnemonic>(m));
+    const DecodeEntry e = compile_entry(info);
+    const std::uint32_t major = info.match & 0x7f;
+    if ((info.mask & kFunct3Mask) == kFunct3Mask) {
+      slot_lists[major * 8 + ((info.match >> 12) & 7)].push_back(e);
+    } else {
+      // funct3 is (partly) an operand field: candidate in every funct3 slot.
+      for (unsigned f3 = 0; f3 < 8; ++f3)
+        slot_lists[major * 8 + f3].push_back(e);
+    }
+  }
+  for (unsigned s = 0; s < 128 * 8; ++s) {
+    auto& list = slot_lists[s];
+    DispatchTable::Slot& slot = t.slots[s];
+    if (list.empty()) continue;
+    const bool f7_indexable =
+        list.size() > 1 &&
+        std::all_of(list.begin(), list.end(), [](const DecodeEntry& e) {
+          return (e.mask & kFunct7Mask) == kFunct7Mask;
+        });
+    if (f7_indexable) {
+      // Group by funct7 value, most-specific first within each group.
+      std::sort(list.begin(), list.end(),
+                [](const DecodeEntry& a, const DecodeEntry& b) {
+                  const std::uint32_t fa = a.match >> 25, fb = b.match >> 25;
+                  if (fa != fb) return fa < fb;
+                  return more_specific(a, b);
+                });
+      slot.f7 = static_cast<std::int32_t>(t.f7_ranges.size());
+      t.f7_ranges.resize(t.f7_ranges.size() + 128);
+      std::size_t i = 0;
+      while (i < list.size()) {
+        const std::uint32_t f7 = list[i].match >> 25;
+        const std::uint32_t begin =
+            static_cast<std::uint32_t>(t.entries.size() + i);
+        std::size_t j = i;
+        while (j < list.size() && (list[j].match >> 25) == f7) ++j;
+        t.f7_ranges[static_cast<std::size_t>(slot.f7) + f7] = {
+            begin, static_cast<std::uint32_t>(t.entries.size() + j)};
+        i = j;
+      }
+    } else {
+      std::sort(list.begin(), list.end(), more_specific);
+    }
+    slot.all.begin = static_cast<std::uint32_t>(t.entries.size());
+    t.entries.insert(t.entries.end(), list.begin(), list.end());
+    slot.all.end = static_cast<std::uint32_t>(t.entries.size());
+  }
+  return t;
+}
+
+std::vector<Instruction> build_rvc_table() {
+  std::vector<Instruction> table(65536);
+  // Decode with every extension enabled; lookups gate on the expansion's
+  // required extension instead.
+  const Decoder dec(ExtensionSet(0xffff), NoTableWarm{});
+  for (std::uint32_t half = 0; half < 65536; ++half) {
+    if ((half & 0x3) == 0x3) continue;  // 32-bit encoding space
+    Instruction insn;
+    if (dec.decode16_linear(static_cast<std::uint16_t>(half), &insn))
+      table[half] = insn;
+  }
+  return table;
+}
+
+}  // namespace
+
+const DispatchTable& dispatch_table() {
+  static const DispatchTable t = build_dispatch_table();
+  return t;
+}
+
+const std::vector<Instruction>& rvc_table() {
+  static const std::vector<Instruction> t = build_rvc_table();
+  return t;
+}
+
+void emit_operands(const DecodeEntry& e, std::uint32_t w, Instruction* out) {
+  for (unsigned i = 0; i < e.nops; ++i) {
+    const CompiledOperand& c = e.ops[i];
+    Operand o;
+    switch (c.step) {
+      case OpStep::Rd:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rd_of(w);
+        o.access = Operand::kWrite;
+        break;
+      case OpStep::Rs1:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rs1_of(w);
+        o.access = Operand::kRead;
+        break;
+      case OpStep::Rs2:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rs2_of(w);
+        o.access = Operand::kRead;
+        break;
+      case OpStep::FRd:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rd_of(w, RegClass::Fp);
+        o.access = Operand::kWrite;
+        break;
+      case OpStep::FRs1:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rs1_of(w, RegClass::Fp);
+        o.access = Operand::kRead;
+        break;
+      case OpStep::FRs2:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rs2_of(w, RegClass::Fp);
+        o.access = Operand::kRead;
+        break;
+      case OpStep::FRs3:
+        o.kind = Operand::Kind::Reg;
+        o.reg = rs3_of(w);
+        o.access = Operand::kRead;
+        break;
+      case OpStep::ImmI:
+        o.kind = Operand::Kind::Imm;
+        o.imm = imm_i(w);
+        break;
+      case OpStep::ImmU:
+        o.kind = Operand::Kind::Imm;
+        o.imm = imm_u(w);
+        break;
+      case OpStep::PcRelB:
+        o.kind = Operand::Kind::PcRelative;
+        o.imm = imm_b(w);
+        break;
+      case OpStep::PcRelJ:
+        o.kind = Operand::Kind::PcRelative;
+        o.imm = imm_j(w);
+        break;
+      case OpStep::Shamt6:
+        o.kind = Operand::Kind::Imm;
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 6));
+        break;
+      case OpStep::Shamt5:
+        o.kind = Operand::Kind::Imm;
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 5));
+        break;
+      case OpStep::MemI:
+        o.kind = Operand::Kind::Mem;
+        o.reg = rs1_of(w);
+        o.imm = imm_i(w);
+        o.size = c.size;
+        o.access = c.access;
+        break;
+      case OpStep::MemS:
+        o.kind = Operand::Kind::Mem;
+        o.reg = rs1_of(w);
+        o.imm = imm_s(w);
+        o.size = c.size;
+        o.access = c.access;
+        break;
+      case OpStep::MemA:
+        o.kind = Operand::Kind::Mem;
+        o.reg = rs1_of(w);
+        o.imm = 0;
+        o.size = c.size;
+        o.access = c.access;
+        break;
+      case OpStep::Csr:
+        o.kind = Operand::Kind::Csr;
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 12));
+        o.access = Operand::kRW;
+        break;
+      case OpStep::Zimm:
+        o.kind = Operand::Kind::Imm;
+        o.imm = static_cast<std::int64_t>(bits(w, 15, 5));
+        break;
+      case OpStep::RoundMode:
+        o.kind = Operand::Kind::RoundMode;
+        o.imm = static_cast<std::int64_t>(bits(w, 12, 3));
+        break;
+    }
+    out->add_operand(o);
+  }
+}
+
+void patch_decoded(const DecodeEntry& e, std::uint32_t w, Instruction* out) {
+  out->raw_ = w;
+  for (unsigned i = 0; i < e.nops; ++i) {
+    Operand& o = out->ops_[i];
+    switch (e.ops[i].step) {
+      case OpStep::Rd:
+      case OpStep::FRd:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 7, 5));
+        break;
+      case OpStep::Rs1:
+      case OpStep::FRs1:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 15, 5));
+        break;
+      case OpStep::Rs2:
+      case OpStep::FRs2:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 20, 5));
+        break;
+      case OpStep::FRs3:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 27, 5));
+        break;
+      case OpStep::ImmI:
+        o.imm = imm_i(w);
+        break;
+      case OpStep::ImmU:
+        o.imm = imm_u(w);
+        break;
+      case OpStep::PcRelB:
+        o.imm = imm_b(w);
+        break;
+      case OpStep::PcRelJ:
+        o.imm = imm_j(w);
+        break;
+      case OpStep::Shamt6:
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 6));
+        break;
+      case OpStep::Shamt5:
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 5));
+        break;
+      case OpStep::MemI:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 15, 5));
+        o.imm = imm_i(w);
+        break;
+      case OpStep::MemS:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 15, 5));
+        o.imm = imm_s(w);
+        break;
+      case OpStep::MemA:
+        o.reg.num = static_cast<std::uint8_t>(bits(w, 15, 5));
+        break;
+      case OpStep::Csr:
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 12));
+        break;
+      case OpStep::Zimm:
+        o.imm = static_cast<std::int64_t>(bits(w, 15, 5));
+        break;
+      case OpStep::RoundMode:
+        o.imm = static_cast<std::int64_t>(bits(w, 12, 3));
+        break;
+    }
+  }
+}
+
+}  // namespace rvdyn::isa::detail

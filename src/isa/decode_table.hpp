@@ -1,0 +1,114 @@
+// Precomputed decode fast path (built once at startup from mnemonics.def).
+//
+// Three structures back Decoder::decode32/decode16:
+//
+//  1. A multi-level dispatch table for 32-bit encodings: major opcode
+//     (7 bits) x funct3 selects a slot; slots whose entries all constrain
+//     funct7 additionally index a per-slot funct7 sub-table. What remains
+//     in a slot is a short match/mask list sorted most-specific first
+//     (funct12-style encodings collapse into that list), so the common
+//     case is a single compare instead of the popcount-sorted linear
+//     bucket scan that Decoder::decode32_linear still implements.
+//
+//  2. A compiled operand-builder program per table entry, plus a prototype
+//     Instruction with every word-independent field (mnemonic, flags,
+//     extension, operand kinds/access/sizes) prebuilt: decode copies the
+//     prototype and patches only the register numbers and immediates out
+//     of the word, instead of re-interpreting spec characters and
+//     constructing operands one call at a time.
+//
+//  3. A full 64K-entry table of predecoded 16-bit (RVC) expansions,
+//     built with an all-extensions profile and gated per lookup by the
+//     expansion's required extension.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/extensions.hpp"
+#include "isa/instruction.hpp"
+
+namespace rvdyn::isa::detail {
+
+// Immediate field extraction for the standard 32-bit formats (shared by the
+// compiled fast path and the reference scan decoder).
+inline std::int64_t imm_i(std::uint32_t w) { return sext(bits(w, 20, 12), 12); }
+inline std::int64_t imm_s(std::uint32_t w) {
+  return sext((bits(w, 25, 7) << 5) | bits(w, 7, 5), 12);
+}
+inline std::int64_t imm_b(std::uint32_t w) {
+  const std::uint64_t v = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
+                          (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
+  return sext(v, 13);
+}
+inline std::int64_t imm_u(std::uint32_t w) {
+  return sext(bits(w, 12, 20), 20) << 12;
+}
+inline std::int64_t imm_j(std::uint32_t w) {
+  const std::uint64_t v = (bit(w, 31) << 20) | (bits(w, 12, 8) << 12) |
+                          (bit(w, 20) << 11) | (bits(w, 21, 10) << 1);
+  return sext(v, 21);
+}
+
+/// One precompiled operand-builder step; the spec character, access mode and
+/// memory size resolved at table-build time.
+enum class OpStep : std::uint8_t {
+  Rd, Rs1, Rs2,          // integer register fields
+  FRd, FRs1, FRs2, FRs3, // FP register fields
+  ImmI, ImmU, PcRelB, PcRelJ, Shamt6, Shamt5,
+  MemI, MemS, MemA,      // [rs1 + imm12(I)], [rs1 + imm12(S)], [rs1]
+  Csr, Zimm, RoundMode,
+};
+
+struct CompiledOperand {
+  OpStep step;
+  std::uint8_t access = 0;  ///< pre-resolved access for Mem* steps
+  std::uint8_t size = 0;    ///< pre-resolved memory size for Mem* steps
+};
+
+/// One 32-bit decode candidate with its compiled operand program and the
+/// prototype Instruction the fast path copies-then-patches.
+struct DecodeEntry {
+  std::uint32_t match = 0;
+  std::uint32_t mask = 0;
+  Mnemonic mnemonic = Mnemonic::kInvalid;
+  Extension ext = Extension::I;
+  std::uint8_t nops = 0;
+  CompiledOperand ops[Instruction::kMaxOperands];
+  Instruction proto;  ///< decoded form at word 0: all static fields final
+};
+
+/// Dispatch structure over the flattened DecodeEntry array.
+struct DispatchTable {
+  struct Range {
+    std::uint32_t begin = 0, end = 0;
+  };
+  struct Slot {
+    Range all;               ///< candidates for this (major, funct3)
+    std::int32_t f7 = -1;    ///< if >= 0: index of a 128-range funct7 sub-table
+  };
+  Slot slots[128 * 8];
+  std::vector<Range> f7_ranges;      ///< 128 contiguous ranges per indexed slot
+  std::vector<DecodeEntry> entries;  ///< grouped per slot, most-specific first
+};
+
+/// The shared 32-bit dispatch table (immutable after first use; thread-safe).
+const DispatchTable& dispatch_table();
+
+/// The shared 64K predecoded RVC table. Entry `half` is the base-ISA
+/// expansion with Instruction::compressed() set, or an invalid Instruction
+/// when `half` is not a valid RVC encoding. Profile gating (C plus the
+/// expansion's own extension) is the caller's job.
+const std::vector<Instruction>& rvc_table();
+
+/// Run a compiled operand program, appending operands to `out`. Used at
+/// table-build time to materialize each entry's prototype.
+void emit_operands(const DecodeEntry& e, std::uint32_t w, Instruction* out);
+
+/// Fast-path completion after `*out = e.proto`: store the raw word and patch
+/// the word-dependent operand fields (register numbers, immediates) in
+/// place. Declared a friend of Instruction.
+void patch_decoded(const DecodeEntry& e, std::uint32_t w, Instruction* out);
+
+}  // namespace rvdyn::isa::detail

@@ -4,16 +4,23 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "isa/decode_table.hpp"
 
 namespace rvdyn::isa {
 
 namespace {
 
-// ---- 32-bit decoding: bucketed match/mask scan over the opcode table ----
+// ---- reference 32-bit decoding: bucketed match/mask scan ----
+//
+// This is the original implementation, kept as the oracle for the table
+// fast path (tests/test_decode_fastpath.cpp runs both over millions of
+// random words and requires identical results).
 
 struct Buckets {
   // Index by the 7-bit major opcode; each bucket is sorted most-specific
-  // (largest mask population) first so full matches win over field matches.
+  // (largest mask population) first so full matches win over field matches,
+  // with the mnemonic index as a deterministic tie-break (the dispatch
+  // table sorts identically).
   std::vector<const OpcodeInfo*> by_opcode[128];
 
   Buckets() {
@@ -25,8 +32,10 @@ struct Buckets {
     for (auto& bucket : by_opcode) {
       std::sort(bucket.begin(), bucket.end(),
                 [](const OpcodeInfo* a, const OpcodeInfo* b) {
-                  return __builtin_popcount(a->mask) >
-                         __builtin_popcount(b->mask);
+                  const int pa = __builtin_popcount(a->mask);
+                  const int pb = __builtin_popcount(b->mask);
+                  if (pa != pb) return pa > pb;
+                  return a->mnemonic < b->mnemonic;
                 });
     }
   }
@@ -37,22 +46,11 @@ const Buckets& buckets() {
   return b;
 }
 
-// Immediate field extraction for the standard formats.
-std::int64_t imm_i(std::uint32_t w) { return sext(bits(w, 20, 12), 12); }
-std::int64_t imm_s(std::uint32_t w) {
-  return sext((bits(w, 25, 7) << 5) | bits(w, 7, 5), 12);
-}
-std::int64_t imm_b(std::uint32_t w) {
-  const std::uint64_t v = (bit(w, 31) << 12) | (bit(w, 7) << 11) |
-                          (bits(w, 25, 6) << 5) | (bits(w, 8, 4) << 1);
-  return sext(v, 13);
-}
-std::int64_t imm_u(std::uint32_t w) { return sext(bits(w, 12, 20), 20) << 12; }
-std::int64_t imm_j(std::uint32_t w) {
-  const std::uint64_t v = (bit(w, 31) << 20) | (bits(w, 12, 8) << 12) |
-                          (bit(w, 20) << 11) | (bits(w, 21, 10) << 1);
-  return sext(v, 21);
-}
+using detail::imm_b;
+using detail::imm_i;
+using detail::imm_j;
+using detail::imm_s;
+using detail::imm_u;
 
 Reg rd_of(std::uint32_t w, RegClass c = RegClass::Int) {
   return Reg(c, static_cast<std::uint8_t>(bits(w, 7, 5)));
@@ -67,7 +65,8 @@ Reg rs3_of(std::uint32_t w, RegClass c = RegClass::Fp) {
   return Reg(c, static_cast<std::uint8_t>(bits(w, 27, 5)));
 }
 
-// Build the operand list for a matched entry by interpreting its spec.
+// Reference operand builder: interprets the entry's spec string per decode.
+// The fast path runs the compiled equivalent (decode_table.cpp).
 void build_operands(const OpcodeInfo& info, std::uint32_t w,
                     Instruction* out) {
   for (const char* p = info.spec; *p; ++p) {
@@ -157,23 +156,55 @@ void build_operands(const OpcodeInfo& info, std::uint32_t w,
   }
 }
 
-// FP loads/stores access FP registers for the data operand; patch the
-// spec-driven classes: 'D'/'T' already handle this, and 'm'/'M' produce the
-// memory operand only, so loads also need the destination register which is
-// covered by the 'D'/'d' spec char before 'm'. Nothing extra required here.
-
 }  // namespace
 
-bool Decoder::decode32(std::uint32_t word, Instruction* out) const {
+Decoder::Decoder(ExtensionSet profile) : profile_(profile) {
+  // Pay the one-time table construction here rather than inside the first
+  // decode: callers measuring decode or fetch latency (benchmarks, the
+  // emulator's hot loop) see flat cost from the start.
+  (void)detail::dispatch_table();
+  (void)detail::rvc_table();
+}
+
+bool Decoder::decode32_linear(std::uint32_t word, Instruction* out) const {
   const auto& bucket = buckets().by_opcode[word & 0x7f];
   for (const OpcodeInfo* info : bucket) {
     if ((word & info->mask) != info->match) continue;
-    if (!profile_.has(info->ext)) return false;
+    // An out-of-profile match must not mask a less-specific overlapping
+    // entry further down the bucket: keep scanning instead of bailing out.
+    if (!profile_.has(info->ext)) continue;
     out->set(info->mnemonic, word, 4);
     build_operands(*info, word, out);
     return true;
   }
   return false;
+}
+
+bool Decoder::decode32(std::uint32_t word, Instruction* out) const {
+  const detail::DispatchTable& t = detail::dispatch_table();
+  const std::uint32_t slot_idx = ((word & 0x7f) << 3) | ((word >> 12) & 7);
+  const detail::DispatchTable::Slot& slot = t.slots[slot_idx];
+  detail::DispatchTable::Range r = slot.all;
+  if (slot.f7 >= 0)
+    r = t.f7_ranges[static_cast<std::size_t>(slot.f7) + (word >> 25)];
+  for (std::uint32_t i = r.begin; i < r.end; ++i) {
+    const detail::DecodeEntry& e = t.entries[i];
+    if ((word & e.mask) != e.match) continue;
+    if (!profile_.has(e.ext)) continue;
+    *out = e.proto;
+    detail::patch_decoded(e, word, out);
+    return true;
+  }
+  return false;
+}
+
+bool Decoder::decode16(std::uint16_t half, Instruction* out) const {
+  if (!profile_.has(Extension::C)) return false;
+  const Instruction& e = detail::rvc_table()[half];
+  if (!e.valid()) return false;
+  if (!profile_.has(e.extension())) return false;
+  *out = e;
+  return true;
 }
 
 unsigned Decoder::decode(const std::uint8_t* buf, std::size_t size,

@@ -292,18 +292,26 @@ bool decode_q2(std::uint16_t h, const Decoder& dec, Instruction* out) {
 
 }  // namespace
 
-bool Decoder::decode16(std::uint16_t half, Instruction* out) const {
+bool Decoder::decode16_linear(std::uint16_t half, Instruction* out) const {
   if (!profile_.has(Extension::C)) return false;
+  bool ok;
   switch (half & 0x3) {
     case 0b00:
-      return decode_q0(half, *this, out);
+      ok = decode_q0(half, *this, out);
+      break;
     case 0b01:
-      return decode_q1(half, out);
+      ok = decode_q1(half, out);
+      break;
     case 0b10:
-      return decode_q2(half, *this, out);
+      ok = decode_q2(half, *this, out);
+      break;
     default:
       return false;  // 0b11 is a 32-bit encoding
   }
+  // Uniform profile gating on the expansion's extension, matching the table
+  // path (the quadrant D checks above are redundant with this for profiles
+  // that include the base ISA, but keep both paths bit-identical).
+  return ok && profile_.has(out->extension());
 }
 
 }  // namespace rvdyn::isa

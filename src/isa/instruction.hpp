@@ -100,6 +100,13 @@ class RegSet {
   std::uint64_t bits_ = 0;
 };
 
+class Instruction;
+
+namespace detail {
+struct DecodeEntry;
+void patch_decoded(const DecodeEntry& e, std::uint32_t w, Instruction* out);
+}  // namespace detail
+
 /// A decoded machine instruction.
 class Instruction {
  public:
@@ -200,6 +207,11 @@ class Instruction {
   }
 
  private:
+  // The table decoder copies a prototype Instruction and patches the raw
+  // word and word-dependent operand fields in place (decode_table.cpp).
+  friend void detail::patch_decoded(const detail::DecodeEntry& e,
+                                    std::uint32_t w, Instruction* out);
+
   Mnemonic mn_ = Mnemonic::kInvalid;
   std::uint32_t raw_ = 0;
   std::uint8_t len_ = 4;

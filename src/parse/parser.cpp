@@ -79,7 +79,7 @@ class Parser {
     seed_entries();
     if (opts_.num_threads <= 1) {
       while (auto entry = pool_.take()) {
-        parse_function(*entry);
+        parse_function(decoder_, *entry);
         pool_.done();
       }
     } else {
@@ -87,8 +87,11 @@ class Parser {
       workers.reserve(opts_.num_threads);
       for (unsigned t = 0; t < opts_.num_threads; ++t) {
         workers.emplace_back([this] {
+          // One decoder per worker: the profile is copied once and every
+          // decode in this thread goes through the same instance.
+          const isa::Decoder dec(decoder_.profile());
           while (auto entry = pool_.take()) {
-            parse_function(*entry);
+            parse_function(dec, *entry);
             pool_.done();
           }
         });
@@ -145,7 +148,7 @@ class Parser {
     return s->data.data() + off;
   }
 
-  void parse_function(std::uint64_t entry) {
+  void parse_function(const isa::Decoder& dec, std::uint64_t entry) {
     Function* f;
     {
       std::lock_guard lock(funcs_mu_);
@@ -160,11 +163,11 @@ class Parser {
       work.pop_front();
       if (Block* existing = f->block_containing(start)) {
         if (existing->start() == start) continue;
-        split_block(f, existing, start);
+        split_block(dec, f, existing, start);
         continue;
       }
       Block* b = f->add_block(start);
-      parse_block(f, b, &work, &stats);
+      parse_block(dec, f, b, &work, &stats);
     }
 
     stats.n_blocks = static_cast<unsigned>(f->blocks().size());
@@ -175,7 +178,8 @@ class Parser {
 
   // Split `b` at `at` (which must be an instruction boundary inside b);
   // the suffix becomes a new block inheriting b's out-edges.
-  void split_block(Function* f, Block* b, std::uint64_t at) {
+  void split_block(const isa::Decoder& dec, Function* f, Block* b,
+                   std::uint64_t at) {
     auto& insns = b->mutable_insns();
     std::size_t idx = 0;
     while (idx < insns.size() && insns[idx].addr != at) ++idx;
@@ -184,12 +188,12 @@ class Parser {
       // independent overlapping block rather than splitting.
       Block* nb = f->add_block(at);
       std::deque<std::uint64_t> local;
-      parse_block(f, nb, &local, &f->mutable_stats());
+      parse_block(dec, f, nb, &local, &f->mutable_stats());
       for (std::uint64_t t : local)
         if (!f->block_containing(t)) {
           Block* tb = f->add_block(t);
           std::deque<std::uint64_t> l2;
-          parse_block(f, tb, &l2, &f->mutable_stats());
+          parse_block(dec, f, tb, &l2, &f->mutable_stats());
         }
       return;
     }
@@ -202,53 +206,69 @@ class Parser {
     b->add_succ({EdgeType::Fallthrough, at});
   }
 
-  void parse_block(Function* f, Block* b, std::deque<std::uint64_t>* work,
-                   FunctionStats* stats) {
-    std::uint64_t cur = b->start();
-    while (true) {
-      // Stop at the boundary of an already-known block (join point).
-      if (cur != b->start() && f->block_at(cur)) {
+  void parse_block(const isa::Decoder& dec, Function* f, Block* b,
+                   std::deque<std::uint64_t>* work, FunctionStats* stats) {
+    const std::uint64_t start = b->start();
+    std::size_t avail = 0;
+    const std::uint8_t* bytes = code_at(start, &avail);
+    bool closed = false;  // the block got its successor edges
+    std::size_t consumed = 0;
+    if (bytes) {
+      // Batch-decode the straight-line run; the callback closes the block
+      // at join points and control transfers.
+      consumed = dec.decode_range(
+          bytes, avail,
+          [&](std::size_t off, const Instruction& insn, unsigned len) {
+            const std::uint64_t cur = start + off;
+            // Stop at the boundary of an already-known block (join point).
+            if (cur != start && f->block_at(cur)) {
+              b->add_succ({EdgeType::Fallthrough, cur});
+              closed = true;
+              return false;
+            }
+            b->mutable_insns().push_back({cur, insn});
+            const std::uint64_t next = cur + len;
+
+            if (insn.is_cond_branch()) {
+              const std::uint64_t taken =
+                  cur + static_cast<std::uint64_t>(insn.branch_offset());
+              b->add_succ({EdgeType::Taken, taken});
+              b->add_succ({EdgeType::NotTaken, next});
+              push_target(f, work, taken);
+              push_target(f, work, next);
+              closed = true;
+              return false;
+            }
+            if (insn.is_jal() || insn.is_jalr()) {
+              handle_unconditional(f, b, work, stats, next);
+              closed = true;
+              return false;
+            }
+            if (insn.has_flag(isa::F_ECALL)) {
+              ClassifyContext ctx;
+              ctx.co = &co_;
+              ctx.func = f;
+              ctx.block = b;
+              ctx.insn_index = static_cast<int>(b->insns().size()) - 1;
+              if (is_noreturn_ecall(ctx)) {
+                b->add_succ({EdgeType::Return, 0});  // process exit
+                closed = true;
+                return false;
+              }
+            }
+            return true;
+          });
+    }
+    if (!closed) {
+      // Decoding stopped between instructions: either we ran into a known
+      // block whose own bytes don't decode, or the bytes are undecodable.
+      const std::uint64_t cur = start + consumed;
+      if (cur != start && f->block_at(cur)) {
         b->add_succ({EdgeType::Fallthrough, cur});
-        return;
-      }
-      std::size_t avail = 0;
-      const std::uint8_t* bytes = code_at(cur, &avail);
-      Instruction insn;
-      unsigned len = bytes ? decoder_.decode(bytes, avail, &insn) : 0;
-      if (len == 0) {
-        // Undecodable: the block ends with unresolved flow.
+      } else {
         b->add_succ({EdgeType::Unresolved, 0});
         ++stats->n_unresolved;
-        return;
       }
-      b->mutable_insns().push_back({cur, insn});
-      const std::uint64_t next = cur + len;
-
-      if (insn.is_cond_branch()) {
-        const std::uint64_t taken =
-            cur + static_cast<std::uint64_t>(insn.branch_offset());
-        b->add_succ({EdgeType::Taken, taken});
-        b->add_succ({EdgeType::NotTaken, next});
-        push_target(f, work, taken);
-        push_target(f, work, next);
-        return;
-      }
-      if (insn.is_jal() || insn.is_jalr()) {
-        handle_unconditional(f, b, work, stats, next);
-        return;
-      }
-      if (insn.has_flag(isa::F_ECALL)) {
-        ClassifyContext ctx;
-        ctx.co = &co_;
-        ctx.func = f;
-        ctx.block = b;
-        ctx.insn_index = static_cast<int>(b->insns().size()) - 1;
-        if (is_noreturn_ecall(ctx)) {
-          b->add_succ({EdgeType::Return, 0});  // process exit: no successors
-          return;
-        }
-      }
-      cur = next;
     }
   }
 
@@ -341,7 +361,7 @@ class Parser {
       }
       // New functions found in gaps still need parsing.
       while (auto entry = pool_.take()) {
-        parse_function(*entry);
+        parse_function(decoder_, *entry);
         pool_.done();
       }
     }
@@ -354,20 +374,25 @@ class Parser {
       std::size_t avail = 0;
       const std::uint8_t* bytes = code_at(a, &avail);
       if (!bytes) return;
-      Instruction insn;
-      const unsigned len =
-          decoder_.decode(bytes, std::min<std::size_t>(avail, 4), &insn);
-      if (len == 0) {
-        a += 2;
-        continue;
-      }
-      if (insn.mnemonic() == isa::Mnemonic::addi &&
-          insn.operand(0).reg == isa::sp && insn.operand(1).reg == isa::sp &&
-          insn.operand(2).imm < 0) {
-        register_function(a, "");
+      std::uint64_t found = 0;
+      const std::size_t consumed = decoder_.decode_range(
+          bytes, avail,
+          [&](std::size_t off, const Instruction& insn, unsigned) {
+            if (a + off + 2 > to) return false;  // past the gap
+            if (insn.mnemonic() == isa::Mnemonic::addi &&
+                insn.operand(0).reg == isa::sp &&
+                insn.operand(1).reg == isa::sp && insn.operand(2).imm < 0) {
+              found = a + off;
+              return false;
+            }
+            return true;
+          });
+      if (found) {
+        register_function(found, "");
         return;  // one speculative entry per gap; its parse claims the rest
       }
-      a += len;
+      // decode_range stopped at an undecodable parcel: resync past it.
+      a += consumed + 2;
     }
   }
 
