@@ -15,8 +15,16 @@
 #include "assembler/assembler.hpp"
 #include "codegen/snippet.hpp"
 #include "emu/machine.hpp"
+#include "obs/metrics.hpp"
 #include "patch/editor.hpp"
 #include "proccontrol/process.hpp"
+
+#ifndef RVDYN_GIT_SHA
+#define RVDYN_GIT_SHA "unknown"
+#endif
+#ifndef RVDYN_BUILD_TYPE
+#define RVDYN_BUILD_TYPE "unknown"
+#endif
 
 namespace rvdyn::bench {
 
@@ -26,17 +34,73 @@ namespace rvdyn::bench {
 // perf trajectory is tracked across PRs (commit the files alongside code
 // changes that move the numbers).
 
+/// Run-provenance block embedded into every BENCH_*.json: which commit and
+/// build type produced the numbers, how many entries ran, and (when the obs
+/// hooks are compiled in) a final metrics snapshot.
+inline std::string meta_json(std::size_t entries_run) {
+  std::string s = "{\"git_sha\": \"" RVDYN_GIT_SHA
+                  "\", \"build_type\": \"" RVDYN_BUILD_TYPE "\"";
+  s += ", \"obs\": ";
+#if RVDYN_OBS_ENABLED
+  s += "true";
+#else
+  s += "false";
+#endif
+  s += ", \"entries\": " + std::to_string(entries_run);
+#if RVDYN_OBS_ENABLED
+  s += ", \"metrics\": " + obs::Registry::instance().to_json();
+#endif
+  s += "}";
+  return s;
+}
+
+/// Append `, "rvdyn_meta": {...}` before the final `}` of an existing JSON
+/// file (used to decorate google-benchmark's own output after Shutdown).
+inline bool append_meta_to_json_file(const std::string& path,
+                                     std::size_t entries_run) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb+");
+  if (!fp) return false;
+  std::fseek(fp, 0, SEEK_END);
+  long pos = std::ftell(fp);
+  // Back up over trailing whitespace to the closing brace.
+  while (pos > 0) {
+    std::fseek(fp, pos - 1, SEEK_SET);
+    const int c = std::fgetc(fp);
+    if (c == '}') break;
+    if (c != '\n' && c != '\r' && c != ' ' && c != '\t') {
+      std::fclose(fp);
+      return false;
+    }
+    --pos;
+  }
+  if (pos == 0) {
+    std::fclose(fp);
+    return false;
+  }
+  std::fseek(fp, pos - 1, SEEK_SET);
+  const std::string tail =
+      ",\n  \"rvdyn_meta\": " + meta_json(entries_run) + "\n}\n";
+  std::fwrite(tail.data(), 1, tail.size(), fp);
+  std::fclose(fp);
+  return true;
+}
+
 /// Drop-in replacement for BENCHMARK_MAIN(): runs google-benchmark with a
 /// default `--benchmark_out=<default_out> --benchmark_out_format=json`.
-/// Explicit --benchmark_out on the command line wins.
+/// Explicit --benchmark_out on the command line wins. After the run, the
+/// JSON gets an `rvdyn_meta` provenance block appended.
 inline int run_benchmarks_with_json(int argc, char** argv,
                                     const char* default_out) {
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = std::string("--benchmark_out=") + default_out;
   std::string fmt_flag = "--benchmark_out_format=json";
+  std::string out_path = default_out;
   bool has_out = false;
   for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+      out_path = std::string(argv[i]).substr(sizeof("--benchmark_out=") - 1);
+    }
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
@@ -44,8 +108,9 @@ inline int run_benchmarks_with_json(int argc, char** argv,
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  append_meta_to_json_file(out_path, ran);
   return 0;
 }
 
@@ -61,7 +126,8 @@ class JsonWriter {
     entries_.push_back({std::move(name), std::move(metrics)});
   }
 
-  /// Write the collected entries; returns false on I/O failure.
+  /// Write the collected entries plus the rvdyn_meta provenance block;
+  /// returns false on I/O failure.
   bool write() const {
     std::FILE* fp = std::fopen(path_.c_str(), "w");
     if (!fp) return false;
@@ -73,7 +139,8 @@ class JsonWriter {
         std::fprintf(fp, ", \"%s\": %.6g", key.c_str(), value);
       std::fprintf(fp, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(fp, "  ]\n}\n");
+    std::fprintf(fp, "  ],\n  \"rvdyn_meta\": %s\n}\n",
+                 meta_json(entries_.size()).c_str());
     std::fclose(fp);
     return true;
   }

@@ -16,6 +16,8 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/rvdyn_assembler.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_stackwalk.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_proccontrol.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rvdyn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rvdyn_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_emu.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_patch.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_codegen.dir/DependInfo.cmake"
@@ -24,7 +26,6 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/rvdyn_semantics.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_isa.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_symtab.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/rvdyn_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/rvdyn_common.dir/DependInfo.cmake"
   )
 

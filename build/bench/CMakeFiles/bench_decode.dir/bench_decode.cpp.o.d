@@ -227,7 +227,13 @@ bench/CMakeFiles/bench_decode.dir/bench_decode.cpp.o: \
  /root/repo/src/emu/memory.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/isa/decoder.hpp /root/repo/src/isa/instruction.hpp \
- /root/repo/src/isa/mnemonics.def /root/repo/src/patch/editor.hpp \
+ /root/repo/src/isa/mnemonics.def /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/patch/editor.hpp \
  /root/repo/src/codegen/codegen.hpp /root/repo/src/parse/cfg.hpp \
  /root/repo/src/patch/point.hpp /root/repo/src/parse/loops.hpp \
  /root/repo/src/proccontrol/process.hpp /root/repo/src/isa/encoder.hpp \

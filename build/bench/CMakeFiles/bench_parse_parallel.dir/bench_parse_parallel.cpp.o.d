@@ -242,8 +242,9 @@ bench/CMakeFiles/bench_parse_parallel.dir/bench_parse_parallel.cpp.o: \
  /root/repo/src/emu/memory.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/isa/decoder.hpp /root/repo/src/isa/instruction.hpp \
- /root/repo/src/isa/mnemonics.def /root/repo/src/patch/editor.hpp \
- /root/repo/src/codegen/codegen.hpp /root/repo/src/parse/cfg.hpp \
- /root/repo/src/patch/point.hpp /root/repo/src/parse/loops.hpp \
- /root/repo/src/proccontrol/process.hpp \
+ /root/repo/src/isa/mnemonics.def /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/patch/editor.hpp /root/repo/src/codegen/codegen.hpp \
+ /root/repo/src/parse/cfg.hpp /root/repo/src/patch/point.hpp \
+ /root/repo/src/parse/loops.hpp /root/repo/src/proccontrol/process.hpp \
  /root/repo/src/workloads/workloads.hpp

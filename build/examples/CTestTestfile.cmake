@@ -12,6 +12,8 @@ add_test(example_function_tracer "/root/repo/build/examples/function_tracer")
 set_tests_properties(example_function_tracer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_memtrace "/root/repo/build/examples/memtrace")
 set_tests_properties(example_memtrace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_blocks "/root/repo/build/examples/profile_blocks")
+set_tests_properties(example_profile_blocks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_quickstart "/root/repo/build/examples/quickstart")
 set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_rvdyn_objdump "/root/repo/build/examples/rvdyn_objdump")

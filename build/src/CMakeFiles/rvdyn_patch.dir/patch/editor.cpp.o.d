@@ -228,4 +228,11 @@ src/CMakeFiles/rvdyn_patch.dir/patch/editor.cpp.o: \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/common/bits.hpp /root/repo/src/dataflow/liveness.hpp \
  /root/repo/src/dataflow/summaries.hpp /root/repo/src/parse/callgraph.hpp \
- /root/repo/src/isa/encoder.hpp /root/repo/src/isa/imm_builder.hpp
+ /root/repo/src/isa/encoder.hpp /root/repo/src/isa/imm_builder.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/obs/trace.hpp

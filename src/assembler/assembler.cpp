@@ -12,6 +12,7 @@
 #include "isa/decoder.hpp"
 #include "isa/encoder.hpp"
 #include "isa/imm_builder.hpp"
+#include "obs/trace.hpp"
 
 namespace rvdyn::assembler {
 
@@ -947,6 +948,7 @@ class Assembler {
 }  // namespace
 
 symtab::Symtab assemble(const std::string& source, const Options& opts) {
+  RVDYN_OBS_SPAN("rvdyn.asm.assemble");
   Assembler as(opts);
   return as.run(source);
 }

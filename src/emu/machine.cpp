@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "common/bits.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "semantics/eval.hpp"
 
 namespace rvdyn::emu {
@@ -68,7 +70,36 @@ std::uint64_t fcvt_to_int(F v) {
 
 }  // namespace
 
+Machine::~Machine() { publish_metrics(); }
+
+void Machine::publish_metrics() {
+#if RVDYN_OBS_ENABLED
+  const CacheStats& c = cstats_;
+  const CacheStats& p = published_;
+  RVDYN_OBS_COUNT_N("rvdyn.emu.icache.hit", c.icache_hits - p.icache_hits);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.icache.miss", c.icache_misses - p.icache_misses);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.hit", c.bcache_hits - p.bcache_hits);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.miss", c.bcache_misses - p.bcache_misses);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.built", c.blocks_built - p.blocks_built);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.entered",
+                    c.blocks_entered - p.blocks_entered);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.evict.write_code",
+                    c.evict_write_code - p.evict_write_code);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.evict.fencei",
+                    c.evict_fencei - p.evict_fencei);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.bcache.evict.capacity",
+                    c.evict_capacity - p.evict_capacity);
+  RVDYN_OBS_COUNT_N("rvdyn.emu.fencei_flushes",
+                    c.fencei_flushes - p.fencei_flushes);
+  RVDYN_OBS_GAUGE("rvdyn.emu.instret", instret_);
+  RVDYN_OBS_GAUGE("rvdyn.emu.cycles", cycles_);
+  published_ = cstats_;
+  decoder_.publish_stats();
+#endif
+}
+
 void Machine::load(const symtab::Symtab& binary) {
+  RVDYN_OBS_SPAN("rvdyn.emu.load");
   for (const auto& sec : binary.sections()) {
     if (!sec.is_alloc()) continue;
     if (sec.type == symtab::SHT_NOBITS) {
@@ -87,8 +118,19 @@ void Machine::load(const symtab::Symtab& binary) {
 
 void Machine::flush_code_caches() {
   for (ICacheLine& line : icache_) line.tag = ~0ULL;
+  // Attribute the dropped block entries to whichever event forced the
+  // flush; a fence.i wins because the full flush is architecturally its.
+  RVDYN_OBS_STAT({
+    const std::uint64_t dropped = bcache_.size();
+    if (flush_pending_ & kFlushFenceI) {
+      cstats_.evict_fencei += dropped;
+      ++cstats_.fencei_flushes;
+    } else if (flush_pending_ & kFlushWriteCode) {
+      cstats_.evict_write_code += dropped;
+    }
+  });
   bcache_.clear();
-  flush_pending_ = false;
+  flush_pending_ = 0;
 }
 
 void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
@@ -105,24 +147,28 @@ void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
     // Patching from inside block execution (e.g. a trace hook): erasing
     // bcache_ here would destroy the vector being iterated, so defer to
     // a full flush at the next safe point instead.
-    flush_pending_ = true;
+    flush_pending_ |= kFlushWriteCode;
     return;
   }
   for (auto it = bcache_.begin(); it != bcache_.end();) {
-    if (it->second.start < hi && it->second.end > addr)
+    if (it->second.start < hi && it->second.end > addr) {
+      RVDYN_OBS_STAT(++cstats_.evict_write_code);
       it = bcache_.erase(it);
-    else
+    } else {
       ++it;
+    }
   }
 }
 
 bool Machine::fetch(std::uint64_t pc, Instruction* out, unsigned* len) {
   ICacheLine& line = icache_[(pc >> 1) & (kICacheLines - 1)];
   if (line.tag == pc) {
+    RVDYN_OBS_STAT(++cstats_.icache_hits);
     *out = line.insn;
     *len = line.len;
     return line.len != 0;
   }
+  RVDYN_OBS_STAT(++cstats_.icache_misses);
   // Fetch without mapping pages as a side effect: a compressed instruction
   // in the last two mapped bytes of a page must decode, and the bytes past
   // it must stay unmapped.
@@ -168,7 +214,11 @@ void Machine::charge(const Instruction& insn, bool taken_branch) {
 
 const Machine::BlockEntry* Machine::lookup_or_build_block(std::uint64_t pc) {
   const auto it = bcache_.find(pc);
-  if (it != bcache_.end()) return &it->second;
+  if (it != bcache_.end()) {
+    RVDYN_OBS_STAT(++cstats_.bcache_hits);
+    return &it->second;
+  }
+  RVDYN_OBS_STAT(++cstats_.bcache_misses);
   BlockEntry blk;
   blk.start = pc;
   std::uint64_t a = pc;
@@ -186,12 +236,17 @@ const Machine::BlockEntry* Machine::lookup_or_build_block(std::uint64_t pc) {
   }
   if (blk.insns.empty()) return nullptr;
   blk.end = a;
-  if (bcache_.size() >= kMaxBlocks) bcache_.clear();
+  if (bcache_.size() >= kMaxBlocks) {
+    RVDYN_OBS_STAT(cstats_.evict_capacity += bcache_.size());
+    bcache_.clear();
+  }
+  RVDYN_OBS_STAT(++cstats_.blocks_built);
   const auto ins = bcache_.emplace(pc, std::move(blk)).first;
   return &ins->second;
 }
 
 StopReason Machine::run(std::uint64_t max_steps) {
+  RVDYN_OBS_SPAN("rvdyn.emu.run");
   stop_ = StopReason::Running;
   std::uint64_t remaining = max_steps;
   while (remaining > 0) {
@@ -201,6 +256,7 @@ StopReason Machine::run(std::uint64_t max_steps) {
       // Execute the whole straight-line run without per-instruction
       // fetch/dispatch. Only the last instruction can redirect pc, so each
       // iteration resumes exactly where the next cached insn was decoded.
+      RVDYN_OBS_STAT(++cstats_.blocks_entered);
       in_block_ = true;
       for (const Instruction& insn : blk->insns) {
         const StopReason r = exec_insn(insn, insn.length());
@@ -276,6 +332,14 @@ StopReason Machine::exec_one() {
 
 StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
   if (trace_) trace_(pc_, insn);
+  // Per-PC "hardware" counters: hit now, cycle attribution after charge.
+  PcCount* prof = nullptr;
+  std::uint64_t prof_c0 = 0;
+  if (pc_profile_enabled_) {
+    prof = &pc_profile_[pc_];
+    ++prof->hits;
+    prof_c0 = cycles_;
+  }
   const bool watch_fires = check_watchpoints(pc_, insn);
 
   const std::uint64_t next_pc = pc_ + len;
@@ -492,7 +556,7 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
     case Mnemonic::fence_i:
       // Deferred: a fence.i inside a cached block must not destroy the
       // block vector mid-iteration. The flush happens before the next fetch.
-      if (insn.mnemonic() == Mnemonic::fence_i) flush_pending_ = true;
+      if (insn.mnemonic() == Mnemonic::fence_i) flush_pending_ |= kFlushFenceI;
       break;
     case Mnemonic::ecall: {
       const StopReason r = syscall();
@@ -501,6 +565,7 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
         // reporting the stop so instret/cycles include it.
         charge(insn, false);
         ++instret_;
+        if (prof) prof->cycles += cycles_ - prof_c0;
         return r;
       }
       break;
@@ -767,6 +832,7 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
 
   charge(insn, taken);
   ++instret_;
+  if (prof) prof->cycles += cycles_ - prof_c0;
   pc_ = new_pc;
   // A data watchpoint reports after the access completes (pc already
   // advanced), matching how hardware debug traps behave.

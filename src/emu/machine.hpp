@@ -54,6 +54,9 @@ class Machine {
   explicit Machine(isa::ExtensionSet profile = isa::ExtensionSet::rv64gc())
       : decoder_(profile) {}
 
+  /// Flushes any unpublished cache/decode metrics into obs::Registry.
+  ~Machine();
+
   /// Map every allocatable section of `binary` and point pc at its entry.
   /// Also initializes sp to the top of a fresh stack region.
   void load(const symtab::Symtab& binary);
@@ -93,6 +96,66 @@ class Machine {
   // --- accounting ---
   std::uint64_t instret() const { return instret_; }
   std::uint64_t cycles() const { return cycles_; }
+
+  /// Decoded-code cache traffic (observability builds only; all zero when
+  /// RVDYN_OBS_ENABLED=0). Evictions are attributed to their cause so
+  /// debugger patching churn (write_code), guest self-modification
+  /// (fence.i) and capacity pressure can be told apart.
+  struct CacheStats {
+    std::uint64_t icache_hits = 0;
+    std::uint64_t icache_misses = 0;
+    std::uint64_t bcache_hits = 0;    ///< block lookups served from cache
+    std::uint64_t bcache_misses = 0;  ///< lookups that had to build
+    std::uint64_t blocks_built = 0;
+    std::uint64_t blocks_entered = 0;  ///< cached blocks executed by run()
+    std::uint64_t evict_write_code = 0;  ///< block entries lost to write_code
+    std::uint64_t evict_fencei = 0;      ///< block entries lost to fence.i
+    std::uint64_t evict_capacity = 0;    ///< block entries lost to the bound
+    std::uint64_t fencei_flushes = 0;    ///< fence.i-driven full flushes
+  };
+  const CacheStats& cache_stats() const { return cstats_; }
+
+  /// The emulator-side "hardware" counter file (paper §4's perf-counter
+  /// surface): architectural counters plus the cache traffic a real PMU
+  /// would expose. Reads are always valid; the cache fields mirror
+  /// cache_stats() and are zero in RVDYN_OBS=OFF builds.
+  struct HwCounterFile {
+    std::uint64_t instret = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t icache_hits = 0;
+    std::uint64_t icache_misses = 0;
+    std::uint64_t bcache_hits = 0;
+    std::uint64_t bcache_misses = 0;
+    std::uint64_t blocks_entered = 0;
+    std::uint64_t blocks_built = 0;
+  };
+  HwCounterFile hw_counters() const {
+    return {instret_,           cycles_,
+            cstats_.icache_hits, cstats_.icache_misses,
+            cstats_.bcache_hits, cstats_.bcache_misses,
+            cstats_.blocks_entered, cstats_.blocks_built};
+  }
+
+  // --- per-PC profiling (emulator-side block frequency ground truth) ---
+  /// When enabled, every retired instruction bumps a per-PC hit counter and
+  /// accrues its cycle charge there. The hit count at a basic block's start
+  /// address is exactly the number of times the block was entered — the
+  /// value an instrumentation-based profiler must reproduce.
+  void enable_pc_profile(bool on) { pc_profile_enabled_ = on; }
+  bool pc_profile_enabled() const { return pc_profile_enabled_; }
+  struct PcCount {
+    std::uint64_t hits = 0;
+    std::uint64_t cycles = 0;
+  };
+  const std::unordered_map<std::uint64_t, PcCount>& pc_profile() const {
+    return pc_profile_;
+  }
+  void clear_pc_profile() { pc_profile_.clear(); }
+
+  /// Push the cache/decode tallies accumulated since the last publish into
+  /// obs::Registry (`rvdyn.emu.*`, `rvdyn.isa.*`) and set the instret /
+  /// cycles gauges. No-op in RVDYN_OBS=OFF builds; also runs at destruction.
+  void publish_metrics();
   /// Virtual nanoseconds elapsed (cycles / hz).
   std::uint64_t virtual_ns() const {
     return static_cast<std::uint64_t>(
@@ -189,8 +252,13 @@ class Machine {
   static constexpr std::size_t kMaxBlockInsns = 256;
   static constexpr std::size_t kMaxBlocks = 16384;  // crude size bound
   std::unordered_map<std::uint64_t, BlockEntry> bcache_;
-  bool flush_pending_ = false;  ///< fence.i ran; flush at next safe point
-  bool in_block_ = false;       ///< run() is iterating a cached block
+  /// Deferred full-flush reasons (bitmask); flushed at the next safe point
+  /// so a fence.i or write_code *inside* a cached block does not destroy
+  /// the vector being iterated. The reason decides which eviction counter
+  /// the dropped entries are charged to.
+  enum : std::uint8_t { kFlushFenceI = 1, kFlushWriteCode = 2 };
+  std::uint8_t flush_pending_ = 0;
+  bool in_block_ = false;  ///< run() is iterating a cached block
 
   /// Cached block starting at `pc`, building it on miss; nullptr when the
   /// first instruction does not fetch (caller falls back to exec_one for
@@ -203,6 +271,11 @@ class Machine {
     std::uint64_t addr, size;
     bool on_read, on_write;
   };
+  CacheStats cstats_;
+  CacheStats published_;  ///< snapshot at the last publish_metrics()
+  bool pc_profile_enabled_ = false;
+  std::unordered_map<std::uint64_t, PcCount> pc_profile_;
+
   std::vector<Watchpoint> watchpoints_;
   unsigned next_watch_id_ = 1;
   WatchHit watch_hit_;

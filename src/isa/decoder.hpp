@@ -36,6 +36,20 @@ namespace detail {
 struct NoTableWarm {};
 }  // namespace detail
 
+/// Per-decoder traffic tallies (observability builds only; always zero when
+/// RVDYN_OBS_ENABLED=0). Fast = the table dispatch path, linear = the
+/// reference match/mask scan kept for differential testing. Plain non-atomic
+/// fields so the hot decode loop pays one increment, flushed in bulk into
+/// obs::Registry by publish_stats() / the destructor.
+struct DecodeStats {
+  std::uint64_t fast32 = 0;    ///< decode32 table-path successes
+  std::uint64_t fast16 = 0;    ///< decode16 table-path successes
+  std::uint64_t fail32 = 0;    ///< 32-bit words that did not decode
+  std::uint64_t fail16 = 0;    ///< 16-bit halves that did not decode
+  std::uint64_t linear32 = 0;  ///< reference decode32_linear calls
+  std::uint64_t linear16 = 0;  ///< reference decode16_linear calls
+};
+
 class Decoder {
  public:
   /// `profile` restricts which extensions the decoder accepts. Construction
@@ -45,7 +59,26 @@ class Decoder {
 
   Decoder(ExtensionSet profile, detail::NoTableWarm) : profile_(profile) {}
 
+  /// Flushes any unpublished decode tallies into obs::Registry.
+  ~Decoder();
+
+  // Copies share the profile but never the tallies (each instance flushes
+  // its own counts exactly once).
+  Decoder(const Decoder& o) : profile_(o.profile_) {}
+  Decoder& operator=(const Decoder& o) {
+    profile_ = o.profile_;
+    return *this;
+  }
+
   ExtensionSet profile() const { return profile_; }
+
+  /// This decoder's unflushed tallies (zeros when observability is off).
+  const DecodeStats& decode_stats() const { return dstats_; }
+
+  /// Add the tallies into the `rvdyn.isa.*` registry counters and zero the
+  /// local copy. Called automatically on destruction; call explicitly to
+  /// snapshot metrics while a long-lived decoder is still in use.
+  void publish_stats() const;
 
   /// Decode one instruction from `buf`. Returns the number of bytes
   /// consumed (2 or 4); returns 0 if the bytes do not decode to a valid
@@ -110,6 +143,7 @@ class Decoder {
 
  private:
   ExtensionSet profile_;
+  mutable DecodeStats dstats_;
 };
 
 }  // namespace rvdyn::isa

@@ -6,6 +6,7 @@
 // true encoding size, which is what the patcher cares about (§3.1.2).
 #include "common/bits.hpp"
 #include "isa/decoder.hpp"
+#include "obs/metrics.hpp"
 
 namespace rvdyn::isa {
 
@@ -293,6 +294,7 @@ bool decode_q2(std::uint16_t h, const Decoder& dec, Instruction* out) {
 }  // namespace
 
 bool Decoder::decode16_linear(std::uint16_t half, Instruction* out) const {
+  RVDYN_OBS_STAT(++dstats_.linear16);
   if (!profile_.has(Extension::C)) return false;
   bool ok;
   switch (half & 0x3) {

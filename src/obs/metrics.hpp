@@ -1,0 +1,318 @@
+// rvdyn::obs metrics: a lock-free counter/gauge/histogram registry.
+//
+// The hot path (Counter::add) is one thread-local-shard lookup plus one
+// relaxed atomic add to an uncontended cache line; readers aggregate across
+// shards, so writers never synchronize with each other. Metric names form
+// a dotted namespace mirroring the toolkits that emit them:
+//   rvdyn.isa.*    decoder fast/slow-path traffic
+//   rvdyn.emu.*    icache/block-cache hits, misses, evictions, flushes
+//   rvdyn.parse.*  per-phase timings, per-worker block/gap counts
+//   rvdyn.patch.*  snippet and relocation statistics
+//
+// All hot-path hook sites go through the RVDYN_OBS_* macros below, which
+// compile to nothing when the build sets RVDYN_OBS_ENABLED=0 (CMake option
+// RVDYN_OBS=OFF). The registry classes themselves always exist, so the ABI
+// of types embedding stats does not change between the two builds.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#ifndef RVDYN_OBS_ENABLED
+#define RVDYN_OBS_ENABLED 1
+#endif
+
+namespace rvdyn::obs {
+
+/// How a slot aggregates across thread shards and is reported.
+enum class MetricKind : std::uint8_t {
+  Counter,  ///< monotonic, summed across shards
+  Gauge,    ///< last-set value (global slot, not sharded)
+  Max,      ///< maximum across shards (histogram `.max` companions)
+};
+
+inline const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Max: return "max";
+  }
+  return "?";
+}
+
+class Registry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr std::size_t kMaxSlots = 1024;
+
+  /// Process-wide registry. Deliberately leaked so metric flushes from
+  /// static-storage destructors (decoders, machines) stay safe at exit.
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+
+  /// Idempotent: re-registering a name returns the existing id. The kind
+  /// must match the original registration.
+  Id register_metric(const std::string& name, MetricKind kind) {
+    std::lock_guard lock(mu_);
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    if (meta_.size() >= kMaxSlots)
+      throw std::runtime_error("obs: metric slot capacity exhausted");
+    const Id id = static_cast<Id>(meta_.size());
+    meta_.push_back({name, kind});
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  // --- hot-path writes (lock-free) ---
+  void add(Id id, std::uint64_t n) {
+    local_shard().slots[id].fetch_add(n, std::memory_order_relaxed);
+  }
+  void record_max(Id id, std::uint64_t v) {
+    std::atomic<std::uint64_t>& slot = local_shard().slots[id];
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void set_gauge(Id id, std::uint64_t v) {
+    gauges_[id].store(v, std::memory_order_relaxed);
+  }
+
+  // --- reads (aggregate across shards; intended for quiesced moments) ---
+  std::uint64_t read(Id id) const {
+    std::lock_guard lock(mu_);
+    return read_locked(id);
+  }
+
+  /// Value of a metric by name; 0 when the name was never registered.
+  std::uint64_t value(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    const auto it = ids_.find(name);
+    return it == ids_.end() ? 0 : read_locked(it->second);
+  }
+
+  struct Sample {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint64_t value = 0;
+  };
+
+  /// All metrics, sorted by name (meta_ insertion order is registration
+  /// order; the map keeps names unique, so sorting is stable).
+  std::vector<Sample> snapshot() const {
+    std::lock_guard lock(mu_);
+    std::vector<Sample> out;
+    out.reserve(meta_.size());
+    for (Id id = 0; id < meta_.size(); ++id)
+      out.push_back({meta_[id].name, meta_[id].kind, read_locked(id)});
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+  }
+
+  /// Flat JSON object `{"name": value, ...}` — embedded into BENCH_*.json
+  /// files and the example tools' reports.
+  std::string to_json() const {
+    const auto samples = snapshot();
+    std::string out = "{";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      out += "\"" + samples[i].name +
+             "\": " + std::to_string(samples[i].value);
+      if (i + 1 < samples.size()) out += ", ";
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Zero every slot (names stay registered). Call only when no other
+  /// thread is writing — test fixtures and bench setup.
+  void reset() {
+    std::lock_guard lock(mu_);
+    for (auto& shard : shards_)
+      for (auto& slot : shard->slots)
+        slot.store(0, std::memory_order_relaxed);
+    for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Meta {
+    std::string name;
+    MetricKind kind;
+  };
+  struct Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+  };
+
+  Registry() = default;
+
+  std::uint64_t read_locked(Id id) const {
+    if (id >= meta_.size()) return 0;
+    if (meta_[id].kind == MetricKind::Gauge)
+      return gauges_[id].load(std::memory_order_relaxed);
+    std::uint64_t v = 0;
+    for (const auto& shard : shards_) {
+      const std::uint64_t s = shard->slots[id].load(std::memory_order_relaxed);
+      if (meta_[id].kind == MetricKind::Max)
+        v = std::max(v, s);
+      else
+        v += s;
+    }
+    return v;
+  }
+
+  Shard& local_shard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      auto owned = std::make_unique<Shard>();
+      std::lock_guard lock(mu_);
+      // Shards outlive their threads so exited workers' counts keep
+      // contributing to totals.
+      shards_.push_back(std::move(owned));
+      shard = shards_.back().get();
+    }
+    return *shard;
+  }
+
+  mutable std::mutex mu_;  ///< guards registration + shard list, never adds
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<Meta> meta_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> gauges_{};
+};
+
+/// Cached-id handle for a counter. Construct once (function-local static at
+/// hook sites via RVDYN_OBS_COUNT) and add() forever after without locks.
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : id_(Registry::instance().register_metric(name, MetricKind::Counter)) {}
+  void add(std::uint64_t n = 1) const { Registry::instance().add(id_, n); }
+
+ private:
+  Registry::Id id_;
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name)
+      : id_(Registry::instance().register_metric(name, MetricKind::Gauge)) {}
+  void set(std::uint64_t v) const { Registry::instance().set_gauge(id_, v); }
+
+ private:
+  Registry::Id id_;
+};
+
+/// Power-of-two histogram: `<name>.count`, `<name>.sum`, `<name>.max`, and
+/// buckets `<name>.b<i>` where bucket i counts values whose bit width is i
+/// (i.e. v in [2^(i-1), 2^i)); bucket 0 counts zeros, the last bucket
+/// absorbs everything wider.
+class Histogram {
+ public:
+  static constexpr unsigned kBuckets = 16;
+
+  explicit Histogram(const std::string& name) {
+    Registry& r = Registry::instance();
+    count_ = r.register_metric(name + ".count", MetricKind::Counter);
+    sum_ = r.register_metric(name + ".sum", MetricKind::Counter);
+    max_ = r.register_metric(name + ".max", MetricKind::Max);
+    for (unsigned i = 0; i < kBuckets; ++i)
+      buckets_[i] =
+          r.register_metric(name + ".b" + std::to_string(i), MetricKind::Counter);
+  }
+
+  void record(std::uint64_t v) const {
+    Registry& r = Registry::instance();
+    r.add(count_, 1);
+    r.add(sum_, v);
+    r.record_max(max_, v);
+    const unsigned width =
+        v == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(v));
+    r.add(buckets_[std::min(width, kBuckets - 1)], 1);
+  }
+
+ private:
+  Registry::Id count_, sum_, max_;
+  std::array<Registry::Id, kBuckets> buckets_{};
+};
+
+/// RAII phase timer: sets `<name>` (a gauge, nanoseconds) on destruction.
+class ScopedTimerGauge {
+ public:
+  explicit ScopedTimerGauge(const char* name)
+      : gauge_(name), t0_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerGauge() {
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    gauge_.set(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  ScopedTimerGauge(const ScopedTimerGauge&) = delete;
+  ScopedTimerGauge& operator=(const ScopedTimerGauge&) = delete;
+
+ private:
+  Gauge gauge_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace rvdyn::obs
+
+// ---- hook-site macros (compiled out when RVDYN_OBS_ENABLED=0) -------------
+
+#define RVDYN_OBS_CONCAT2_(a, b) a##b
+#define RVDYN_OBS_CONCAT_(a, b) RVDYN_OBS_CONCAT2_(a, b)
+
+#if RVDYN_OBS_ENABLED
+
+/// Increment counter `name` by `n`. `name` must be a string literal (the
+/// handle is a function-local static registered on first pass).
+#define RVDYN_OBS_COUNT_N(name, n)                       \
+  do {                                                   \
+    static const ::rvdyn::obs::Counter rvdyn_obs_c_(name); \
+    rvdyn_obs_c_.add(n);                                 \
+  } while (0)
+#define RVDYN_OBS_COUNT(name) RVDYN_OBS_COUNT_N(name, 1)
+
+/// Record `v` into histogram `name`.
+#define RVDYN_OBS_HIST(name, v)                              \
+  do {                                                       \
+    static const ::rvdyn::obs::Histogram rvdyn_obs_h_(name); \
+    rvdyn_obs_h_.record(v);                                  \
+  } while (0)
+
+/// Set gauge `name` to `v`.
+#define RVDYN_OBS_GAUGE(name, v)                         \
+  do {                                                   \
+    static const ::rvdyn::obs::Gauge rvdyn_obs_g_(name); \
+    rvdyn_obs_g_.set(v);                                 \
+  } while (0)
+
+/// Time the enclosing scope into gauge `name` (nanoseconds).
+#define RVDYN_OBS_TIMER(name)               \
+  ::rvdyn::obs::ScopedTimerGauge RVDYN_OBS_CONCAT_(rvdyn_obs_timer_, \
+                                                   __LINE__)(name)
+
+/// Compile a statement only in observability builds (cheap local tallies
+/// that are flushed to the registry in bulk).
+#define RVDYN_OBS_STAT(...) __VA_ARGS__
+
+#else  // !RVDYN_OBS_ENABLED
+
+#define RVDYN_OBS_COUNT_N(name, n) ((void)0)
+#define RVDYN_OBS_COUNT(name) ((void)0)
+#define RVDYN_OBS_HIST(name, v) ((void)0)
+#define RVDYN_OBS_GAUGE(name, v) ((void)0)
+#define RVDYN_OBS_TIMER(name) ((void)0)
+#define RVDYN_OBS_STAT(...) ((void)0)
+
+#endif  // RVDYN_OBS_ENABLED

@@ -1,0 +1,74 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "codegen/snippet.hpp"
+#include "emu/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rvdyn::obs {
+
+BlockProfiler::BlockProfiler(const symtab::Symtab& binary) : editor_(binary) {
+  RVDYN_OBS_SPAN("rvdyn.obs.block_profiler.instrument");
+  for (const auto& [entry, func] : editor_.code().functions()) {
+    for (const auto& p :
+         patch::find_points(*func, patch::PointType::BlockEntry)) {
+      // A block reachable from two functions must still get exactly one
+      // counter, or the instrumented count would double the emulator's.
+      if (per_block_.count(p.block)) continue;
+      char name[32];
+      std::snprintf(name, sizeof(name), "bb_%llx",
+                    static_cast<unsigned long long>(p.block));
+      const auto v = editor_.alloc_var(name);
+      per_block_.emplace(p.block, v);
+      editor_.insert(p, codegen::increment(v));
+    }
+  }
+  rewritten_ = editor_.commit();
+  RVDYN_OBS_COUNT_N("rvdyn.obs.profiler.blocks_instrumented",
+                    per_block_.size());
+}
+
+std::uint64_t BlockProfiler::count_of(emu::Machine& m,
+                                      std::uint64_t block) const {
+  const auto it = per_block_.find(block);
+  return it == per_block_.end() ? 0 : m.memory().read(it->second.addr, 8);
+}
+
+std::vector<BlockProfiler::HotBlock> BlockProfiler::counts(
+    emu::Machine& m) const {
+  // Invert per_block_ through the CFG once so each entry knows its
+  // function name and static size.
+  std::vector<HotBlock> out;
+  out.reserve(per_block_.size());
+  for (const auto& [entry, func] : editor_.code().functions()) {
+    for (const auto& [start, block] : func->blocks()) {
+      const auto it = per_block_.find(start);
+      if (it == per_block_.end()) continue;
+      HotBlock hb;
+      hb.block = start;
+      hb.count = m.memory().read(it->second.addr, 8);
+      hb.func = func->name();
+      hb.n_insns = static_cast<unsigned>(block->insns().size());
+      out.push_back(std::move(hb));
+    }
+  }
+  // Blocks can appear under several functions; keep one row per address.
+  std::sort(out.begin(), out.end(), [](const HotBlock& a, const HotBlock& b) {
+    return a.block < b.block;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const HotBlock& a, const HotBlock& b) {
+                          return a.block == b.block;
+                        }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const HotBlock& a, const HotBlock& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.block < b.block;
+  });
+  return out;
+}
+
+}  // namespace rvdyn::obs

@@ -1,0 +1,71 @@
+// rvdyn::obs profiling: the tool-facing layer (paper §4's performance-tool
+// use case).
+//
+// BlockProfiler is an instrumentation-based basic-block frequency profiler
+// built on PatchAPI + CodeGenAPI: every basic block of every function gets
+// a distinct 8-byte counter in guest memory (`.rvdyn.data`) incremented by
+// an inlined snippet at block entry. After a run, counts() reads the
+// counters back out of the mutatee and returns a hot-block table.
+//
+// Its emulator-side mirror is Machine::enable_pc_profile(): "hardware"
+// per-PC hit/cycle counters maintained by the emulator itself. The two
+// views must agree exactly on block frequencies — tests/test_obs_profiler
+// proves it — which is the cross-check a perf tool needs before trusting
+// instrumented counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "patch/editor.hpp"
+
+namespace rvdyn::emu {
+class Machine;
+}
+
+namespace rvdyn::obs {
+
+class BlockProfiler {
+ public:
+  /// Parses `binary` and instruments every basic block with a counter
+  /// increment. The rewritten binary is committed immediately.
+  explicit BlockProfiler(const symtab::Symtab& binary);
+
+  /// The instrumented binary; run it (with trap_table() installed when
+  /// springboards degraded to traps) and then read counts().
+  const symtab::Symtab& rewritten() const { return rewritten_; }
+  const std::vector<patch::TrapEntry>& trap_table() const {
+    return editor_.trap_table();
+  }
+
+  /// The CFG the instrumentation was planted on (original addresses).
+  parse::CodeObject& code() { return editor_.code(); }
+
+  /// Block-start → counter variable, one per distinct block address.
+  const std::map<std::uint64_t, codegen::Variable>& counters() const {
+    return per_block_;
+  }
+
+  struct HotBlock {
+    std::uint64_t block = 0;  ///< original block start address
+    std::uint64_t count = 0;  ///< entries observed by the instrumentation
+    std::string func;         ///< containing function name
+    unsigned n_insns = 0;     ///< static size of the block
+  };
+
+  /// Read every block counter out of a finished run, sorted hottest-first
+  /// (ties broken by address for determinism).
+  std::vector<HotBlock> counts(emu::Machine& m) const;
+
+  /// One block's counter value (0 when the block was not instrumented).
+  std::uint64_t count_of(emu::Machine& m, std::uint64_t block) const;
+
+ private:
+  patch::BinaryEditor editor_;
+  std::map<std::uint64_t, codegen::Variable> per_block_;
+  symtab::Symtab rewritten_;
+};
+
+}  // namespace rvdyn::obs

@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "isa/decoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parse/classify.hpp"
 
 namespace rvdyn::parse {
@@ -76,33 +78,76 @@ class Parser {
                      : isa::ExtensionSet::rv64gc()) {}
 
   void run() {
-    seed_entries();
-    if (opts_.num_threads <= 1) {
-      while (auto entry = pool_.take()) {
-        parse_function(decoder_, *entry);
-        pool_.done();
+    RVDYN_OBS_SPAN("rvdyn.parse");
+    {
+      RVDYN_OBS_SPAN("rvdyn.parse.traversal");
+      RVDYN_OBS_TIMER("rvdyn.parse.traversal_ns");
+      seed_entries();
+      if (opts_.num_threads <= 1) {
+        run_worker(0, decoder_);
+      } else {
+        std::vector<std::thread> workers;
+        workers.reserve(opts_.num_threads);
+        for (unsigned t = 0; t < opts_.num_threads; ++t) {
+          workers.emplace_back([this, t] {
+            // One decoder per worker: the profile is copied once and every
+            // decode in this thread goes through the same instance.
+            const isa::Decoder dec(decoder_.profile());
+            run_worker(t, dec);
+          });
+        }
+        for (auto& w : workers) w.join();
       }
-    } else {
-      std::vector<std::thread> workers;
-      workers.reserve(opts_.num_threads);
-      for (unsigned t = 0; t < opts_.num_threads; ++t) {
-        workers.emplace_back([this] {
-          // One decoder per worker: the profile is copied once and every
-          // decode in this thread goes through the same instance.
-          const isa::Decoder dec(decoder_.profile());
-          while (auto entry = pool_.take()) {
-            parse_function(dec, *entry);
-            pool_.done();
-          }
-        });
-      }
-      for (auto& w : workers) w.join();
     }
-    if (opts_.gap_parsing) parse_gaps();
-    for (auto& [a, f] : funcs_) f->rebuild_preds();
+    if (opts_.gap_parsing) {
+      RVDYN_OBS_SPAN("rvdyn.parse.gaps");
+      RVDYN_OBS_TIMER("rvdyn.parse.gaps_ns");
+      parse_gaps();
+    }
+    {
+      RVDYN_OBS_SPAN("rvdyn.parse.finalize");
+      RVDYN_OBS_TIMER("rvdyn.parse.finalize_ns");
+      for (auto& [a, f] : funcs_) f->rebuild_preds();
+    }
+    publish_totals();
   }
 
  private:
+  // Drain the entry pool on this thread. Publishes per-worker function and
+  // block counts so load imbalance across the pool shows up in metrics.
+  void run_worker(unsigned widx, const isa::Decoder& dec) {
+    std::uint64_t n_funcs = 0, n_blocks = 0;
+    while (auto entry = pool_.take()) {
+      n_blocks += parse_function(dec, *entry);
+      ++n_funcs;
+      pool_.done();
+    }
+#if RVDYN_OBS_ENABLED
+    if (n_funcs) {
+      const std::string prefix = "rvdyn.parse.worker." + std::to_string(widx);
+      obs::Counter(prefix + ".funcs").add(n_funcs);
+      obs::Counter(prefix + ".blocks").add(n_blocks);
+    }
+#else
+    (void)widx;
+#endif
+  }
+
+  void publish_totals() const {
+#if RVDYN_OBS_ENABLED
+    std::uint64_t blocks = 0, insns = 0, unresolved = 0;
+    for (const auto& [a, f] : funcs_) {
+      blocks += f->stats().n_blocks;
+      insns += f->stats().n_insns;
+      unresolved += f->stats().n_unresolved;
+    }
+    RVDYN_OBS_COUNT_N("rvdyn.parse.functions", funcs_.size());
+    RVDYN_OBS_COUNT_N("rvdyn.parse.blocks", blocks);
+    RVDYN_OBS_COUNT_N("rvdyn.parse.insns", insns);
+    RVDYN_OBS_COUNT_N("rvdyn.parse.unresolved", unresolved);
+#endif
+  }
+
   void seed_entries() {
     for (const symtab::Symbol* sym : st_.function_symbols()) {
       if (!st_.in_code(sym->value)) continue;
@@ -148,13 +193,14 @@ class Parser {
     return s->data.data() + off;
   }
 
-  void parse_function(const isa::Decoder& dec, std::uint64_t entry) {
+  // Returns the number of blocks this call parsed (0 when already parsed).
+  std::uint64_t parse_function(const isa::Decoder& dec, std::uint64_t entry) {
     Function* f;
     {
       std::lock_guard lock(funcs_mu_);
       f = funcs_.at(entry).get();
     }
-    if (!f->blocks().empty()) return;  // already parsed
+    if (!f->blocks().empty()) return 0;  // already parsed
 
     FunctionStats& stats = f->mutable_stats();
     std::deque<std::uint64_t> work{entry};
@@ -174,6 +220,7 @@ class Parser {
     stats.n_insns = 0;
     for (const auto& [a, blk] : f->blocks())
       stats.n_insns += static_cast<unsigned>(blk->insns().size());
+    return stats.n_blocks;
   }
 
   // Split `b` at `at` (which must be an instruction boundary inside b);
@@ -356,6 +403,7 @@ class Parser {
         }
         const std::uint64_t gap_end =
             ci < claimed.size() ? std::min(end, claimed[ci].first) : end;
+        RVDYN_OBS_COUNT("rvdyn.parse.gap_ranges");
         scan_gap(pos, gap_end);
         pos = gap_end;
       }
@@ -388,6 +436,7 @@ class Parser {
             return true;
           });
       if (found) {
+        RVDYN_OBS_COUNT("rvdyn.parse.gap_functions");
         register_function(found, "");
         return;  // one speculative entry per gap; its parse claims the rest
       }

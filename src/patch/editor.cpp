@@ -8,6 +8,8 @@
 #include "dataflow/summaries.hpp"
 #include "isa/encoder.hpp"
 #include "isa/imm_builder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rvdyn::patch {
 
@@ -236,6 +238,7 @@ std::vector<TrapEntry> BinaryEditor::parse_trap_section(
 symtab::Symtab BinaryEditor::commit() {
   if (committed_) throw Error("patch: commit() already called");
   committed_ = true;
+  RVDYN_OBS_SPAN("rvdyn.patch.commit");
 
   // Group insertions by function.
   std::map<std::uint64_t, std::vector<std::pair<Point, SnippetPtr>>> by_func;
@@ -597,6 +600,25 @@ symtab::Symtab BinaryEditor::commit() {
     }
     out.add_section(std::move(t));
   }
+
+#if RVDYN_OBS_ENABLED
+  RVDYN_OBS_COUNT_N("rvdyn.patch.snippets_inserted", stats_.snippets_inserted);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.snippet_insns", stats_.snippet_insns);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.relocated_functions",
+                    stats_.relocated_functions);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.entry_cj", stats_.entry_cj);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.entry_jal", stats_.entry_jal);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.entry_auipc_jalr", stats_.entry_auipc_jalr);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.entry_trap", stats_.entry_trap);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.scratch_from_dead",
+                    stats_.gen.scratch_from_dead);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.scratch_spilled", stats_.gen.scratch_spilled);
+  if (stats_.snippets_inserted)
+    RVDYN_OBS_HIST("rvdyn.patch.snippet_size",
+                   stats_.snippet_insns / stats_.snippets_inserted);
+  RVDYN_OBS_GAUGE("rvdyn.patch.text_bytes", buf.bytes().size());
+  RVDYN_OBS_GAUGE("rvdyn.patch.data_bytes", var_data_.size());
+#endif
   return out;
 }
 

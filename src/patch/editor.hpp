@@ -51,6 +51,7 @@ class BinaryEditor {
                         parse::ParseOptions popts = {});
 
   parse::CodeObject& code() { return *co_; }
+  const parse::CodeObject& code() const { return *co_; }
   const symtab::Symtab& original() const { return binary_; }
 
   /// Allocate an instrumentation variable in the patch data area.

@@ -1,6 +1,8 @@
 #include "proccontrol/process.hpp"
 
 #include "isa/decoder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace rvdyn::proccontrol {
 
@@ -32,6 +34,7 @@ unsigned Process::insn_width_at(std::uint64_t addr) {
 
 void Process::insert_breakpoint(std::uint64_t addr) {
   if (breakpoints_.count(addr)) return;
+  RVDYN_OBS_COUNT("rvdyn.proc.breakpoints_inserted");
   const unsigned width = insn_width_at(addr);
   SavedBytes saved;
   saved.bytes.resize(width);
@@ -59,6 +62,7 @@ std::optional<Event> Process::translate_stop(StopReason r) {
       // entry patch); real breakpoints surface to the tool.
       auto redirect = trap_redirects_.find(at);
       if (redirect != trap_redirects_.end() && !breakpoints_.count(at)) {
+        RVDYN_OBS_COUNT("rvdyn.proc.trap_redirects");
         machine_->set_pc(redirect->second);
         // Each springboard trap costs a debugger round trip (§3.1.2's
         // "inefficient" worst case); charge it to the virtual clock.
@@ -92,6 +96,7 @@ StopReason Process::step_over_breakpoint() {
 }
 
 Event Process::continue_run(std::uint64_t max_steps) {
+  RVDYN_OBS_SPAN("rvdyn.proc.continue_run");
   const StopReason stepped = step_over_breakpoint();
   if (stepped != StopReason::Running) {
     if (auto ev = translate_stop(stepped)) return *ev;
@@ -179,9 +184,18 @@ void Process::install_trap_table(const std::vector<patch::TrapEntry>& traps) {
 }
 
 void Process::apply_patch(const patch::BinaryEditor& editor) {
-  for (const auto& delta : editor.deltas())
+  RVDYN_OBS_SPAN("rvdyn.proc.apply_patch");
+  std::uint64_t bytes = 0;
+  for (const auto& delta : editor.deltas()) {
     machine_->write_code(delta.addr, delta.bytes.data(), delta.bytes.size());
+    bytes += delta.bytes.size();
+  }
   install_trap_table(editor.trap_table());
+  RVDYN_OBS_COUNT_N("rvdyn.proc.patch_bytes_written", bytes);
+  RVDYN_OBS_COUNT_N("rvdyn.proc.traps_installed", editor.trap_table().size());
+#if !RVDYN_OBS_ENABLED
+  (void)bytes;
+#endif
 }
 
 void Process::revert_patch(const patch::BinaryEditor& editor) {

@@ -106,6 +106,21 @@ class Process {
   /// Install trap-springboard redirects (normally via apply_patch).
   void install_trap_table(const std::vector<patch::TrapEntry>& traps);
 
+  // --- profiling (tool-facing "hardware" counter surface) ---
+  /// Emulated hardware counter file: instret, cycles, cache hit/miss.
+  emu::Machine::HwCounterFile hw_counters() const {
+    return machine_->hw_counters();
+  }
+  /// Per-PC hit/cycle profiling; hits at a block's start address equal the
+  /// number of times that block was entered.
+  void enable_pc_profile(bool on) { machine_->enable_pc_profile(on); }
+  bool pc_profile_enabled() const { return machine_->pc_profile_enabled(); }
+  const std::unordered_map<std::uint64_t, emu::Machine::PcCount>& pc_profile()
+      const {
+    return machine_->pc_profile();
+  }
+  void clear_pc_profile() { machine_->clear_pc_profile(); }
+
   emu::Machine& machine() { return *machine_; }
   const emu::Machine& machine() const { return *machine_; }
 

@@ -1,0 +1,60 @@
+# Builds the tree once with RVDYN_OBS=OFF and runs a representative slice
+# of the test suite, proving the no-op observability path compiles and the
+# toolkits behave identically without the hooks. Run via
+#   cmake -P tests/obs_off_check.cmake
+# (registered as the `obs_off_build` ctest when the main build is ON).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-obs-off)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-obs-off)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "obs-off check: configuring ${BINARY_DIR} with -DRVDYN_OBS=OFF")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_OBS=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs-off check: configure failed")
+endif()
+
+# A slice spanning every layer that hosts hook sites: decoder, emulator
+# caches, parser, patcher, end-to-end pipeline, and the obs unit tests
+# themselves (whose ON-only assertions are #if-gated).
+set(targets
+  test_decode_fastpath
+  test_emu_cache
+  test_parse
+  test_patch
+  test_obs
+  test_obs_pipeline
+  test_obs_profiler)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "obs-off check: build failed with RVDYN_OBS=OFF")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "obs-off check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "obs-off check: ${t} failed in the OFF build")
+  endif()
+endforeach()
+
+message(STATUS "obs-off check: all tests pass with RVDYN_OBS=OFF")

@@ -5,6 +5,8 @@
 // guest fence.i invalidation, and run()-vs-step() equivalence.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "assembler/assembler.hpp"
 #include "emu/machine.hpp"
 #include "workloads/workloads.hpp"
@@ -173,6 +175,79 @@ TEST(EmuCache, RunMatchesStepExactly) {
   EXPECT_EQ(br, StopReason::Exited);
   EXPECT_EQ(total, run_m.instret());
 }
+
+#if RVDYN_OBS_ENABLED
+// Evictions must be charged to their actual cause: debugger patching
+// (write_code), guest self-modification (fence.i), and capacity pressure
+// are distinct counters, so none of them silently inflates another.
+TEST(EmuCache, EvictionAccounting) {
+  // (a) write_code over an executed block: a precise write_code eviction,
+  // not a fence.i or capacity one.
+  {
+    Machine m;
+    put32(m, 0x1000, 0x00150513);  // addi a0, a0, 1
+    put32(m, 0x1004, 0x00100073);  // ebreak
+    m.set_pc(0x1000);
+    EXPECT_EQ(m.run(), StopReason::Breakpoint);
+    EXPECT_EQ(m.cache_stats().evict_write_code, 0u);
+    put32(m, 0x1000, 0x00250513);  // patch the cached block
+    EXPECT_GE(m.cache_stats().evict_write_code, 1u);
+    EXPECT_EQ(m.cache_stats().evict_fencei, 0u);
+    EXPECT_EQ(m.cache_stats().evict_capacity, 0u);
+    EXPECT_EQ(m.cache_stats().fencei_flushes, 0u);
+  }
+
+  // (b) guest fence.i inside a cached block: the deferred full flush is
+  // charged to fence.i, not to write_code.
+  {
+    Machine m;
+    put32(m, 0x1040, 0x00150513);  // probe: addi a0, a0, 1
+    put32(m, 0x1044, 0x00008067);  //        ret
+    put32(m, 0x1000, 0x040000ef);  // jal ra, probe
+    put32(m, 0x1004, 0x00250337);  // lui t1, 0x250
+    put32(m, 0x1008, 0x51330313);  // addi t1, t1, 0x513
+    put32(m, 0x100c, 0x000012b7);  // lui t0, 0x1
+    put32(m, 0x1010, 0x04028293);  // addi t0, t0, 0x40
+    put32(m, 0x1014, 0x0062a023);  // sw t1, 0(t0)
+    put32(m, 0x1018, 0x0000100f);  // fence.i
+    put32(m, 0x101c, 0x024000ef);  // jal ra, probe
+    put32(m, 0x1020, 0x00100073);  // ebreak
+    m.set_pc(0x1000);
+    m.set_x(10, 0);
+    EXPECT_EQ(m.run(), StopReason::Breakpoint);
+    EXPECT_EQ(m.get_x(10), 3u);  // the patched +2 was observed
+    EXPECT_EQ(m.cache_stats().fencei_flushes, 1u);
+    EXPECT_GE(m.cache_stats().evict_fencei, 1u);
+    // The pre-run put32 calls hit an empty cache; the flush must not have
+    // been misattributed to them.
+    EXPECT_EQ(m.cache_stats().evict_write_code, 0u);
+    EXPECT_EQ(m.cache_stats().evict_capacity, 0u);
+  }
+
+  // (c) capacity pressure: more distinct single-jal blocks than the cache
+  // bound forces a capacity clear, charged to neither patching cause.
+  {
+    Machine m;
+    constexpr std::size_t kBlocks = 17000;  // > kMaxBlocks (16384)
+    std::vector<std::uint8_t> code;
+    code.reserve(kBlocks * 4 + 4);
+    for (std::size_t i = 0; i < kBlocks; ++i) {
+      const std::uint32_t jal = 0x0040006f;  // jal x0, +4
+      for (int b = 0; b < 4; ++b)
+        code.push_back(static_cast<std::uint8_t>(jal >> (8 * b)));
+    }
+    const std::uint32_t ebreak = 0x00100073;
+    for (int b = 0; b < 4; ++b)
+      code.push_back(static_cast<std::uint8_t>(ebreak >> (8 * b)));
+    m.write_code(0x10000, code.data(), code.size());
+    m.set_pc(0x10000);
+    EXPECT_EQ(m.run(), StopReason::Breakpoint);
+    EXPECT_GE(m.cache_stats().evict_capacity, 16384u);
+    EXPECT_EQ(m.cache_stats().evict_write_code, 0u);
+    EXPECT_EQ(m.cache_stats().evict_fencei, 0u);
+  }
+}
+#endif  // RVDYN_OBS_ENABLED
 
 // A watchpoint must fire mid-block with pc positioned exactly as in
 // single-step mode (after the accessing store, before the next insn).

@@ -1,0 +1,162 @@
+// rvdyn::obs unit tests: registry correctness under concurrency and the
+// trace exporters' output format.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rvdyn::obs {
+namespace {
+
+TEST(Registry, CounterSumsExactlyAcrossThreads) {
+  Registry& r = Registry::instance();
+  const Counter c("test.obs.concurrent");
+  const std::uint64_t before = r.value("test.obs.concurrent");
+
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& t : threads) t.join();
+
+  // Lock-free sharded adds must still sum to the exact total.
+  EXPECT_EQ(r.value("test.obs.concurrent") - before, kThreads * kPerThread);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  Registry& r = Registry::instance();
+  const auto a = r.register_metric("test.obs.idem", MetricKind::Counter);
+  const auto b = r.register_metric("test.obs.idem", MetricKind::Counter);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Registry, GaugeKeepsLastValue) {
+  Registry& r = Registry::instance();
+  const Gauge g("test.obs.gauge");
+  g.set(41);
+  g.set(42);
+  EXPECT_EQ(r.value("test.obs.gauge"), 42u);
+}
+
+TEST(Registry, HistogramCountSumMaxBuckets) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.obs.hist");
+  const std::uint64_t c0 = r.value("test.obs.hist.count");
+  const std::uint64_t s0 = r.value("test.obs.hist.sum");
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(r.value("test.obs.hist.count") - c0, 4u);
+  EXPECT_EQ(r.value("test.obs.hist.sum") - s0, 1004u);
+  EXPECT_EQ(r.value("test.obs.hist.max"), 1000u);
+  EXPECT_GE(r.value("test.obs.hist.b0"), 1u);   // the zero
+  EXPECT_GE(r.value("test.obs.hist.b1"), 1u);   // 1
+  EXPECT_GE(r.value("test.obs.hist.b2"), 1u);   // 3
+  EXPECT_GE(r.value("test.obs.hist.b10"), 1u);  // 1000 (bit width 10)
+}
+
+TEST(Registry, SnapshotIsSortedAndJsonWellFormed) {
+  Registry& r = Registry::instance();
+  Counter("test.obs.snap.a").add(1);
+  Counter("test.obs.snap.b").add(2);
+  const auto samples = r.snapshot();
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+
+  const std::string json = r.to_json();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test.obs.snap.a\": "), std::string::npos);
+}
+
+TEST(Registry, UnknownMetricReadsZero) {
+  EXPECT_EQ(Registry::instance().value("test.obs.never.registered"), 0u);
+}
+
+TEST(Trace, SpansBalanceAndExportChromeJson) {
+  TraceSink& sink = TraceSink::instance();
+  sink.clear();
+  sink.set_enabled(true);
+  {
+    Span outer("test.outer");
+    { Span inner("test.inner"); }
+    sink.instant("test.marker");
+  }
+  sink.set_enabled(false);
+
+  const auto evs = sink.events();
+  ASSERT_EQ(evs.size(), 5u);
+  // Nesting order: outer-B, inner-B, inner-E, marker-i, outer-E.
+  EXPECT_EQ(evs[0].phase, 'B');
+  EXPECT_STREQ(evs[0].name, "test.outer");
+  EXPECT_EQ(evs[1].phase, 'B');
+  EXPECT_STREQ(evs[1].name, "test.inner");
+  EXPECT_EQ(evs[2].phase, 'E');
+  EXPECT_EQ(evs[3].phase, 'i');
+  EXPECT_EQ(evs[4].phase, 'E');
+  EXPECT_STREQ(evs[4].name, "test.outer");
+  // Timestamps never go backwards in claim order.
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_LE(evs[i - 1].ts_ns, evs[i].ts_ns);
+
+  // Chrome trace_event schema: every event carries the required keys, and
+  // instants carry a scope.
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\", \"pid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check; the names are
+  // all identifiers, so no string can skew the count).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, TextExporterShowsNestingAndDurations) {
+  TraceSink& sink = TraceSink::instance();
+  sink.clear();
+  sink.set_enabled(true);
+  {
+    Span outer("test.text.outer");
+    { Span inner("test.text.inner"); }
+  }
+  sink.set_enabled(false);
+
+  const std::string text = sink.text();
+  // Inner closes first, so it prints first; both lines carry a duration.
+  const auto inner_pos = text.find("test.text.inner");
+  const auto outer_pos = text.find("test.text.outer");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+  EXPECT_NE(text.find("us)"), std::string::npos);
+}
+
+TEST(Trace, DisabledSinkRecordsNothing) {
+  TraceSink& sink = TraceSink::instance();
+  sink.clear();
+  sink.set_enabled(false);
+  {
+    Span s("test.disabled");
+    sink.instant("test.disabled.marker");
+  }
+  EXPECT_TRUE(sink.events().empty());
+}
+
+}  // namespace
+}  // namespace rvdyn::obs

@@ -1,0 +1,94 @@
+// The observability tentpole's cross-check: an instrumentation-based block
+// profiler (snippets bumping guest-memory counters) must agree *exactly*
+// with the emulator's own per-PC "hardware" profile. A block's entry count
+// is the pc-profile hit count at its start address, since the CFG splits
+// blocks at every join point.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "assembler/assembler.hpp"
+#include "obs/profiler.hpp"
+#include "proccontrol/process.hpp"
+#include "workloads/workloads.hpp"
+
+namespace rvdyn {
+namespace {
+
+void expect_profiles_match(const std::string& source) {
+  const symtab::Symtab bin = assembler::assemble(source, {});
+
+  // Ground truth: run the *original* binary with the emulator-side per-PC
+  // profile enabled (the debugger-surface view a perf tool would sample).
+  auto truth = proccontrol::Process::launch(bin);
+  truth->enable_pc_profile(true);
+  const auto ev1 = truth->continue_run();
+  ASSERT_EQ(ev1.kind, proccontrol::Event::Kind::Exited);
+  const auto& pc_prof = truth->pc_profile();
+
+  // Instrumented view: every block counted by an inserted snippet.
+  obs::BlockProfiler profiler(bin);
+  ASSERT_FALSE(profiler.counters().empty());
+  auto proc = proccontrol::Process::launch(profiler.rewritten());
+  proc->install_trap_table(profiler.trap_table());
+  const auto ev2 = proc->continue_run();
+  ASSERT_EQ(ev2.kind, proccontrol::Event::Kind::Exited);
+
+  // Same program semantics under instrumentation.
+  EXPECT_EQ(ev1.exit_code, ev2.exit_code);
+
+  // Exact per-block agreement between the two profiles.
+  std::uint64_t total = 0;
+  for (const auto& [block, var] : profiler.counters()) {
+    const std::uint64_t instrumented = proc->machine().memory().read(var.addr, 8);
+    const auto it = pc_prof.find(block);
+    const std::uint64_t emulated = it == pc_prof.end() ? 0 : it->second.hits;
+    EXPECT_EQ(instrumented, emulated)
+        << "block 0x" << std::hex << block << std::dec
+        << ": instrumented=" << instrumented << " emulated=" << emulated;
+    total += instrumented;
+  }
+  // The workload actually ran through instrumented code.
+  EXPECT_GT(total, 0u);
+
+  // The hot-block table is sorted and consistent with the raw counters.
+  const auto hot = profiler.counts(proc->machine());
+  ASSERT_FALSE(hot.empty());
+  for (std::size_t i = 1; i < hot.size(); ++i)
+    EXPECT_GE(hot[i - 1].count, hot[i].count);
+  for (const auto& hb : hot)
+    EXPECT_EQ(hb.count, profiler.count_of(proc->machine(), hb.block));
+}
+
+TEST(ObsProfiler, MatmulBlockFrequenciesMatchEmulator) {
+  expect_profiles_match(workloads::matmul_program(6, 3));
+}
+
+TEST(ObsProfiler, SortBlockFrequenciesMatchEmulator) {
+  expect_profiles_match(workloads::sort_program(48));
+}
+
+TEST(ObsProfiler, PcProfileCyclesSumToTotal) {
+  const symtab::Symtab bin =
+      assembler::assemble(workloads::fib_program(8), {});
+  auto proc = proccontrol::Process::launch(bin);
+  proc->enable_pc_profile(true);
+  const auto ev = proc->continue_run();
+  ASSERT_EQ(ev.kind, proccontrol::Event::Kind::Exited);
+
+  std::uint64_t hits = 0, cycles = 0;
+  for (const auto& [pc, c] : proc->pc_profile()) {
+    hits += c.hits;
+    cycles += c.cycles;
+  }
+  // Every retired instruction was attributed to some pc; every cycle the
+  // core charged went to some instruction.
+  EXPECT_EQ(hits, proc->machine().instret());
+  EXPECT_EQ(cycles, proc->machine().cycles());
+
+  proc->clear_pc_profile();
+  EXPECT_TRUE(proc->pc_profile().empty());
+}
+
+}  // namespace
+}  // namespace rvdyn
