@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_deadreg.dir/bench_ablate_deadreg.cpp.o"
+  "CMakeFiles/bench_ablate_deadreg.dir/bench_ablate_deadreg.cpp.o.d"
+  "bench_ablate_deadreg"
+  "bench_ablate_deadreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_deadreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

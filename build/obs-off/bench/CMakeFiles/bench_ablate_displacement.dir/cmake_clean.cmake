@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_displacement.dir/bench_ablate_displacement.cpp.o"
+  "CMakeFiles/bench_ablate_displacement.dir/bench_ablate_displacement.cpp.o.d"
+  "bench_ablate_displacement"
+  "bench_ablate_displacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_displacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

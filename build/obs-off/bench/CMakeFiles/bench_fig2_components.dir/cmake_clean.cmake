@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_components.dir/bench_fig2_components.cpp.o"
+  "CMakeFiles/bench_fig2_components.dir/bench_fig2_components.cpp.o.d"
+  "bench_fig2_components"
+  "bench_fig2_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

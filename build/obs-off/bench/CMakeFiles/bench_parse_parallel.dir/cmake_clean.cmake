@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parse_parallel.dir/bench_parse_parallel.cpp.o"
+  "CMakeFiles/bench_parse_parallel.dir/bench_parse_parallel.cpp.o.d"
+  "bench_parse_parallel"
+  "bench_parse_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parse_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rvc_size.dir/bench_rvc_size.cpp.o"
+  "CMakeFiles/bench_rvc_size.dir/bench_rvc_size.cpp.o.d"
+  "bench_rvc_size"
+  "bench_rvc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rvc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_singlestep.cpp" "bench/CMakeFiles/bench_singlestep.dir/bench_singlestep.cpp.o" "gcc" "bench/CMakeFiles/bench_singlestep.dir/bench_singlestep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_assembler.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_stackwalk.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_proccontrol.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_obs.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_emu.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_patch.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_parse.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_semantics.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_singlestep.dir/bench_singlestep.cpp.o"
+  "CMakeFiles/bench_singlestep.dir/bench_singlestep.cpp.o.d"
+  "bench_singlestep"
+  "bench_singlestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_singlestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_coverage.dir/bb_coverage.cpp.o"
+  "CMakeFiles/bb_coverage.dir/bb_coverage.cpp.o.d"
+  "bb_coverage"
+  "bb_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_sim.dir/cache_sim.cpp.o"
+  "CMakeFiles/cache_sim.dir/cache_sim.cpp.o.d"
+  "cache_sim"
+  "cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

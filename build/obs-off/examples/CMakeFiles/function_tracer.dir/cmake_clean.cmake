@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_tracer.dir/function_tracer.cpp.o"
+  "CMakeFiles/function_tracer.dir/function_tracer.cpp.o.d"
+  "function_tracer"
+  "function_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

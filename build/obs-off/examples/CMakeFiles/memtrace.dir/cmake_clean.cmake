@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtrace.dir/memtrace.cpp.o"
+  "CMakeFiles/memtrace.dir/memtrace.cpp.o.d"
+  "memtrace"
+  "memtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

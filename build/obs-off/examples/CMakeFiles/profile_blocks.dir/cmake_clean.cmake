@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_blocks.dir/profile_blocks.cpp.o"
+  "CMakeFiles/profile_blocks.dir/profile_blocks.cpp.o.d"
+  "profile_blocks"
+  "profile_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

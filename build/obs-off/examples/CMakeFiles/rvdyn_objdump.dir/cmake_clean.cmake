@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_objdump.dir/rvdyn_objdump.cpp.o"
+  "CMakeFiles/rvdyn_objdump.dir/rvdyn_objdump.cpp.o.d"
+  "rvdyn_objdump"
+  "rvdyn_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_rewriter.dir/rvdyn_rewriter.cpp.o"
+  "CMakeFiles/rvdyn_rewriter.dir/rvdyn_rewriter.cpp.o.d"
+  "rvdyn_rewriter"
+  "rvdyn_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_sampler.dir/stack_sampler.cpp.o"
+  "CMakeFiles/stack_sampler.dir/stack_sampler.cpp.o.d"
+  "stack_sampler"
+  "stack_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

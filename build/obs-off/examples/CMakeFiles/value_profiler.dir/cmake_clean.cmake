@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_profiler.dir/value_profiler.cpp.o"
+  "CMakeFiles/value_profiler.dir/value_profiler.cpp.o.d"
+  "value_profiler"
+  "value_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

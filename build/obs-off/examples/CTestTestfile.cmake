@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/obs-off/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_bb_coverage "/root/repo/build/obs-off/examples/bb_coverage")
+set_tests_properties(example_bb_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_sim "/root/repo/build/obs-off/examples/cache_sim")
+set_tests_properties(example_cache_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_function_tracer "/root/repo/build/obs-off/examples/function_tracer")
+set_tests_properties(example_function_tracer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memtrace "/root/repo/build/obs-off/examples/memtrace")
+set_tests_properties(example_memtrace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_blocks "/root/repo/build/obs-off/examples/profile_blocks")
+set_tests_properties(example_profile_blocks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/obs-off/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rvdyn_objdump "/root/repo/build/obs-off/examples/rvdyn_objdump")
+set_tests_properties(example_rvdyn_objdump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_rvdyn_rewriter "/root/repo/build/obs-off/examples/rvdyn_rewriter")
+set_tests_properties(example_rvdyn_rewriter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_stack_sampler "/root/repo/build/obs-off/examples/stack_sampler")
+set_tests_properties(example_stack_sampler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_value_profiler "/root/repo/build/obs-off/examples/value_profiler")
+set_tests_properties(example_value_profiler PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_assembler.dir/assembler/assembler.cpp.o"
+  "CMakeFiles/rvdyn_assembler.dir/assembler/assembler.cpp.o.d"
+  "librvdyn_assembler.a"
+  "librvdyn_assembler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_codegen.dir/codegen/codegen.cpp.o"
+  "CMakeFiles/rvdyn_codegen.dir/codegen/codegen.cpp.o.d"
+  "CMakeFiles/rvdyn_codegen.dir/codegen/snippet.cpp.o"
+  "CMakeFiles/rvdyn_codegen.dir/codegen/snippet.cpp.o.d"
+  "librvdyn_codegen.a"
+  "librvdyn_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_common.dir/common/leb128.cpp.o"
+  "CMakeFiles/rvdyn_common.dir/common/leb128.cpp.o.d"
+  "librvdyn_common.a"
+  "librvdyn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

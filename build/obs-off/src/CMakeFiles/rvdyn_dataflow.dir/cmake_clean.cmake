@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/liveness.cpp.o"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/liveness.cpp.o.d"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/slicing.cpp.o"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/slicing.cpp.o.d"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/stack_height.cpp.o"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/stack_height.cpp.o.d"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/summaries.cpp.o"
+  "CMakeFiles/rvdyn_dataflow.dir/dataflow/summaries.cpp.o.d"
+  "librvdyn_dataflow.a"
+  "librvdyn_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

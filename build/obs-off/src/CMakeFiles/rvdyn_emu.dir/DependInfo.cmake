@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/machine.cpp" "src/CMakeFiles/rvdyn_emu.dir/emu/machine.cpp.o" "gcc" "src/CMakeFiles/rvdyn_emu.dir/emu/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_symtab.dir/DependInfo.cmake"
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_emu.dir/emu/machine.cpp.o"
+  "CMakeFiles/rvdyn_emu.dir/emu/machine.cpp.o.d"
+  "librvdyn_emu.a"
+  "librvdyn_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/compress.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o.d"
+  "/root/repo/src/isa/decode_table.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o.d"
+  "/root/repo/src/isa/decoder.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o.d"
+  "/root/repo/src/isa/decoder_c.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o.d"
+  "/root/repo/src/isa/encoder.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o.d"
+  "/root/repo/src/isa/extensions.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/extensions.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/extensions.cpp.o.d"
+  "/root/repo/src/isa/imm_builder.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/imm_builder.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/imm_builder.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/registers.cpp" "src/CMakeFiles/rvdyn_isa.dir/isa/registers.cpp.o" "gcc" "src/CMakeFiles/rvdyn_isa.dir/isa/registers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/obs-off/src/CMakeFiles/rvdyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/compress.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/decode_table.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/decoder.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/decoder_c.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/encoder.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/extensions.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/extensions.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/imm_builder.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/imm_builder.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/instruction.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/instruction.cpp.o.d"
+  "CMakeFiles/rvdyn_isa.dir/isa/registers.cpp.o"
+  "CMakeFiles/rvdyn_isa.dir/isa/registers.cpp.o.d"
+  "librvdyn_isa.a"
+  "librvdyn_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

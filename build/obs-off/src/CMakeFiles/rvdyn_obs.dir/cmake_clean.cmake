@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_obs.dir/obs/profiler.cpp.o"
+  "CMakeFiles/rvdyn_obs.dir/obs/profiler.cpp.o.d"
+  "librvdyn_obs.a"
+  "librvdyn_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

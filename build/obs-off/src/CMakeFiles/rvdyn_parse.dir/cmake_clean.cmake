@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_parse.dir/parse/callgraph.cpp.o"
+  "CMakeFiles/rvdyn_parse.dir/parse/callgraph.cpp.o.d"
+  "CMakeFiles/rvdyn_parse.dir/parse/classify.cpp.o"
+  "CMakeFiles/rvdyn_parse.dir/parse/classify.cpp.o.d"
+  "CMakeFiles/rvdyn_parse.dir/parse/dot.cpp.o"
+  "CMakeFiles/rvdyn_parse.dir/parse/dot.cpp.o.d"
+  "CMakeFiles/rvdyn_parse.dir/parse/loops.cpp.o"
+  "CMakeFiles/rvdyn_parse.dir/parse/loops.cpp.o.d"
+  "CMakeFiles/rvdyn_parse.dir/parse/parser.cpp.o"
+  "CMakeFiles/rvdyn_parse.dir/parse/parser.cpp.o.d"
+  "librvdyn_parse.a"
+  "librvdyn_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

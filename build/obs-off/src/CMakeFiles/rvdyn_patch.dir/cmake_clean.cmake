@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_patch.dir/patch/editor.cpp.o"
+  "CMakeFiles/rvdyn_patch.dir/patch/editor.cpp.o.d"
+  "CMakeFiles/rvdyn_patch.dir/patch/point.cpp.o"
+  "CMakeFiles/rvdyn_patch.dir/patch/point.cpp.o.d"
+  "librvdyn_patch.a"
+  "librvdyn_patch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_patch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_proccontrol.dir/proccontrol/process.cpp.o"
+  "CMakeFiles/rvdyn_proccontrol.dir/proccontrol/process.cpp.o.d"
+  "librvdyn_proccontrol.a"
+  "librvdyn_proccontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_proccontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_semantics.dir/semantics/eval.cpp.o"
+  "CMakeFiles/rvdyn_semantics.dir/semantics/eval.cpp.o.d"
+  "CMakeFiles/rvdyn_semantics.dir/semantics/pipeline.cpp.o"
+  "CMakeFiles/rvdyn_semantics.dir/semantics/pipeline.cpp.o.d"
+  "CMakeFiles/rvdyn_semantics.dir/semantics/spec.cpp.o"
+  "CMakeFiles/rvdyn_semantics.dir/semantics/spec.cpp.o.d"
+  "librvdyn_semantics.a"
+  "librvdyn_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_stackwalk.dir/stackwalk/stackwalker.cpp.o"
+  "CMakeFiles/rvdyn_stackwalk.dir/stackwalk/stackwalker.cpp.o.d"
+  "librvdyn_stackwalk.a"
+  "librvdyn_stackwalk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_stackwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

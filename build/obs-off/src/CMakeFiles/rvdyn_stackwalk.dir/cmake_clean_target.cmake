@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvdyn_stackwalk.a"
+)

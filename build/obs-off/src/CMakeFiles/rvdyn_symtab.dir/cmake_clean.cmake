@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_symtab.dir/symtab/riscv_attrs.cpp.o"
+  "CMakeFiles/rvdyn_symtab.dir/symtab/riscv_attrs.cpp.o.d"
+  "CMakeFiles/rvdyn_symtab.dir/symtab/symtab.cpp.o"
+  "CMakeFiles/rvdyn_symtab.dir/symtab/symtab.cpp.o.d"
+  "librvdyn_symtab.a"
+  "librvdyn_symtab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_symtab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvdyn_workloads.dir/workloads/workloads.cpp.o"
+  "CMakeFiles/rvdyn_workloads.dir/workloads/workloads.cpp.o.d"
+  "librvdyn_workloads.a"
+  "librvdyn_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvdyn_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_features.dir/test_asm_features.cpp.o"
+  "CMakeFiles/test_asm_features.dir/test_asm_features.cpp.o.d"
+  "test_asm_features"
+  "test_asm_features.pdb"
+  "test_asm_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decode_fastpath.dir/test_decode_fastpath.cpp.o"
+  "CMakeFiles/test_decode_fastpath.dir/test_decode_fastpath.cpp.o.d"
+  "test_decode_fastpath"
+  "test_decode_fastpath.pdb"
+  "test_decode_fastpath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decode_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

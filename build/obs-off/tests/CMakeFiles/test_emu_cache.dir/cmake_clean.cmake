@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emu_cache.dir/test_emu_cache.cpp.o"
+  "CMakeFiles/test_emu_cache.dir/test_emu_cache.cpp.o.d"
+  "test_emu_cache"
+  "test_emu_cache.pdb"
+  "test_emu_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emu_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

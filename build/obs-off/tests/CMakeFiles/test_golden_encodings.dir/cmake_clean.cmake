@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_golden_encodings.dir/test_golden_encodings.cpp.o"
+  "CMakeFiles/test_golden_encodings.dir/test_golden_encodings.cpp.o.d"
+  "test_golden_encodings"
+  "test_golden_encodings.pdb"
+  "test_golden_encodings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_golden_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

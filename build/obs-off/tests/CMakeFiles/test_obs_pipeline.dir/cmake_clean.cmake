@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_pipeline.dir/test_obs_pipeline.cpp.o"
+  "CMakeFiles/test_obs_pipeline.dir/test_obs_pipeline.cpp.o.d"
+  "test_obs_pipeline"
+  "test_obs_pipeline.pdb"
+  "test_obs_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

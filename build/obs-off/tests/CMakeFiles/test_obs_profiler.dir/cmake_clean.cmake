@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_profiler.dir/test_obs_profiler.cpp.o"
+  "CMakeFiles/test_obs_profiler.dir/test_obs_profiler.cpp.o.d"
+  "test_obs_profiler"
+  "test_obs_profiler.pdb"
+  "test_obs_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

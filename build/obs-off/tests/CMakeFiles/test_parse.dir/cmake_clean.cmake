@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parse.dir/test_parse.cpp.o"
+  "CMakeFiles/test_parse.dir/test_parse.cpp.o.d"
+  "test_parse"
+  "test_parse.pdb"
+  "test_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patch_advanced.dir/test_patch_advanced.cpp.o"
+  "CMakeFiles/test_patch_advanced.dir/test_patch_advanced.cpp.o.d"
+  "test_patch_advanced"
+  "test_patch_advanced.pdb"
+  "test_patch_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patch_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proccontrol.dir/test_proccontrol.cpp.o"
+  "CMakeFiles/test_proccontrol.dir/test_proccontrol.cpp.o.d"
+  "test_proccontrol"
+  "test_proccontrol.pdb"
+  "test_proccontrol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proccontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stackwalk.dir/test_stackwalk.cpp.o"
+  "CMakeFiles/test_stackwalk.dir/test_stackwalk.cpp.o.d"
+  "test_stackwalk"
+  "test_stackwalk.pdb"
+  "test_stackwalk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stackwalk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

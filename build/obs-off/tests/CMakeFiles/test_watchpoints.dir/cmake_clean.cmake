@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_watchpoints.dir/test_watchpoints.cpp.o"
+  "CMakeFiles/test_watchpoints.dir/test_watchpoints.cpp.o.d"
+  "test_watchpoints"
+  "test_watchpoints.pdb"
+  "test_watchpoints[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_watchpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/obs-off/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/obs-off/tests/test_asm_features[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_assembler_emu[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_dataflow[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_decode_fastpath[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_dot[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_emu_cache[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_extensions_e2e[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_fuzz_decode[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_golden_encodings[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_interproc[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_obs[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_obs_pipeline[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_obs_profiler[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_parse[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_patch[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_patch_advanced[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_proccontrol[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_stackwalk[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_symtab[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_watchpoints[1]_include.cmake")
+include("/root/repo/build/obs-off/tests/test_workloads[1]_include.cmake")
