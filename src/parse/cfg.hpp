@@ -71,6 +71,7 @@ class Block {
 
   // Mutators used by the parser.
   std::vector<ParsedInsn>& mutable_insns() { return insns_; }
+  std::vector<Edge>& mutable_succs() { return succs_; }
   void add_succ(Edge e) { succs_.push_back(e); }
   void clear_succs() { succs_.clear(); }
   void add_pred(Block* b) { preds_.push_back(b); }
@@ -144,6 +145,12 @@ class Function {
   FunctionStats& mutable_stats() { return stats_; }
   /// Recompute pred lists from succ edges (intra-procedural edges only).
   void rebuild_preds();
+  /// Drop blocks not reachable from the entry block along intra-procedural
+  /// edges. Used after retroactive tail-call reclassification: blocks that
+  /// were speculatively parsed past a jump later recognized as a tail call
+  /// belong to the callee, not to this function. Returns the number of
+  /// blocks removed.
+  std::size_t prune_unreachable_blocks();
 
  private:
   std::uint64_t entry_;

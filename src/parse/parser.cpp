@@ -2,71 +2,42 @@
 // flow from its entry, splitting blocks at join points, classifying
 // jal/jalr transfers, and discovering new functions from call/tail-call
 // targets. Functions parse independently, so the work scales across a
-// thread pool (the paper's "fast parallel algorithm").
+// work-stealing thread pool (the paper's "fast parallel algorithm").
+//
+// Parallel structure (see docs/parallel_parse.md):
+//  * WorkStealingPool (scheduler.hpp) — per-worker deques with batched
+//    steals replace the old single mutex+condvar entry queue.
+//  * FunctionRegistry (registry.hpp) — functions sharded by entry address;
+//    registration dedupes through a lock-free striped address set.
+//  * The classify-time "is this a function entry" oracle answers from the
+//    seed set (symbols + ELF entry), frozen before traversal starts, so
+//    every CFG is a pure function of the binary regardless of the worker
+//    count or scheduling order. Jumps to functions discovered *during*
+//    traversal are reclassified as tail calls in a deterministic finalize
+//    pass against the complete entry set.
+//  * The gap scan and the finalize pass fan across the same workers.
+#include <algorithm>
 #include <atomic>
-#include <condition_variable>
+#include <cstdio>
 #include <deque>
-#include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "isa/decoder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "parse/classify.hpp"
+#include "parse/registry.hpp"
+#include "parse/scheduler.hpp"
 
 namespace rvdyn::parse {
 
 namespace {
 
 using isa::Instruction;
-
-// Thread-safe pool of function entries awaiting a parse.
-class EntryPool {
- public:
-  // Returns true when `a` was newly added.
-  bool add(std::uint64_t a) {
-    std::lock_guard lock(mu_);
-    if (!known_.insert(a).second) return false;
-    queue_.push_back(a);
-    ++outstanding_;
-    cv_.notify_one();
-    return true;
-  }
-
-  bool is_known(std::uint64_t a) const {
-    std::lock_guard lock(mu_);
-    return known_.count(a) != 0;
-  }
-
-  // Blocks until work is available or all work is done. Returns nullopt at
-  // global completion.
-  std::optional<std::uint64_t> take() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [this] { return !queue_.empty() || outstanding_ == 0; });
-    if (queue_.empty()) return std::nullopt;
-    const std::uint64_t a = queue_.front();
-    queue_.pop_front();
-    return a;
-  }
-
-  // A taken entry finished parsing.
-  void done() {
-    std::lock_guard lock(mu_);
-    if (--outstanding_ == 0) cv_.notify_all();
-  }
-
-  std::set<std::uint64_t> snapshot() const {
-    std::lock_guard lock(mu_);
-    return known_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::uint64_t> queue_;
-  std::set<std::uint64_t> known_;
-  unsigned outstanding_ = 0;
-};
 
 class Parser {
  public:
@@ -75,7 +46,12 @@ class Parser {
       : co_(co), st_(st), opts_(opts), funcs_(funcs),
         decoder_(st.extensions().has(isa::Extension::I)
                      ? st.extensions()
-                     : isa::ExtensionSet::rv64gc()) {}
+                     : isa::ExtensionSet::rv64gc()),
+        registry_(st.symbols().size() + 256),
+        pool_(opts.num_threads < 1 ? 1 : opts.num_threads) {
+    // Re-parse support: functions from an earlier run keep their CFGs.
+    if (!funcs_.empty()) registry_.adopt(funcs_);
+  }
 
   void run() {
     RVDYN_OBS_SPAN("rvdyn.parse");
@@ -83,21 +59,7 @@ class Parser {
       RVDYN_OBS_SPAN("rvdyn.parse.traversal");
       RVDYN_OBS_TIMER("rvdyn.parse.traversal_ns");
       seed_entries();
-      if (opts_.num_threads <= 1) {
-        run_worker(0, decoder_);
-      } else {
-        std::vector<std::thread> workers;
-        workers.reserve(opts_.num_threads);
-        for (unsigned t = 0; t < opts_.num_threads; ++t) {
-          workers.emplace_back([this, t] {
-            // One decoder per worker: the profile is copied once and every
-            // decode in this thread goes through the same instance.
-            const isa::Decoder dec(decoder_.profile());
-            run_worker(t, dec);
-          });
-        }
-        for (auto& w : workers) w.join();
-      }
+      drain_all();
     }
     if (opts_.gap_parsing) {
       RVDYN_OBS_SPAN("rvdyn.parse.gaps");
@@ -107,21 +69,46 @@ class Parser {
     {
       RVDYN_OBS_SPAN("rvdyn.parse.finalize");
       RVDYN_OBS_TIMER("rvdyn.parse.finalize_ns");
-      for (auto& [a, f] : funcs_) f->rebuild_preds();
+      registry_.drain_into(funcs_);
+      finalize_functions();
     }
     publish_totals();
   }
 
  private:
-  // Drain the entry pool on this thread. Publishes per-worker function and
+  unsigned worker_count() const {
+    return opts_.num_threads < 1 ? 1 : opts_.num_threads;
+  }
+
+  /// Run the pool's worker loop on every worker until all queued parse
+  /// work (including work discovered while parsing) is retired.
+  void drain_all() {
+    if (pool_.idle()) return;
+    run_on_workers(worker_count(), [this](unsigned w) {
+      if (w == 0) {
+        run_worker(0, decoder_);
+      } else {
+        // One decoder per worker: the profile is copied once and every
+        // decode in this thread goes through the same instance.
+        const isa::Decoder dec(decoder_.profile());
+        run_worker(w, dec);
+      }
+    });
+  }
+
+  // Drain parse work on this thread. Publishes per-worker function and
   // block counts so load imbalance across the pool shows up in metrics.
   void run_worker(unsigned widx, const isa::Decoder& dec) {
     std::uint64_t n_funcs = 0, n_blocks = 0;
-    while (auto entry = pool_.take()) {
-      n_blocks += parse_function(dec, *entry);
-      ++n_funcs;
-      pool_.done();
-    }
+    SchedStats stats;
+    pool_.drain(
+        widx,
+        [&](const ParseWork& wk) {
+          n_blocks += parse_function(dec, wk, widx);
+          ++n_funcs;
+        },
+        &stats);
+    stats.accumulate_into(sched_totals_);
 #if RVDYN_OBS_ENABLED
     if (n_funcs) {
       const std::string prefix = "rvdyn.parse.worker." + std::to_string(widx);
@@ -145,42 +132,74 @@ class Parser {
     RVDYN_OBS_COUNT_N("rvdyn.parse.blocks", blocks);
     RVDYN_OBS_COUNT_N("rvdyn.parse.insns", insns);
     RVDYN_OBS_COUNT_N("rvdyn.parse.unresolved", unresolved);
+    // Scheduler balance: steals move batches between worker deques; idle
+    // time is napping with an empty deque and nothing to steal.
+    RVDYN_OBS_COUNT_N("rvdyn.parse.steals",
+                      sched_totals_[0].load(std::memory_order_relaxed));
+    RVDYN_OBS_COUNT_N("rvdyn.parse.steal_items",
+                      sched_totals_[1].load(std::memory_order_relaxed));
+    RVDYN_OBS_COUNT_N("rvdyn.parse.sched.contended",
+                      sched_totals_[2].load(std::memory_order_relaxed));
+    RVDYN_OBS_COUNT_N("rvdyn.parse.sched.idle_ns",
+                      sched_totals_[3].load(std::memory_order_relaxed));
+    // Registry contention, per shard (only shards that saw traffic).
+    for (unsigned i = 0; i < FunctionRegistry::kShards; ++i) {
+      const auto ss = registry_.shard_stats(i);
+      const std::string prefix =
+          "rvdyn.parse.registry.shard." + std::to_string(i);
+      if (ss.creates) obs::Counter(prefix + ".creates").add(ss.creates);
+      if (ss.contended) obs::Counter(prefix + ".contended").add(ss.contended);
+    }
+    if (const std::uint64_t ov = registry_.overflow_size())
+      RVDYN_OBS_COUNT_N("rvdyn.parse.registry.overflow", ov);
 #endif
   }
 
   void seed_entries() {
+    // Address → symbol-name index, so anonymous call targets resolve their
+    // name with one hash probe instead of an O(|symbols|) rescan per
+    // registration.
+    for (const symtab::Symbol& sym : st_.symbols())
+      if (sym.is_function() && !sym.name.empty())
+        name_by_addr_.emplace(sym.value, &sym.name);
+
+    // The seed set is the classify-time entry oracle. It is complete
+    // before any worker starts and never changes afterwards, which keeps
+    // jump-vs-tail-call decisions independent of parse order.
+    for (const symtab::Symbol* sym : st_.function_symbols())
+      if (st_.in_code(sym->value)) seeds_.insert(sym->value);
+    if (st_.entry && st_.in_code(st_.entry)) seeds_.insert(st_.entry);
+
+    unsigned w = 0;
     for (const symtab::Symbol* sym : st_.function_symbols()) {
       if (!st_.in_code(sym->value)) continue;
-      register_function(sym->value, sym->name);
+      register_function(sym->value, sym->name, w++);
     }
     if (st_.entry && st_.in_code(st_.entry))
-      register_function(st_.entry, "");
+      register_function(st_.entry, "", w);
   }
 
-  // Create (or find) the Function object for `entry` and queue it.
-  Function* register_function(std::uint64_t entry, const std::string& name) {
-    std::lock_guard lock(funcs_mu_);
-    auto it = funcs_.find(entry);
-    if (it == funcs_.end()) {
-      std::string n = name;
-      if (n.empty()) {
-        // Borrow a symbol name if one exists at this address.
-        for (const auto& sym : st_.symbols())
-          if (sym.value == entry && sym.is_function()) {
-            n = sym.name;
-            break;
-          }
-        if (n.empty()) {
-          char buf[32];
-          std::snprintf(buf, sizeof(buf), "func_%llx",
-                        static_cast<unsigned long long>(entry));
-          n = buf;
-        }
-      }
-      it = funcs_.emplace(entry, std::make_unique<Function>(entry, n)).first;
+  bool is_seed_entry(std::uint64_t a) const { return seeds_.count(a) != 0; }
+
+  // Create the Function object for `entry` (unless already registered) and
+  // queue it on worker `widx`'s deque.
+  void register_function(std::uint64_t entry, const std::string& name,
+                         unsigned widx) {
+    auto [fn, inserted] = registry_.emplace(entry, [&]() -> std::string {
+      if (!name.empty()) return name;
+      const auto it = name_by_addr_.find(entry);
+      if (it != name_by_addr_.end()) return *it->second;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "func_%llx",
+                    static_cast<unsigned long long>(entry));
+      return buf;
+    });
+    if (inserted) {
+      RVDYN_OBS_COUNT("rvdyn.parse.registry.creates");
+      pool_.push(widx, {entry, fn});
+    } else {
+      RVDYN_OBS_COUNT("rvdyn.parse.registry.dedup_hits");
     }
-    pool_.add(entry);
-    return it->second.get();
   }
 
   // Fetch the raw bytes backing [addr, ...) from the code section.
@@ -194,26 +213,26 @@ class Parser {
   }
 
   // Returns the number of blocks this call parsed (0 when already parsed).
-  std::uint64_t parse_function(const isa::Decoder& dec, std::uint64_t entry) {
-    Function* f;
-    {
-      std::lock_guard lock(funcs_mu_);
-      f = funcs_.at(entry).get();
-    }
+  std::uint64_t parse_function(const isa::Decoder& dec, const ParseWork& wk,
+                               unsigned widx) {
+    Function* f = wk.fn;
     if (!f->blocks().empty()) return 0;  // already parsed
 
     FunctionStats& stats = f->mutable_stats();
-    std::deque<std::uint64_t> work{entry};
+    std::deque<std::uint64_t> work{wk.entry};
+    // Intra-function targets already queued: dense branch fan-in would
+    // otherwise re-push the same join point once per incoming edge.
+    std::unordered_set<std::uint64_t> seen{wk.entry};
     while (!work.empty()) {
       const std::uint64_t start = work.front();
       work.pop_front();
       if (Block* existing = f->block_containing(start)) {
         if (existing->start() == start) continue;
-        split_block(dec, f, existing, start);
+        split_block(dec, f, existing, start, widx);
         continue;
       }
       Block* b = f->add_block(start);
-      parse_block(dec, f, b, &work, &stats);
+      parse_block(dec, f, b, &work, &seen, &stats, widx);
     }
 
     stats.n_blocks = static_cast<unsigned>(f->blocks().size());
@@ -226,7 +245,7 @@ class Parser {
   // Split `b` at `at` (which must be an instruction boundary inside b);
   // the suffix becomes a new block inheriting b's out-edges.
   void split_block(const isa::Decoder& dec, Function* f, Block* b,
-                   std::uint64_t at) {
+                   std::uint64_t at, unsigned widx) {
     auto& insns = b->mutable_insns();
     std::size_t idx = 0;
     while (idx < insns.size() && insns[idx].addr != at) ++idx;
@@ -235,12 +254,14 @@ class Parser {
       // independent overlapping block rather than splitting.
       Block* nb = f->add_block(at);
       std::deque<std::uint64_t> local;
-      parse_block(dec, f, nb, &local, &f->mutable_stats());
+      std::unordered_set<std::uint64_t> lseen;
+      parse_block(dec, f, nb, &local, &lseen, &f->mutable_stats(), widx);
       for (std::uint64_t t : local)
         if (!f->block_containing(t)) {
           Block* tb = f->add_block(t);
           std::deque<std::uint64_t> l2;
-          parse_block(dec, f, tb, &l2, &f->mutable_stats());
+          std::unordered_set<std::uint64_t> l2seen;
+          parse_block(dec, f, tb, &l2, &l2seen, &f->mutable_stats(), widx);
         }
       return;
     }
@@ -254,7 +275,9 @@ class Parser {
   }
 
   void parse_block(const isa::Decoder& dec, Function* f, Block* b,
-                   std::deque<std::uint64_t>* work, FunctionStats* stats) {
+                   std::deque<std::uint64_t>* work,
+                   std::unordered_set<std::uint64_t>* seen,
+                   FunctionStats* stats, unsigned widx) {
     const std::uint64_t start = b->start();
     std::size_t avail = 0;
     const std::uint8_t* bytes = code_at(start, &avail);
@@ -281,13 +304,13 @@ class Parser {
                   cur + static_cast<std::uint64_t>(insn.branch_offset());
               b->add_succ({EdgeType::Taken, taken});
               b->add_succ({EdgeType::NotTaken, next});
-              push_target(f, work, taken);
-              push_target(f, work, next);
+              push_target(f, work, seen, taken);
+              push_target(f, work, seen, next);
               closed = true;
               return false;
             }
             if (insn.is_jal() || insn.is_jalr()) {
-              handle_unconditional(f, b, work, stats, next);
+              handle_unconditional(f, b, work, seen, stats, next, widx);
               closed = true;
               return false;
             }
@@ -321,36 +344,42 @@ class Parser {
 
   void handle_unconditional(Function* f, Block* b,
                             std::deque<std::uint64_t>* work,
-                            FunctionStats* stats, std::uint64_t next) {
+                            std::unordered_set<std::uint64_t>* seen,
+                            FunctionStats* stats, std::uint64_t next,
+                            unsigned widx) {
     ClassifyContext ctx;
     ctx.co = &co_;
     ctx.func = f;
     ctx.block = b;
     ctx.insn_index = static_cast<int>(b->insns().size()) - 1;
     ctx.max_table_entries = opts_.max_jump_table_entries;
-    ctx.is_entry = [this](std::uint64_t a) { return pool_.is_known(a); };
+    // The oracle is the pre-traversal seed set: immutable, so the answer —
+    // and therefore the CFG — cannot depend on what other workers have
+    // discovered so far. Jumps to entries discovered during traversal are
+    // promoted to tail calls in finalize_functions().
+    ctx.is_entry = [this](std::uint64_t a) { return is_seed_entry(a); };
 
     const Classification c = classify_branch(ctx);
     switch (c.kind) {
       case BranchKind::Jump:
         b->add_succ({EdgeType::Jump, *c.target});
-        push_target(f, work, *c.target);
+        push_target(f, work, seen, *c.target);
         break;
       case BranchKind::Call:
         ++stats->n_calls;
         if (c.target) {
           b->add_succ({EdgeType::Call, *c.target});
           f->add_callee(*c.target);
-          register_function(*c.target, "");
+          register_function(*c.target, "", widx);
         }
         b->add_succ({EdgeType::CallFallthrough, next});
-        push_target(f, work, next);
+        push_target(f, work, seen, next);
         break;
       case BranchKind::TailCall:
         ++stats->n_tail_calls;
         b->add_succ({EdgeType::TailCall, *c.target});
         f->add_callee(*c.target);
-        register_function(*c.target, "");
+        register_function(*c.target, "", widx);
         break;
       case BranchKind::Return:
         ++stats->n_returns;
@@ -360,7 +389,7 @@ class Parser {
         ++stats->n_jump_tables;
         for (std::uint64_t t : c.table_targets) {
           b->add_succ({EdgeType::IndirectJump, t});
-          push_target(f, work, t);
+          push_target(f, work, seen, t);
         }
         break;
       case BranchKind::Unresolved:
@@ -371,8 +400,10 @@ class Parser {
   }
 
   void push_target(Function* f, std::deque<std::uint64_t>* work,
+                   std::unordered_set<std::uint64_t>* seen,
                    std::uint64_t target) {
     if (!st_.in_code(target)) return;
+    if (!seen->insert(target).second) return;  // already queued or parsed
     if (Block* existing = f->block_containing(target)) {
       if (existing->start() == target) return;
     }
@@ -381,15 +412,19 @@ class Parser {
 
   // Gap parsing (paper §2.1): scan byte ranges of code sections not claimed
   // by any parsed function for plausible function prologues and parse them
-  // speculatively.
+  // speculatively. Ranges are computed once from the traversal result, then
+  // scanned across the worker pool; discovered entries drain through the
+  // same scheduler.
   void parse_gaps() {
     // Collect claimed ranges.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> claimed;
-    for (const auto& [entry, f] : funcs_)
+    registry_.for_each([&](Function* f) {
       for (const auto& [a, b] : f->blocks())
         claimed.emplace_back(b->start(), b->end());
+    });
     std::sort(claimed.begin(), claimed.end());
 
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
     for (const auto& sec : st_.sections()) {
       if (!sec.is_code() || sec.type == symtab::SHT_NOBITS) continue;
       std::uint64_t pos = sec.addr;
@@ -404,26 +439,43 @@ class Parser {
         const std::uint64_t gap_end =
             ci < claimed.size() ? std::min(end, claimed[ci].first) : end;
         RVDYN_OBS_COUNT("rvdyn.parse.gap_ranges");
-        scan_gap(pos, gap_end);
+        ranges.emplace_back(pos, gap_end);
         pos = gap_end;
       }
-      // New functions found in gaps still need parsing.
-      while (auto entry = pool_.take()) {
-        parse_function(decoder_, *entry);
-        pool_.done();
-      }
     }
+    if (ranges.empty()) return;
+
+    // Each range is independent (one speculative entry per gap), so the
+    // scan fans across the workers; per-worker decoders as in traversal.
+    std::atomic<std::size_t> next{0};
+    run_on_workers(worker_count(), [&](unsigned w) {
+      std::optional<isa::Decoder> local;
+      const isa::Decoder* dec = &decoder_;
+      if (w != 0) {
+        local.emplace(decoder_.profile());
+        dec = &*local;
+      }
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= ranges.size()) break;
+        scan_gap(*dec, ranges[i].first, ranges[i].second, w);
+      }
+    });
+
+    // New functions found in gaps still need parsing.
+    drain_all();
   }
 
   // Heuristic prologue match at the start of a gap range: a stack
   // adjustment (addi sp, sp, -N / c.addi16sp) opens most functions.
-  void scan_gap(std::uint64_t from, std::uint64_t to) {
+  void scan_gap(const isa::Decoder& dec, std::uint64_t from, std::uint64_t to,
+                unsigned widx) {
     for (std::uint64_t a = (from + 1) & ~1ULL; a + 2 <= to;) {
       std::size_t avail = 0;
       const std::uint8_t* bytes = code_at(a, &avail);
       if (!bytes) return;
       std::uint64_t found = 0;
-      const std::size_t consumed = decoder_.decode_range(
+      const std::size_t consumed = dec.decode_range(
           bytes, avail,
           [&](std::size_t off, const Instruction& insn, unsigned) {
             if (a + off + 2 > to) return false;  // past the gap
@@ -437,7 +489,7 @@ class Parser {
           });
       if (found) {
         RVDYN_OBS_COUNT("rvdyn.parse.gap_functions");
-        register_function(found, "");
+        register_function(found, "", widx);
         return;  // one speculative entry per gap; its parse claims the rest
       }
       // decode_range stopped at an undecodable parcel: resync past it.
@@ -445,13 +497,76 @@ class Parser {
     }
   }
 
+  // Deterministic post-pass over the complete entry set: promote Jump
+  // edges whose target is a (possibly traversal- or gap-discovered)
+  // function entry to TailCall edges, drop the speculatively-parsed blocks
+  // that the jump dragged into this function, and rebuild pred lists.
+  // Independent per function, so it fans across the workers.
+  void finalize_functions() {
+    std::vector<Function*> all;
+    all.reserve(funcs_.size());
+    for (auto& [a, f] : funcs_) all.push_back(f.get());
+
+    constexpr std::size_t kBatch = 64;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> flipped_total{0}, pruned_total{0};
+    run_on_workers(worker_count(), [&](unsigned) {
+      std::uint64_t flipped = 0, pruned = 0;
+      for (;;) {
+        const std::size_t base =
+            next.fetch_add(kBatch, std::memory_order_relaxed);
+        if (base >= all.size()) break;
+        const std::size_t end = std::min(all.size(), base + kBatch);
+        for (std::size_t i = base; i < end; ++i) {
+          const auto [nf, np] = fixup_tail_calls(all[i]);
+          flipped += nf;
+          pruned += np;
+          all[i]->rebuild_preds();
+        }
+      }
+      flipped_total.fetch_add(flipped, std::memory_order_relaxed);
+      pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+    });
+    RVDYN_OBS_COUNT_N("rvdyn.parse.tailcall_fixups",
+                      flipped_total.load(std::memory_order_relaxed));
+    RVDYN_OBS_COUNT_N("rvdyn.parse.pruned_blocks",
+                      pruned_total.load(std::memory_order_relaxed));
+  }
+
+  std::pair<std::uint64_t, std::uint64_t> fixup_tail_calls(Function* f) {
+    std::uint64_t flipped = 0;
+    for (auto& [a, b] : f->mutable_blocks()) {
+      for (Edge& e : b->mutable_succs()) {
+        if (e.type != EdgeType::Jump) continue;
+        if (e.target == f->entry()) continue;
+        if (!registry_.contains(e.target)) continue;
+        e.type = EdgeType::TailCall;
+        f->add_callee(e.target);
+        ++f->mutable_stats().n_tail_calls;
+        ++flipped;
+      }
+    }
+    if (!flipped) return {0, 0};
+    const std::uint64_t pruned = f->prune_unreachable_blocks();
+    FunctionStats& stats = f->mutable_stats();
+    stats.n_blocks = static_cast<unsigned>(f->blocks().size());
+    stats.n_insns = 0;
+    for (const auto& [a, blk] : f->blocks())
+      stats.n_insns += static_cast<unsigned>(blk->insns().size());
+    return {flipped, pruned};
+  }
+
   CodeObject& co_;
   const symtab::Symtab& st_;
   ParseOptions opts_;
   std::map<std::uint64_t, std::unique_ptr<Function>>& funcs_;
   isa::Decoder decoder_;
-  EntryPool pool_;
-  std::mutex funcs_mu_;
+  FunctionRegistry registry_;
+  WorkStealingPool pool_;
+  std::unordered_set<std::uint64_t> seeds_;  ///< frozen before traversal
+  std::unordered_map<std::uint64_t, const std::string*> name_by_addr_;
+  /// steals, steal_items, contended, idle_ns (see SchedStats).
+  std::atomic<std::uint64_t> sched_totals_[4] = {};
 };
 
 }  // namespace
@@ -482,6 +597,34 @@ void Function::rebuild_preds() {
       if (Block* t = block_at(e.target)) t->add_pred(b.get());
     }
   }
+}
+
+std::size_t Function::prune_unreachable_blocks() {
+  Block* eb = block_at(entry_);
+  if (!eb) return 0;
+  std::set<std::uint64_t> reach{entry_};
+  std::vector<Block*> stack{eb};
+  while (!stack.empty()) {
+    Block* b = stack.back();
+    stack.pop_back();
+    for (const Edge& e : b->succs()) {
+      if (e.type == EdgeType::Call || e.type == EdgeType::TailCall ||
+          e.type == EdgeType::Return || e.type == EdgeType::Unresolved)
+        continue;
+      if (!reach.insert(e.target).second) continue;
+      if (Block* t = block_at(e.target)) stack.push_back(t);
+    }
+  }
+  std::size_t pruned = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (reach.count(it->first)) {
+      ++it;
+    } else {
+      it = blocks_.erase(it);
+      ++pruned;
+    }
+  }
+  return pruned;
 }
 
 FunctionStats CodeObject::total_stats() const {

@@ -1,0 +1,238 @@
+// Concurrent entry membership and function registry for the parallel
+// traversal parser.
+//
+// The parser's two shared structures used to hang off two global mutexes:
+// the known-entry set (probed by classify_branch on every jalr) and the
+// function map (hit by register_function on every call edge). Both now
+// scale with the worker count:
+//
+//  * AtomicAddrSet — a striped open-addressing hash set of code addresses.
+//    Slots are write-once atomics, so membership probes are lock-free;
+//    inserts are a CAS on an empty slot. A probe chain that fills up spills
+//    into a small mutex-protected overflow set per stripe (rare: stripes
+//    are sized from the expected entry count).
+//
+//  * FunctionRegistry — Function objects sharded by entry-address stripe.
+//    Registration dedupes through the AtomicAddrSet first (lock-free), so
+//    the shard mutex is only taken for the one-time creation of each
+//    Function. Per-shard create/contended counters feed the
+//    rvdyn.parse.registry.* metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "parse/cfg.hpp"
+
+namespace rvdyn::parse {
+
+/// Striped concurrent set of (non-zero) code addresses. contains() is a
+/// lock-free probe; insert() is lock-free until a stripe's probe chain
+/// fills, then falls back to that stripe's overflow set under its mutex.
+/// Address 0 is representable but always takes the locked path (0 is the
+/// empty-slot sentinel).
+class AtomicAddrSet {
+ public:
+  /// `expected` sizes the stripe tables; exceeding it is correct (overflow
+  /// sets absorb the excess), just slower.
+  explicit AtomicAddrSet(std::size_t expected = 1024) {
+    std::size_t per = 64;
+    while (per * kStripes < expected * 2) per <<= 1;
+    for (auto& s : stripes_) {
+      s.mask = per - 1;
+      // Value-initialized atomics: every slot starts empty (0).
+      s.slots = std::make_unique<std::atomic<std::uint64_t>[]>(per);
+    }
+  }
+
+  /// Returns true when `a` was newly inserted. Exactly one concurrent
+  /// inserter of the same address observes true.
+  bool insert(std::uint64_t a) {
+    Stripe& s = stripe(a);
+    if (a == 0) return locked_insert(s, a);
+    std::size_t i = mix(a) & s.mask;
+    for (unsigned p = 0; p < kProbeLimit; ++p, i = (i + 1) & s.mask) {
+      std::uint64_t v = s.slots[i].load(std::memory_order_acquire);
+      if (v == a) return false;
+      if (v == 0) {
+        if (s.slots[i].compare_exchange_strong(v, a,
+                                               std::memory_order_acq_rel))
+          return true;
+        if (v == a) return false;  // lost the race to the same address
+        // Lost to a different address: this slot is now taken, keep probing.
+      }
+    }
+    return locked_insert(s, a);
+  }
+
+  /// Lock-free in the common case. An empty slot inside the probe chain
+  /// proves the chain never filled, so the overflow set need not be
+  /// consulted (slots are write-once: chains only ever gain entries).
+  bool contains(std::uint64_t a) const {
+    const Stripe& s = stripe(a);
+    if (a != 0) {
+      std::size_t i = mix(a) & s.mask;
+      for (unsigned p = 0; p < kProbeLimit; ++p, i = (i + 1) & s.mask) {
+        const std::uint64_t v = s.slots[i].load(std::memory_order_acquire);
+        if (v == a) return true;
+        if (v == 0) return false;
+      }
+    }
+    if (s.overflow_count.load(std::memory_order_acquire) == 0 && a != 0)
+      return false;
+    std::lock_guard lock(s.mu);
+    return s.overflow.count(a) != 0;
+  }
+
+  /// Total addresses that took the overflow path (contention/telemetry).
+  std::uint64_t overflow_size() const {
+    std::uint64_t n = 0;
+    for (const auto& s : stripes_)
+      n += s.overflow_count.load(std::memory_order_acquire);
+    return n;
+  }
+
+ private:
+  static constexpr unsigned kStripes = 64;
+  static constexpr unsigned kProbeLimit = 24;
+
+  struct alignas(64) Stripe {
+    std::size_t mask = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots;
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> overflow;
+    std::atomic<std::uint64_t> overflow_count{0};
+  };
+
+  // splitmix64 finalizer: decorrelates nearby code addresses.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Stripe& stripe(std::uint64_t a) { return stripes_[mix(a >> 1) % kStripes]; }
+  const Stripe& stripe(std::uint64_t a) const {
+    return stripes_[mix(a >> 1) % kStripes];
+  }
+
+  bool locked_insert(Stripe& s, std::uint64_t a) {
+    std::lock_guard lock(s.mu);
+    // Re-probe under the lock: the chain is full (write-once slots keep it
+    // full), so a concurrent table insert of `a` is impossible after this
+    // check — overflow inserts of `a` are serialized by the mutex.
+    if (a != 0) {
+      std::size_t i = mix(a) & s.mask;
+      for (unsigned p = 0; p < kProbeLimit; ++p, i = (i + 1) & s.mask)
+        if (s.slots[i].load(std::memory_order_acquire) == a) return false;
+    }
+    if (!s.overflow.insert(a).second) return false;
+    s.overflow_count.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  Stripe stripes_[kStripes];
+};
+
+/// Function objects sharded by entry address. Membership (and therefore
+/// dedup of registration) is delegated to an AtomicAddrSet so the common
+/// re-registration case never touches a shard mutex.
+class FunctionRegistry {
+ public:
+  static constexpr unsigned kShards = 32;
+
+  explicit FunctionRegistry(std::size_t expected) : members_(expected) {}
+
+  /// Find-or-create. `make_name` is only invoked (outside any lock) when
+  /// the entry is new. Returns {fn, true} on creation; {nullptr, false}
+  /// when the entry was already registered (callers on the dedup path
+  /// never need the pointer).
+  template <typename NameFn>
+  std::pair<Function*, bool> emplace(std::uint64_t entry, NameFn&& make_name) {
+    if (!members_.insert(entry)) return {nullptr, false};
+    auto fn = std::make_unique<Function>(entry, make_name());
+    Function* p = fn.get();
+    Shard& s = shard(entry);
+    if (!s.mu.try_lock()) {
+      s.contended.fetch_add(1, std::memory_order_relaxed);
+      s.mu.lock();
+    }
+    s.funcs.emplace(entry, std::move(fn));
+    ++s.creates;
+    s.mu.unlock();
+    return {p, true};
+  }
+
+  /// Lock-free membership probe (the classify/tail-call oracle).
+  bool contains(std::uint64_t entry) const { return members_.contains(entry); }
+
+  /// Adopt functions parsed by an earlier run (re-parse support).
+  void adopt(std::map<std::uint64_t, std::unique_ptr<Function>>& src) {
+    for (auto& [entry, fn] : src) {
+      members_.insert(entry);
+      shard(entry).funcs.emplace(entry, std::move(fn));
+    }
+    src.clear();
+  }
+
+  /// Visit every registered function. Not thread-safe: call only from a
+  /// quiesced moment (between parse phases).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& s : shards_)
+      for (auto& [entry, f] : s.funcs) fn(f.get());
+  }
+
+  /// Move every function into `out` (sorted by entry, deterministically).
+  /// Membership queries stay valid afterwards. Not thread-safe.
+  void drain_into(std::map<std::uint64_t, std::unique_ptr<Function>>& out) {
+    for (auto& s : shards_) {
+      for (auto& [entry, fn] : s.funcs) out.emplace(entry, std::move(fn));
+      s.funcs.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s.funcs.size();
+    return n;
+  }
+
+  struct ShardStats {
+    std::uint64_t creates = 0;
+    std::uint64_t contended = 0;
+  };
+  ShardStats shard_stats(unsigned i) const {
+    const Shard& s = shards_[i];
+    std::lock_guard lock(s.mu);
+    return {s.creates, s.contended.load(std::memory_order_relaxed)};
+  }
+  std::uint64_t overflow_size() const { return members_.overflow_size(); }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Function>> funcs;
+    std::uint64_t creates = 0;  ///< guarded by mu
+    std::atomic<std::uint64_t> contended{0};
+  };
+
+  Shard& shard(std::uint64_t entry) {
+    // Low bits above the 2-byte parcel alignment: consecutive functions
+    // land in different shards.
+    return shards_[(entry >> 1) % kShards];
+  }
+
+  AtomicAddrSet members_;
+  Shard shards_[kShards];
+};
+
+}  // namespace rvdyn::parse

@@ -1,0 +1,225 @@
+// Work-stealing scheduler for the traversal parser.
+//
+// The old EntryPool funneled every take()/add()/done() through one global
+// mutex + condvar — a per-function lock round-trip that made the parallel
+// parse *slower* than serial. This scheduler gives each worker its own
+// deque: owners push/pop at the back under an (almost always uncontended)
+// per-deque mutex, and idle workers steal half a victim's queue in a single
+// lock acquisition, so lock traffic is amortized over whole batches of
+// functions instead of paid per function.
+//
+// Termination uses a global outstanding-task counter: a task is outstanding
+// from push() until its execution returns (tasks may push new tasks, which
+// keeps the count positive). Workers that find nothing to pop or steal nap
+// on a condvar with a short timeout — pushes nudge sleepers, and the worker
+// that retires the last task wakes everyone for shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace rvdyn::parse {
+
+class Function;
+
+/// One unit of parse work: a function entry plus its registry object (the
+/// pointer rides along so execution never needs a registry lookup).
+struct ParseWork {
+  std::uint64_t entry = 0;
+  Function* fn = nullptr;
+};
+
+/// Per-worker scheduler telemetry, aggregated into rvdyn.parse.sched.*.
+struct SchedStats {
+  std::uint64_t steals = 0;       ///< successful steal operations
+  std::uint64_t steal_items = 0;  ///< items moved by those steals
+  std::uint64_t contended = 0;    ///< try_lock failures on victim deques
+  std::uint64_t idle_ns = 0;      ///< time spent napping with no work
+
+  void accumulate_into(std::atomic<std::uint64_t>* totals) const {
+    totals[0].fetch_add(steals, std::memory_order_relaxed);
+    totals[1].fetch_add(steal_items, std::memory_order_relaxed);
+    totals[2].fetch_add(contended, std::memory_order_relaxed);
+    totals[3].fetch_add(idle_ns, std::memory_order_relaxed);
+  }
+};
+
+class WorkStealingPool {
+ public:
+  static constexpr std::size_t kMaxSteal = 32;
+  static constexpr unsigned kMaxYields = 64;
+
+  explicit WorkStealingPool(unsigned n_workers)
+      : n_(n_workers < 1 ? 1 : n_workers), deques_(n_) {}
+
+  unsigned workers() const { return n_; }
+
+  /// True when no pushed work remains unretired. Only meaningful between
+  /// drain phases (no worker running).
+  bool idle() const {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Enqueue onto worker `w`'s deque (producers push to their own deque;
+  /// seeds are distributed round-robin before the workers start).
+  void push(unsigned w, ParseWork item) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    Deque& d = deques_[w % n_];
+    {
+      std::lock_guard lock(d.mu);
+      d.q.push_back(item);
+    }
+    push_gen_.fetch_add(1, std::memory_order_release);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+      // Lock so the notify cannot slip between a sleeper's predicate check
+      // and its wait; only paid while someone is actually asleep.
+      std::lock_guard lock(sleep_mu_);
+      cv_.notify_one();
+    }
+  }
+
+  /// Worker loop: run `fn` over items until global completion. Call from
+  /// `workers()` threads with distinct `widx` (or inline with widx 0 when
+  /// single-threaded).
+  template <typename Fn>
+  void drain(unsigned widx, Fn&& fn, SchedStats* stats) {
+    unsigned yields = 0;
+    for (;;) {
+      // Capture the push generation before scanning: a push that lands
+      // mid-scan changes it, which turns the nap below into an instant
+      // retry instead of a lost-wakeup window.
+      const std::uint64_t gen = push_gen_.load(std::memory_order_acquire);
+      bool contended = false;
+      std::optional<ParseWork> item = pop_local(widx);
+      if (!item) item = steal(widx, &contended, stats);
+      if (item) {
+        yields = 0;
+        fn(*item);
+        if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard lock(sleep_mu_);
+          cv_.notify_all();
+        }
+        continue;
+      }
+      if (outstanding_.load(std::memory_order_acquire) == 0) return;
+      if (n_ == 1) return;  // no other producer can exist
+      if (contended && yields < kMaxYields) {
+        // A victim's deque lock was busy: its owner (likely descheduled
+        // mid-pop on an oversubscribed host) needs the core more than we
+        // need to poll it.
+        ++yields;
+        std::this_thread::yield();
+        continue;
+      }
+      yields = 0;
+      nap(gen, stats);
+    }
+  }
+
+ private:
+  struct alignas(64) Deque {
+    std::mutex mu;
+    std::deque<ParseWork> q;
+  };
+
+  std::optional<ParseWork> pop_local(unsigned widx) {
+    Deque& d = deques_[widx];
+    std::lock_guard lock(d.mu);
+    if (d.q.empty()) return std::nullopt;
+    const ParseWork item = d.q.back();
+    d.q.pop_back();
+    return item;
+  }
+
+  /// Steal up to half of one victim's queue (capped at kMaxSteal) in a
+  /// single lock acquisition; the first item is returned for immediate
+  /// execution, the rest land on the thief's own deque. Victims whose lock
+  /// is busy are skipped (counted as contention) — the caller's nap/retry
+  /// loop guarantees progress.
+  std::optional<ParseWork> steal(unsigned widx, bool* contended,
+                                 SchedStats* stats) {
+    for (unsigned round = 1; round < n_; ++round) {
+      Deque& v = deques_[(widx + round) % n_];
+      std::unique_lock vlock(v.mu, std::try_to_lock);
+      if (!vlock.owns_lock()) {
+        *contended = true;
+        ++stats->contended;
+        continue;
+      }
+      if (v.q.empty()) continue;
+      std::size_t k = (v.q.size() + 1) / 2;
+      if (k > kMaxSteal) k = kMaxSteal;
+      const ParseWork first = v.q.front();
+      v.q.pop_front();
+      // Buffer the batch and release the victim before touching our own
+      // deque — holding two deque locks at once could deadlock with a
+      // thief stealing in the opposite direction.
+      ParseWork batch[kMaxSteal];
+      const std::size_t extra = k - 1;
+      for (std::size_t i = 0; i < extra; ++i) {
+        batch[i] = v.q.front();
+        v.q.pop_front();
+      }
+      vlock.unlock();
+      if (extra) {
+        Deque& own = deques_[widx];
+        std::lock_guard olock(own.mu);
+        for (std::size_t i = 0; i < extra; ++i) own.q.push_back(batch[i]);
+      }
+      ++stats->steals;
+      stats->steal_items += k;
+      return first;
+    }
+    return std::nullopt;
+  }
+
+  void nap(std::uint64_t gen_seen, SchedStats* stats) {
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::unique_lock lock(sleep_mu_);
+      sleepers_.fetch_add(1, std::memory_order_release);
+      cv_.wait_for(lock, std::chrono::microseconds(100), [this, gen_seen] {
+        return push_gen_.load(std::memory_order_acquire) != gen_seen ||
+               outstanding_.load(std::memory_order_acquire) == 0;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_release);
+    }
+    stats->idle_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  const unsigned n_;
+  std::vector<Deque> deques_;
+  std::atomic<std::int64_t> outstanding_{0};  ///< pushed, not yet retired
+  std::atomic<std::uint64_t> push_gen_{0};    ///< bumped on every push
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mu_;
+  std::condition_variable cv_;
+};
+
+/// Run `fn(worker_idx)` on `n` workers: n-1 spawned threads plus the
+/// calling thread as worker 0. Used to fan the gap scan and the finalize
+/// pass across the same worker count as the traversal.
+template <typename Fn>
+void run_on_workers(unsigned n, Fn&& fn) {
+  if (n <= 1) {
+    fn(0u);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (unsigned w = 1; w < n; ++w) threads.emplace_back([&fn, w] { fn(w); });
+  fn(0u);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace rvdyn::parse

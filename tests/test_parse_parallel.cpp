@@ -1,0 +1,264 @@
+// Parallel-parse determinism: the work-stealing traversal must produce
+// byte-identical CFGs at every thread count — same function sets, block
+// boundaries, instruction streams, edge lists, and stats. Also unit-tests
+// the two concurrent structures underneath it (AtomicAddrSet,
+// WorkStealingPool) under real thread contention.
+//
+// Build with -DRVDYN_SANITIZE=thread to run these under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "parse/cfg.hpp"
+#include "parse/registry.hpp"
+#include "parse/scheduler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using parse::AtomicAddrSet;
+using parse::CodeObject;
+using parse::EdgeType;
+using parse::ParseWork;
+using parse::SchedStats;
+using parse::WorkStealingPool;
+
+// Canonical textual form of a parsed CodeObject: every function (sorted by
+// entry), its name, callees, stats, and every block's boundaries,
+// instruction encodings, successor edges (in stored order), and pred list.
+// Two parses are considered identical iff their dumps match byte-for-byte.
+std::string canonical_dump(const CodeObject& co) {
+  std::ostringstream os;
+  os << std::hex;
+  for (const auto& [entry, f] : co.functions()) {
+    const auto& st = f->stats();
+    os << "fn " << entry << ' ' << f->name() << " b=" << st.n_blocks
+       << " i=" << st.n_insns << " c=" << st.n_calls
+       << " tc=" << st.n_tail_calls << " r=" << st.n_returns
+       << " jt=" << st.n_jump_tables << " u=" << st.n_unresolved << '\n';
+    os << "  callees:";
+    for (std::uint64_t c : f->callees()) os << ' ' << c;
+    os << '\n';
+    for (const auto& [start, b] : f->blocks()) {
+      os << "  blk " << start << '-' << b->end() << '\n';
+      for (const auto& pi : b->insns())
+        os << "    " << pi.addr << ':' << pi.insn.length() << ':'
+           << pi.insn.raw() << ':' << static_cast<int>(pi.insn.mnemonic())
+           << '\n';
+      os << "    succs:";
+      for (const auto& e : b->succs())
+        os << ' ' << static_cast<int>(e.type) << '@' << e.target;
+      os << '\n';
+      os << "    preds:";
+      for (const auto* p : b->preds()) os << ' ' << p->start();
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string parse_dump(const symtab::Symtab& st, unsigned threads) {
+  CodeObject co(st);
+  parse::ParseOptions opts;
+  opts.num_threads = threads;
+  co.parse(opts);
+  return canonical_dump(co);
+}
+
+// The headline determinism check from the issue: the 2000-function
+// workload parsed at 1/2/4/8 threads, several reps each to shake out
+// scheduling races, must match the single-thread parse exactly.
+TEST(ParseParallel, DeterministicAcrossThreadCounts) {
+  symtab::Symtab st = assembler::assemble(workloads::many_function_program(2000));
+  const std::string ref = parse_dump(st, 1);
+  ASSERT_FALSE(ref.empty());
+  for (unsigned threads : {2u, 4u, 8u}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " rep=" << rep);
+      EXPECT_EQ(parse_dump(st, threads), ref);
+    }
+  }
+}
+
+// A jump whose target only *becomes* a known function entry during the
+// parse (a plain label discovered via someone else's call) must be
+// reclassified as a tail call by the finalize fixup — identically at every
+// thread count, no matter which worker reached the jump first.
+TEST(ParseParallel, TailCallToDiscoveredEntryIsDeterministic) {
+  const std::string src = R"(
+    .globl _start
+_start:
+    call caller_a
+    call caller_b
+    li a7, 93
+    ecall
+
+    .globl caller_a
+caller_a:
+    call shared
+    ret
+
+    .globl caller_b
+caller_b:
+    li a0, 2
+    j shared
+
+shared:
+    li a0, 7
+    ret
+)";
+  symtab::Symtab st = assembler::assemble(src);
+  const std::string ref = parse_dump(st, 1);
+
+  CodeObject co(st);
+  co.parse({});
+  parse::Function* shared = nullptr;
+  for (const auto& [a, f] : co.functions())
+    if (f->name().rfind("func_", 0) == 0) shared = f.get();
+  ASSERT_NE(shared, nullptr) << "shared body not promoted to a function";
+
+  parse::Function* b = co.function_named("caller_b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->stats().n_tail_calls, 1u);
+  EXPECT_TRUE(b->callees().count(shared->entry()));
+  // caller_b's speculatively-parsed copy of shared's body must be pruned.
+  EXPECT_EQ(b->block_at(shared->entry()), nullptr);
+  bool found_tc = false;
+  for (const auto& [a, blk] : b->blocks())
+    for (const auto& e : blk->succs())
+      if (e.type == EdgeType::TailCall && e.target == shared->entry())
+        found_tc = true;
+  EXPECT_TRUE(found_tc);
+
+  for (unsigned threads : {2u, 4u, 8u})
+    for (int rep = 0; rep < 3; ++rep) {
+      SCOPED_TRACE(testing::Message()
+                   << "threads=" << threads << " rep=" << rep);
+      EXPECT_EQ(parse_dump(st, threads), ref);
+    }
+}
+
+// Gap parsing (speculative prologue scan over unclaimed byte ranges) runs
+// across the worker pool; the discovered functions must not depend on
+// which worker scanned which gap.
+TEST(ParseParallel, GapFunctionsDeterministic) {
+  const std::string src = R"(
+    .globl _start
+_start:
+    li a7, 93
+    ecall
+    ret
+
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    ret
+)";
+  symtab::Symtab st = assembler::assemble(src);
+  const std::string ref = parse_dump(st, 1);
+
+  CodeObject co(st);
+  co.parse({});
+  bool found_gap_fn = false;
+  for (const auto& [a, f] : co.functions())
+    if (f->name().rfind("func_", 0) == 0) found_gap_fn = true;
+  EXPECT_TRUE(found_gap_fn) << "gap scan missed the unlabeled prologue";
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    EXPECT_EQ(parse_dump(st, threads), ref);
+  }
+}
+
+// Re-parsing through the same CodeObject-equivalent flow (registry adopt
+// path) keeps results stable.
+TEST(ParseParallel, RepeatedParseIsStable) {
+  symtab::Symtab st = assembler::assemble(workloads::many_function_program(200));
+  EXPECT_EQ(parse_dump(st, 4), parse_dump(st, 4));
+}
+
+// Exactly one concurrent inserter of each address may win, and every
+// inserted address must be visible to lock-free contains() afterwards.
+TEST(ParseParallel, AtomicAddrSetConcurrentInsertUniqueness) {
+  constexpr std::uint64_t kN = 8192;
+  AtomicAddrSet set(kN);
+  std::atomic<std::uint64_t> wins{0};
+  parse::run_on_workers(4, [&](unsigned) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = 0; i < kN; ++i)
+      if (set.insert(0x10000 + i * 2)) ++local;
+    wins.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(wins.load(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i)
+    EXPECT_TRUE(set.contains(0x10000 + i * 2)) << "missing addr index " << i;
+  EXPECT_FALSE(set.contains(0x10000 + kN * 2));
+  EXPECT_FALSE(set.contains(1));
+}
+
+// Undersized table: the probe chains fill and inserts spill into the
+// per-stripe overflow sets. Membership must still be exact.
+TEST(ParseParallel, AtomicAddrSetOverflowPath) {
+  AtomicAddrSet set(16);  // ~4k slots total; 16k inserts force overflow
+  constexpr std::uint64_t kN = 16384;
+  parse::run_on_workers(2, [&](unsigned) {
+    for (std::uint64_t i = 0; i < kN; ++i) set.insert(0x2000 + i * 4);
+  });
+  EXPECT_GT(set.overflow_size(), 0u);
+  for (std::uint64_t i = 0; i < kN; ++i)
+    ASSERT_TRUE(set.contains(0x2000 + i * 4)) << "missing addr index " << i;
+  EXPECT_FALSE(set.contains(0x2000 + kN * 4));
+}
+
+// Tasks that spawn tasks: drain() must retire the whole tree exactly once
+// across workers, and the pool must be idle when every drain returns.
+TEST(ParseParallel, WorkStealingPoolRunsEverySpawnedTask) {
+  constexpr std::uint64_t kLeafBound = 1024;  // spawn while entry < bound
+  WorkStealingPool pool(4);
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> sum{0};
+  pool.push(0, ParseWork{1, nullptr});
+  parse::run_on_workers(pool.workers(), [&](unsigned w) {
+    SchedStats stats{};
+    pool.drain(
+        w,
+        [&, w](const ParseWork& item) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          sum.fetch_add(item.entry, std::memory_order_relaxed);
+          if (item.entry < kLeafBound) {
+            pool.push(w, ParseWork{item.entry * 2, nullptr});
+            pool.push(w, ParseWork{item.entry * 2 + 1, nullptr});
+          }
+        },
+        &stats);
+  });
+  EXPECT_TRUE(pool.idle());
+  // Complete binary tree over entries 1..2047: 2047 nodes summing to
+  // 2047*2048/2.
+  EXPECT_EQ(executed.load(), 2047u);
+  EXPECT_EQ(sum.load(), 2047u * 2048u / 2);
+}
+
+// Single-worker drain degrades to a plain LIFO loop and must terminate
+// without any other thread to wake it.
+TEST(ParseParallel, WorkStealingPoolSingleWorker) {
+  WorkStealingPool pool(1);
+  std::uint64_t executed = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) pool.push(0, ParseWork{i + 1, nullptr});
+  SchedStats stats{};
+  pool.drain(0, [&](const ParseWork&) { ++executed; }, &stats);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_TRUE(pool.idle());
+  EXPECT_EQ(stats.steals, 0u);
+}
+
+}  // namespace
