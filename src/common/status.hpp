@@ -20,6 +20,30 @@ class Error : public std::runtime_error {
   explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
 };
 
+/// An ok-or-error status for operations with no payload, used by APIs whose
+/// failures are part of the documented contract (e.g. a second
+/// BinaryEditor::commit() on a one-shot session) rather than exceptional.
+class Status {
+ public:
+  static Status ok() { return Status(std::string()); }
+  static Status error(std::string msg) { return Status(std::move(msg)); }
+
+  bool is_ok() const { return msg_.empty(); }
+  explicit operator bool() const { return is_ok(); }
+  /// Human-readable error message ("" when ok).
+  const std::string& message() const { return msg_; }
+
+  /// Throw the status as an Error when it is a failure (for call sites that
+  /// prefer unwinding, e.g. the throwing commit() convenience wrapper).
+  void throw_if_error() const {
+    if (!is_ok()) throw Error(msg_);
+  }
+
+ private:
+  explicit Status(std::string msg) : msg_(std::move(msg)) {}
+  std::string msg_;
+};
+
 /// A value-or-error result for APIs where failure is routine and the caller
 /// is expected to branch on it rather than unwind.
 template <typename T>

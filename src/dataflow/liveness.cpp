@@ -195,4 +195,13 @@ RegSet Liveness::dead_before(const Block* block, std::size_t index) const {
   return dead;
 }
 
+RegSet Liveness::dead_at(std::uint64_t addr) const {
+  const Block* b = func_.block_containing(addr);
+  if (!b) return RegSet();
+  const auto& insns = b->insns();
+  for (std::size_t i = 0; i < insns.size(); ++i)
+    if (insns[i].addr == addr) return dead_before(b, i);
+  return RegSet();
+}
+
 }  // namespace rvdyn::dataflow

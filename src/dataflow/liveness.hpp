@@ -48,6 +48,12 @@ class Liveness {
   /// never reported dead.
   isa::RegSet dead_before(const parse::Block* block, std::size_t index) const;
 
+  /// Point-granularity convenience for PatchAPI: the dead set immediately
+  /// before the instruction at `addr` (instrumentation points are
+  /// addresses). Empty — i.e. nothing usable without a spill — when `addr`
+  /// is not an instruction boundary of this function.
+  isa::RegSet dead_at(std::uint64_t addr) const;
+
   /// ABI register sets used at analysis boundaries (exposed for tests).
   static isa::RegSet abi_live_at_return();
   static isa::RegSet call_uses();

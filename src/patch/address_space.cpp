@@ -1,0 +1,102 @@
+#include "patch/address_space.hpp"
+
+#include <cstring>
+
+namespace rvdyn::patch {
+
+void SymtabSpace::map_region(const MappedRegion& region) {
+  symtab::Section s;
+  s.name = region.name;
+  s.type = symtab::SHT_PROGBITS;
+  s.flags = symtab::SHF_ALLOC;
+  if (region.executable) s.flags |= symtab::SHF_EXECINSTR;
+  if (region.writable) s.flags |= symtab::SHF_WRITE;
+  s.addr = region.addr;
+  s.addralign = region.executable ? 4 : 8;
+  s.data = region.bytes;
+  out_->add_section(std::move(s));
+}
+
+void SymtabSpace::write_code(std::uint64_t addr, const std::uint8_t* data,
+                             std::size_t n) {
+  symtab::Section* sec = out_->section_containing(addr);
+  if (!sec || sec->type == symtab::SHT_NOBITS)
+    throw Error("patch: code write outside any progbits section");
+  if (addr + n > sec->addr + sec->data.size())
+    throw Error("patch: code write crosses a section boundary");
+  std::memcpy(sec->data.data() + (addr - sec->addr), data, n);
+}
+
+std::vector<std::uint8_t> SymtabSpace::read_code(std::uint64_t addr,
+                                                 std::size_t n) const {
+  const symtab::Section* sec = out_->section_containing(addr);
+  if (!sec || sec->type == symtab::SHT_NOBITS)
+    throw Error("patch: code read outside any progbits section");
+  if (addr + n > sec->addr + sec->data.size())
+    throw Error("patch: code read crosses a section boundary");
+  const std::uint8_t* at = sec->data.data() + (addr - sec->addr);
+  return std::vector<std::uint8_t>(at, at + n);
+}
+
+void SymtabSpace::define_symbol(const RegionSymbol& sym) {
+  symtab::Symbol s;
+  s.name = "rvdyn$" + sym.name;
+  s.value = sym.addr;
+  s.size = sym.size;
+  s.bind = symtab::STB_GLOBAL;
+  s.type = symtab::STT_OBJECT;
+  out_->add_symbol(s);
+}
+
+void SymtabSpace::install_traps(const std::vector<TrapEntry>& traps) {
+  if (traps.empty()) return;
+  symtab::Section* sec = out_->find_section(".rvdyn.traps");
+  if (!sec) {
+    symtab::Section t;
+    t.name = ".rvdyn.traps";
+    t.type = symtab::SHT_PROGBITS;
+    t.flags = 0;  // metadata, not loaded
+    sec = &out_->add_section(std::move(t));
+  }
+  const auto payload = encode_trap_section(traps);
+  sec->data.insert(sec->data.end(), payload.begin(), payload.end());
+}
+
+void SymtabSpace::remove_traps(const std::vector<TrapEntry>& traps) {
+  symtab::Section* sec = out_->find_section(".rvdyn.traps");
+  if (!sec) return;
+  auto entries = parse_trap_section(sec->data);
+  std::erase_if(entries, [&](const TrapEntry& e) {
+    for (const TrapEntry& t : traps)
+      if (t.from == e.from && t.to == e.to) return true;
+    return false;
+  });
+  sec->data = encode_trap_section(entries);
+}
+
+std::vector<std::uint8_t> encode_trap_section(
+    const std::vector<TrapEntry>& traps) {
+  std::vector<std::uint8_t> out;
+  out.reserve(traps.size() * 16);
+  for (const TrapEntry& e : traps) {
+    for (unsigned i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(e.from >> (8 * i)));
+    for (unsigned i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(e.to >> (8 * i)));
+  }
+  return out;
+}
+
+std::vector<TrapEntry> parse_trap_section(
+    const std::vector<std::uint8_t>& data) {
+  std::vector<TrapEntry> out;
+  for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
+    TrapEntry e;
+    std::memcpy(&e.from, data.data() + off, 8);
+    std::memcpy(&e.to, data.data() + off + 8, 8);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace rvdyn::patch

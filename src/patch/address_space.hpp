@@ -1,0 +1,107 @@
+// AddressSpace: the backend a relocation commit targets (paper §2.2's
+// unified static/dynamic instrumentation model).
+//
+// The pass-based relocation engine produces one PatchPlan — patch-area
+// regions, springboard writes and the trap table — and applies it through
+// this interface. Two backends exist:
+//  - SymtabSpace (here): static rewriting into a symtab::Symtab model,
+//    materializing .rvdyn.* sections and rvdyn$ symbols;
+//  - proccontrol::ProcessSpace: dynamic instrumentation of a live
+//    (emulated) process, writing through the machine's decode-cache-aware
+//    code path and installing trap redirects in the debugger runtime.
+// Because both speak the same interface, BinaryEditor::commit_to() and
+// revert_from() are the single implementation of instrumentation
+// insertion *and* removal — there is no byte-delta side channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "symtab/symtab.hpp"
+
+namespace rvdyn::patch {
+
+/// One entry of the .rvdyn.traps table (trap-springboard redirect): when
+/// the process stops on the trap at `from`, the runtime redirects to `to`.
+struct TrapEntry {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+};
+
+/// A fresh region the engine wants mapped into the target (patch text or
+/// patch data). Regions never overlap existing mutatee content.
+struct MappedRegion {
+  std::string name;  ///< section name for file-backed targets (".rvdyn.text")
+  std::uint64_t addr = 0;
+  std::vector<std::uint8_t> bytes;
+  bool executable = false;
+  bool writable = false;
+};
+
+/// A named instrumentation variable inside a mapped data region.
+struct RegionSymbol {
+  std::string name;  ///< exported as "rvdyn$<name>" where symbols exist
+  std::uint64_t addr = 0;
+  std::uint64_t size = 0;
+};
+
+/// The mutatee-side surface a relocation commit writes through. All
+/// methods may throw Error on addresses outside the target's mapped code.
+class AddressSpace {
+ public:
+  virtual ~AddressSpace() = default;
+
+  /// Backend name for diagnostics ("symtab", "process").
+  virtual const char* backend() const = 0;
+
+  /// Map a fresh patch region (allocates a section / writes fresh pages).
+  virtual void map_region(const MappedRegion& region) = 0;
+
+  /// Overwrite existing mutatee code in place (springboards, breakpoint
+  /// bytes). Implementations must invalidate any cached decode state.
+  virtual void write_code(std::uint64_t addr, const std::uint8_t* data,
+                          std::size_t n) = 0;
+
+  /// Current code bytes at `addr` (undo capture, verification).
+  virtual std::vector<std::uint8_t> read_code(std::uint64_t addr,
+                                              std::size_t n) const = 0;
+
+  /// Export a symbol for a variable in a mapped region. Optional: targets
+  /// without a symbol table ignore it.
+  virtual void define_symbol(const RegionSymbol& sym) { (void)sym; }
+
+  /// Install / remove trap-springboard redirects.
+  virtual void install_traps(const std::vector<TrapEntry>& traps) = 0;
+  virtual void remove_traps(const std::vector<TrapEntry>& traps) = 0;
+};
+
+/// Static-rewriter backend: applies the plan to an in-memory ELF model.
+/// The Symtab must outlive the space.
+class SymtabSpace : public AddressSpace {
+ public:
+  explicit SymtabSpace(symtab::Symtab* out) : out_(out) {}
+
+  const char* backend() const override { return "symtab"; }
+  void map_region(const MappedRegion& region) override;
+  void write_code(std::uint64_t addr, const std::uint8_t* data,
+                  std::size_t n) override;
+  std::vector<std::uint8_t> read_code(std::uint64_t addr,
+                                      std::size_t n) const override;
+  void define_symbol(const RegionSymbol& sym) override;
+  void install_traps(const std::vector<TrapEntry>& traps) override;
+  void remove_traps(const std::vector<TrapEntry>& traps) override;
+
+ private:
+  symtab::Symtab* out_;
+};
+
+/// Serialize / parse the .rvdyn.traps section payload (16 bytes per entry,
+/// two little-endian u64s). Shared by SymtabSpace and the dynamic runtime.
+std::vector<std::uint8_t> encode_trap_section(
+    const std::vector<TrapEntry>& traps);
+std::vector<TrapEntry> parse_trap_section(
+    const std::vector<std::uint8_t>& data);
+
+}  // namespace rvdyn::patch

@@ -1,7 +1,7 @@
 #include "patch/editor.hpp"
 
 #include <algorithm>
-#include <cstring>
+#include <set>
 
 #include "common/bits.hpp"
 #include "dataflow/liveness.hpp"
@@ -27,152 +27,6 @@ using parse::Function;
 Operand W(Reg r) { return Instruction::reg_op(r, Operand::kWrite); }
 Operand R(Reg r) { return Instruction::reg_op(r, Operand::kRead); }
 
-// A branch-target reference inside the relocation buffer: either an
-// original block address (relocated label) or an edge stub.
-struct TargetRef {
-  bool is_stub = false;
-  std::uint64_t block = 0;   // original block addr (label key)
-  std::uint64_t target = 0;  // stub: edge target
-};
-
-struct Fix {
-  std::size_t offset;  // byte offset of the 4-byte branch/jal in the buffer
-  Mnemonic mn;
-  Reg rs1, rs2;  // cond branches
-  Reg link;      // jal
-  TargetRef ref;
-  bool is_jal;
-};
-
-// The relocated-code emission buffer.
-class RelocBuffer {
- public:
-  explicit RelocBuffer(std::uint64_t base) : base_(base) {}
-
-  std::uint64_t here() const { return base_ + bytes_.size(); }
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-
-  void put_raw(const Instruction& insn) {
-    const std::uint32_t w = insn.raw();
-    bytes_.push_back(static_cast<std::uint8_t>(w));
-    bytes_.push_back(static_cast<std::uint8_t>(w >> 8));
-    if (insn.length() == 4) {
-      bytes_.push_back(static_cast<std::uint8_t>(w >> 16));
-      bytes_.push_back(static_cast<std::uint8_t>(w >> 24));
-    }
-  }
-
-  void put32(std::uint32_t w) {
-    for (int i = 0; i < 4; ++i)
-      bytes_.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
-  }
-
-  void put_seq(const std::vector<Instruction>& insns) {
-    for (const auto& i : insns) put_raw(i);
-  }
-
-  void bind(std::uint64_t orig_addr) { labels_[orig_addr] = here(); }
-  void bind_stub(std::uint64_t block, std::uint64_t target) {
-    stubs_[{block, target}] = here();
-  }
-
-  void fix_branch(Mnemonic mn, Reg rs1, Reg rs2, TargetRef ref) {
-    fixes_.push_back({bytes_.size(), mn, rs1, rs2, isa::zero, ref, false});
-    put32(0);  // placeholder
-  }
-  void fix_jal(Reg link, TargetRef ref) {
-    fixes_.push_back({bytes_.size(), Mnemonic::jal, isa::zero, isa::zero,
-                      link, ref, true});
-    put32(0);
-  }
-
-  std::uint64_t label_addr(std::uint64_t orig) const {
-    auto it = labels_.find(orig);
-    if (it == labels_.end())
-      throw Error("patch: relocation target has no label");
-    return it->second;
-  }
-  bool has_label(std::uint64_t orig) const { return labels_.count(orig) != 0; }
-
-  void resolve() {
-    for (const Fix& f : fixes_) {
-      std::uint64_t target;
-      if (f.ref.is_stub) {
-        target = stubs_.at({f.ref.block, f.ref.target});
-      } else {
-        target = label_addr(f.ref.block);
-      }
-      const std::int64_t off =
-          static_cast<std::int64_t>(target) -
-          static_cast<std::int64_t>(base_ + f.offset);
-      Instruction insn;
-      if (f.is_jal) {
-        if (!fits_signed(off, 21))
-          throw Error("patch: relocated jal out of range");
-        insn = isa::assemble(Mnemonic::jal,
-                             {W(f.link), Instruction::pcrel_op(off)});
-      } else {
-        if (!fits_signed(off, 13))
-          throw Error("patch: relocated branch out of range");
-        insn = isa::assemble(f.mn,
-                             {R(f.rs1), R(f.rs2), Instruction::pcrel_op(off)});
-      }
-      const std::uint32_t w = insn.raw();
-      for (int i = 0; i < 4; ++i)
-        bytes_[f.offset + static_cast<std::size_t>(i)] =
-            static_cast<std::uint8_t>(w >> (8 * i));
-    }
-    fixes_.clear();
-  }
-
- private:
-  std::uint64_t base_;
-  std::vector<std::uint8_t> bytes_;
-  std::map<std::uint64_t, std::uint64_t> labels_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> stubs_;
-  std::vector<Fix> fixes_;
-};
-
-void append_materialize(RelocBuffer* buf, Reg rd, std::int64_t value) {
-  std::vector<Instruction> seq;
-  isa::materialize_imm(rd, value, &seq);
-  buf->put_seq(seq);
-}
-
-// Emit a call/jump to an absolute address: jal when in range, else
-// auipc+jalr through `scratch` (which may equal the link register).
-void append_transfer(RelocBuffer* buf, std::uint64_t target, Reg link,
-                     Reg scratch) {
-  const std::int64_t delta = static_cast<std::int64_t>(target) -
-                             static_cast<std::int64_t>(buf->here());
-  if (fits_signed(delta, 21)) {
-    buf->put_raw(isa::assemble(Mnemonic::jal,
-                               {W(link), Instruction::pcrel_op(delta)}));
-    return;
-  }
-  std::int64_t hi, lo;
-  if (!isa::split_hi_lo(delta, &hi, &lo))
-    throw Error("patch: transfer target out of ±2GiB range");
-  buf->put_raw(isa::assemble(Mnemonic::auipc,
-                             {W(scratch), Instruction::imm_op(hi)}));
-  buf->put_raw(isa::assemble(
-      Mnemonic::jalr,
-      {W(link), R(scratch), Instruction::imm_op(lo)}));
-}
-
-// Condition inversion for the long-branch form.
-Mnemonic invert_branch(Mnemonic mn) {
-  switch (mn) {
-    case Mnemonic::beq: return Mnemonic::bne;
-    case Mnemonic::bne: return Mnemonic::beq;
-    case Mnemonic::blt: return Mnemonic::bge;
-    case Mnemonic::bge: return Mnemonic::blt;
-    case Mnemonic::bltu: return Mnemonic::bgeu;
-    case Mnemonic::bgeu: return Mnemonic::bltu;
-    default: throw Error("patch: not a conditional branch");
-  }
-}
-
 // Pick an integer caller-saved register from `dead`, or x0 when none.
 Reg pick_dead_scratch(isa::RegSet dead) {
   static constexpr std::uint8_t kOrder[] = {5,  6,  7,  28, 29, 30, 31, 17,
@@ -180,6 +34,12 @@ Reg pick_dead_scratch(isa::RegSet dead) {
   for (std::uint8_t n : kOrder)
     if (dead.contains(isa::x(n))) return isa::x(n);
   return isa::zero;
+}
+
+void append_raw(const Instruction& insn, std::vector<std::uint8_t>* out) {
+  const std::uint32_t w = insn.raw();
+  for (unsigned i = 0; i < insn.length(); ++i)
+    out->push_back(static_cast<std::uint8_t>(w >> (8 * i)));
 }
 
 }  // namespace
@@ -200,6 +60,7 @@ BinaryEditor::BinaryEditor(symtab::Symtab binary, parse::ParseOptions popts)
 codegen::Variable BinaryEditor::alloc_var(const std::string& name,
                                           std::uint8_t size,
                                           std::uint64_t initial) {
+  if (plan_) throw Error("patch: cannot allocate after commit");
   var_data_.resize(align_up(var_data_.size(), size));
   codegen::Variable v;
   v.addr = patch_data_base_ + var_data_.size();
@@ -212,6 +73,7 @@ codegen::Variable BinaryEditor::alloc_var(const std::string& name,
 }
 
 void BinaryEditor::insert(const Point& p, SnippetPtr snippet) {
+  if (plan_) throw Error("patch: cannot insert after commit");
   insertions_[p].push_back(std::move(snippet));
   ++stats_.snippets_inserted;
 }
@@ -225,27 +87,19 @@ void BinaryEditor::insert_at(std::uint64_t func_entry, PointType type,
 
 std::vector<TrapEntry> BinaryEditor::parse_trap_section(
     const std::vector<std::uint8_t>& data) {
-  std::vector<TrapEntry> out;
-  for (std::size_t off = 0; off + 16 <= data.size(); off += 16) {
-    TrapEntry e;
-    std::memcpy(&e.from, data.data() + off, 8);
-    std::memcpy(&e.to, data.data() + off + 8, 8);
-    out.push_back(e);
-  }
-  return out;
+  return patch::parse_trap_section(data);
 }
 
-symtab::Symtab BinaryEditor::commit() {
-  if (committed_) throw Error("patch: commit() already called");
-  committed_ = true;
+void BinaryEditor::build_plan() {
+  if (plan_) return;
   RVDYN_OBS_SPAN("rvdyn.patch.commit");
+  auto plan = std::make_unique<PatchPlan>();
 
   // Group insertions by function.
   std::map<std::uint64_t, std::vector<std::pair<Point, SnippetPtr>>> by_func;
   for (const auto& [p, snippets] : insertions_)
     for (const auto& s : snippets) by_func[p.func].emplace_back(p, s);
 
-  symtab::Symtab out = binary_;
   const isa::ExtensionSet exts = binary_.extensions();
   const bool rvc = exts.has(isa::Extension::C);
   codegen::GenOptions gopts;
@@ -259,7 +113,8 @@ symtab::Symtab BinaryEditor::commit() {
   // the instrumentation to use.
   const dataflow::Summaries summaries(*co_);
 
-  RelocBuffer buf(patch_text_base_);
+  reloc::CodeMover mover(patch_text_base_, rvc, &gen, &summaries);
+
   struct Springboard {
     std::uint64_t at;      // original address to patch
     std::uint64_t budget;  // overwritable bytes
@@ -272,188 +127,32 @@ symtab::Symtab BinaryEditor::commit() {
     const Function* f = co_->function_at(fentry);
     if (!f) throw Error("patch: unknown function in insertion set");
     ++stats_.relocated_functions;
-    dataflow::Liveness live(*f, &summaries);
 
-    // Sort snippets by point for quick lookup during emission.
-    std::map<std::uint64_t, std::vector<SnippetPtr>> at_block_entry;
-    std::map<std::uint64_t, std::vector<SnippetPtr>> before_term;
-    std::map<std::uint64_t, std::vector<SnippetPtr>> before_insn;
-    std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<SnippetPtr>>
-        on_edge;
+    // Sort snippets by anchor kind for the lowering pass.
+    reloc::WeaveSpec spec;
     for (const auto& [p, s] : items) {
       switch (p.type) {
         case PointType::FuncEntry:
-          at_block_entry[f->entry()].push_back(s);
+          spec.at_block_entry[f->entry()].push_back(s);
           break;
         case PointType::BlockEntry:
-          at_block_entry[p.block].push_back(s);
+          spec.at_block_entry[p.block].push_back(s);
           break;
         case PointType::FuncExit:
         case PointType::CallSite:
-          before_term[p.block].push_back(s);
+          spec.before_term[p.block].push_back(s);
           break;
         case PointType::Instruction:
-          before_insn[p.aux].push_back(s);
+          spec.before_insn[p.aux].push_back(s);
           break;
         case PointType::Edge:
         case PointType::LoopEntry:
         case PointType::LoopBackedge:
-          on_edge[{p.block, p.aux}].push_back(s);
+          spec.on_edge[{p.block, p.aux}].push_back(s);
           break;
       }
     }
-
-    // Conditional-branch reach estimate: the relocated function grows by
-    // the generated snippet code; once it could exceed the B-type ±4KiB
-    // range, emit branches in the inverted-branch + jal long form. The
-    // worst-case (no dead registers) generation bounds the real length.
-    std::size_t est_snippet_bytes = 0;
-    for (const auto& [p, s] : items)
-      est_snippet_bytes += gen.generate(*s, isa::RegSet()).size() * 4;
-    const bool far_branches =
-        f->extent_end() - f->entry() + est_snippet_bytes > 3500;
-    auto edge_ref = [&](std::uint64_t block, std::uint64_t target) {
-      TargetRef ref;
-      if (on_edge.count({block, target})) {
-        ref.is_stub = true;
-        ref.block = block;
-        ref.target = target;
-      } else {
-        ref.block = target;
-      }
-      return ref;
-    };
-
-    auto gen_snippets = [&](const std::vector<SnippetPtr>& snippets,
-                            isa::RegSet dead) {
-      for (const auto& s : snippets) {
-        codegen::GenStats gs;
-        buf.put_seq(gen.generate(*s, dead, &gs));
-        stats_.gen.n_insns += gs.n_insns;
-        stats_.gen.scratch_from_dead += gs.scratch_from_dead;
-        stats_.gen.scratch_spilled += gs.scratch_spilled;
-        stats_.snippet_insns += gs.n_insns;
-      }
-    };
-
-    // ---- emit blocks in address order ----
-    const auto& blocks = f->blocks();
-    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
-      const Block* b = it->second.get();
-      auto next_it = std::next(it);
-      const std::uint64_t next_block_addr =
-          next_it != blocks.end() ? next_it->first : 0;
-
-      buf.bind(b->start());
-      if (auto se = at_block_entry.find(b->start());
-          se != at_block_entry.end())
-        gen_snippets(se->second, live.dead_before(b, 0));
-
-      const auto& insns = b->insns();
-      for (std::size_t i = 0; i < insns.size(); ++i) {
-        const parse::ParsedInsn& pi = insns[i];
-        const Instruction& insn = pi.insn;
-        const bool is_term = i + 1 == insns.size();
-
-        if (auto bi = before_insn.find(pi.addr); bi != before_insn.end())
-          gen_snippets(bi->second, live.dead_before(b, i));
-        if (is_term && before_term.count(b->start()))
-          gen_snippets(before_term.at(b->start()),
-                       live.dead_before(b, i));
-
-        if (insn.is_cond_branch()) {
-          const std::uint64_t taken =
-              pi.addr + static_cast<std::uint64_t>(insn.branch_offset());
-          if (far_branches) {
-            // Long form: inverted branch skipping an unlimited-range jal.
-            buf.put_raw(isa::assemble(
-                invert_branch(insn.mnemonic()),
-                {R(insn.operand(0).reg), R(insn.operand(1).reg),
-                 Instruction::pcrel_op(8)}));
-            buf.fix_jal(isa::zero, edge_ref(b->start(), taken));
-          } else {
-            buf.fix_branch(insn.mnemonic(), insn.operand(0).reg,
-                           insn.operand(1).reg, edge_ref(b->start(), taken));
-          }
-          continue;
-        }
-        if (insn.mnemonic() == Mnemonic::auipc) {
-          // Recompute the original absolute value at the new location.
-          const std::int64_t value =
-              static_cast<std::int64_t>(pi.addr) + insn.operand(1).imm;
-          append_materialize(&buf, insn.operand(0).reg, value);
-          continue;
-        }
-        if (insn.is_jal()) {
-          const std::uint64_t target =
-              pi.addr + static_cast<std::uint64_t>(insn.branch_offset());
-          const Reg link = insn.link_reg();
-          // Distinguish edge kinds via the CFG: the parser already did.
-          bool intra = false;
-          for (const parse::Edge& e : b->succs())
-            if ((e.type == EdgeType::Jump || e.type == EdgeType::Taken) &&
-                e.target == target)
-              intra = true;
-          if (link == isa::zero && intra) {
-            buf.fix_jal(isa::zero, edge_ref(b->start(), target));
-          } else {
-            // Call or tail call to an original (possibly springboarded)
-            // entry; t6 is the conventional tail-call scratch.
-            append_transfer(&buf, target, link,
-                            link == isa::zero ? isa::t6 : link);
-          }
-          continue;
-        }
-        if (insn.is_jalr()) {
-          buf.put_raw(insn);  // register-indirect: position independent
-          continue;
-        }
-        buf.put_raw(insn);  // ordinary instruction, verbatim bytes
-      }
-
-      // Fallthrough handling for blocks not ending in an unconditional
-      // transfer: route to the fallthrough successor (with stub if the
-      // edge is instrumented, or a jal if the next block is not adjacent).
-      const Instruction* term =
-          insns.empty() ? nullptr : &insns.back().insn;
-      const bool ends_unconditional =
-          term && (term->is_jal() || term->is_jalr());
-      if (!ends_unconditional) {
-        std::uint64_t ft = 0;
-        bool has_ft = false;
-        for (const parse::Edge& e : b->succs()) {
-          if (e.type == EdgeType::Fallthrough ||
-              e.type == EdgeType::NotTaken) {
-            ft = e.target;
-            has_ft = true;
-          }
-        }
-        if (has_ft) {
-          const TargetRef ref = edge_ref(b->start(), ft);
-          if (ref.is_stub || ft != next_block_addr)
-            buf.fix_jal(isa::zero, ref);
-        }
-      } else if (term->is_jalr() || (term->is_jal() &&
-                                     !(term->link_reg() == isa::zero))) {
-        // Calls continue at the fallthrough point.
-        for (const parse::Edge& e : b->succs()) {
-          if (e.type != EdgeType::CallFallthrough) continue;
-          const TargetRef ref = edge_ref(b->start(), e.target);
-          if (ref.is_stub || e.target != next_block_addr)
-            buf.fix_jal(isa::zero, ref);
-        }
-      }
-    }
-
-    // ---- edge stubs: snippet, then jump to the edge target ----
-    for (const auto& [key, snippets] : on_edge) {
-      buf.bind_stub(key.first, key.second);
-      const Block* tb = f->block_at(key.second);
-      gen_snippets(snippets, tb ? live.dead_before(tb, 0) : isa::RegSet());
-      TargetRef ref;
-      ref.block = key.second;
-      buf.fix_jal(isa::zero, ref);
-    }
+    mover.add_function(f, std::move(spec));
 
     // ---- springboards: function entry + indirect-jump targets ----
     // After relocation the original function body is dead except at the
@@ -461,6 +160,7 @@ symtab::Symtab BinaryEditor::commit() {
     // everything up to the next springboard (or the function's extent end),
     // not just its own basic block. This lets 2-byte entry blocks take a
     // full jal/auipc+jalr instead of degrading to a trap.
+    dataflow::Liveness live(*f, &summaries);
     std::set<std::uint64_t> boarded{f->entry()};
     for (const auto& [a, b] : f->blocks())
       for (const parse::Edge& e : b->succs())
@@ -481,125 +181,87 @@ symtab::Symtab BinaryEditor::commit() {
     }
   }
 
-  buf.resolve();
+  // ---- run the relocation pipeline ----
+  const std::vector<std::uint8_t>& text = mover.run();
+  stats_.reloc = mover.stats();
+  stats_.gen = stats_.reloc.gen;
+  stats_.snippet_insns = stats_.reloc.snippet_insns;
 
-  // ---- write springboards into the original text ----
-  auto write_orig = [&](std::uint64_t addr, const std::uint8_t* data,
-                        std::size_t n) {
-    symtab::Section* sec = out.section_containing(addr);
-    if (!sec || sec->type == symtab::SHT_NOBITS)
-      throw Error("patch: springboard address not in a section");
-    std::uint8_t* at = sec->data.data() + (addr - sec->addr);
-    undo_deltas_.push_back({addr, std::vector<std::uint8_t>(at, at + n)});
-    std::memcpy(at, data, n);
-    deltas_.push_back({addr, std::vector<std::uint8_t>(data, data + n)});
-  };
-
+  // ---- springboard ladder: c.j -> jal -> auipc+jalr -> trap ----
   for (const Springboard& sb : boards) {
-    const std::uint64_t target = buf.label_addr(sb.block);
+    const std::uint64_t target = mover.label_addr(sb.block);
+    plan->relocated_entry[sb.at] = target;
     const std::int64_t delta = static_cast<std::int64_t>(target) -
                                static_cast<std::int64_t>(sb.at);
-    std::vector<std::uint8_t> patch;
+    std::vector<std::uint8_t> bytes;
     if (rvc && sb.budget >= 2 && fits_signed(delta, 12)) {
-      // c.j
-      Instruction j = isa::assemble(
+      const Instruction j = isa::assemble(
           Mnemonic::jal, {W(isa::zero), Instruction::pcrel_op(delta)});
       const auto half = isa::compress(j);
       if (half) {
-        patch = {static_cast<std::uint8_t>(*half & 0xff),
+        bytes = {static_cast<std::uint8_t>(*half & 0xff),
                  static_cast<std::uint8_t>(*half >> 8)};
         ++stats_.entry_cj;
       }
     }
-    if (patch.empty() && sb.budget >= 4 && fits_signed(delta, 21)) {
-      Instruction j = isa::assemble(
-          Mnemonic::jal, {W(isa::zero), Instruction::pcrel_op(delta)});
-      const std::uint32_t w = j.raw();
-      patch = {static_cast<std::uint8_t>(w), static_cast<std::uint8_t>(w >> 8),
-               static_cast<std::uint8_t>(w >> 16),
-               static_cast<std::uint8_t>(w >> 24)};
+    if (bytes.empty() && sb.budget >= 4 && fits_signed(delta, 21)) {
+      append_raw(isa::assemble(Mnemonic::jal,
+                               {W(isa::zero), Instruction::pcrel_op(delta)}),
+                 &bytes);
       ++stats_.entry_jal;
     }
-    if (patch.empty() && sb.budget >= 8) {
+    if (bytes.empty() && sb.budget >= 8) {
       const Reg scratch = pick_dead_scratch(sb.dead);
-      if (!(scratch == isa::zero)) {
-        std::int64_t hi, lo;
-        if (isa::split_hi_lo(delta, &hi, &lo)) {
-          Instruction a = isa::assemble(
-              Mnemonic::auipc, {W(scratch), Instruction::imm_op(hi)});
-          Instruction j = isa::assemble(
-              Mnemonic::jalr,
-              {W(isa::zero), R(scratch), Instruction::imm_op(lo)});
-          for (const Instruction* insn : {&a, &j}) {
-            const std::uint32_t w = insn->raw();
-            for (int k = 0; k < 4; ++k)
-              patch.push_back(static_cast<std::uint8_t>(w >> (8 * k)));
-          }
-          ++stats_.entry_auipc_jalr;
-        }
+      std::int64_t hi, lo;
+      if (!(scratch == isa::zero) && isa::split_hi_lo(delta, &hi, &lo)) {
+        append_raw(isa::assemble(Mnemonic::auipc,
+                                 {W(scratch), Instruction::imm_op(hi)}),
+                   &bytes);
+        append_raw(isa::assemble(Mnemonic::jalr, {W(isa::zero), R(scratch),
+                                                  Instruction::imm_op(lo)}),
+                   &bytes);
+        ++stats_.entry_auipc_jalr;
       }
     }
-    if (patch.empty()) {
+    if (bytes.empty()) {
       // Worst case (paper §3.1.2): a trap instruction plus a trap-table
       // entry the runtime uses to redirect control.
       if (rvc && sb.budget >= 2) {
-        patch = {0x02, 0x90};  // c.ebreak
+        bytes = {0x02, 0x90};  // c.ebreak
       } else if (sb.budget >= 4) {
-        patch = {0x73, 0x00, 0x10, 0x00};  // ebreak
+        bytes = {0x73, 0x00, 0x10, 0x00};  // ebreak
       } else {
         throw Error("patch: function too small for any springboard");
       }
-      traps_.push_back({sb.at, target});
+      plan->traps.push_back({sb.at, target});
       ++stats_.entry_trap;
     }
-    write_orig(sb.at, patch.data(), patch.size());
+
+    PatchPlan::SpringboardWrite write;
+    write.addr = sb.at;
+    const symtab::Section* sec = binary_.section_containing(sb.at);
+    if (!sec || sec->type == symtab::SHT_NOBITS)
+      throw Error("patch: springboard address not in a section");
+    const std::uint8_t* at = sec->data.data() + (sb.at - sec->addr);
+    write.original.assign(at, at + bytes.size());
+    write.bytes = std::move(bytes);
+    plan->springboards.push_back(std::move(write));
   }
 
-  // ---- emit the patch sections ----
-  if (!buf.bytes().empty()) {
-    symtab::Section text;
-    text.name = ".rvdyn.text";
-    text.type = symtab::SHT_PROGBITS;
-    text.flags = symtab::SHF_ALLOC | symtab::SHF_EXECINSTR;
-    text.addr = patch_text_base_;
-    text.addralign = 4;
-    text.data = buf.bytes();
-    out.add_section(std::move(text));
-    deltas_.push_back({patch_text_base_, buf.bytes()});
-  }
-  if (!var_data_.empty()) {
-    symtab::Section data;
-    data.name = ".rvdyn.data";
-    data.type = symtab::SHT_PROGBITS;
-    data.flags = symtab::SHF_ALLOC | symtab::SHF_WRITE;
-    data.addr = patch_data_base_;
-    data.addralign = 8;
-    data.data = var_data_;
-    out.add_section(std::move(data));
-    deltas_.push_back({patch_data_base_, var_data_});
-    for (const auto& [name, v] : vars_) {
-      symtab::Symbol sym;
-      sym.name = "rvdyn$" + name;
-      sym.value = v.addr;
-      sym.size = v.size;
-      sym.bind = symtab::STB_GLOBAL;
-      sym.type = symtab::STT_OBJECT;
-      out.add_symbol(sym);
-    }
-  }
-  if (!traps_.empty()) {
-    symtab::Section t;
-    t.name = ".rvdyn.traps";
-    t.type = symtab::SHT_PROGBITS;
-    t.flags = 0;  // metadata, not loaded
-    for (const TrapEntry& e : traps_) {
-      for (unsigned i = 0; i < 8; ++i)
-        t.data.push_back(static_cast<std::uint8_t>(e.from >> (8 * i)));
-      for (unsigned i = 0; i < 8; ++i)
-        t.data.push_back(static_cast<std::uint8_t>(e.to >> (8 * i)));
-    }
-    out.add_section(std::move(t));
-  }
+  // ---- patch regions ----
+  plan->text.name = ".rvdyn.text";
+  plan->text.addr = patch_text_base_;
+  plan->text.bytes = text;
+  plan->text.executable = true;
+  plan->data.name = ".rvdyn.data";
+  plan->data.addr = patch_data_base_;
+  plan->data.bytes = var_data_;
+  plan->data.writable = true;
+  for (const auto& [name, v] : vars_)
+    plan->symbols.push_back({name, v.addr, v.size});
+
+  traps_ = plan->traps;
+  plan_ = std::move(plan);
 
 #if RVDYN_OBS_ENABLED
   RVDYN_OBS_COUNT_N("rvdyn.patch.snippets_inserted", stats_.snippets_inserted);
@@ -613,12 +275,57 @@ symtab::Symtab BinaryEditor::commit() {
   RVDYN_OBS_COUNT_N("rvdyn.patch.scratch_from_dead",
                     stats_.gen.scratch_from_dead);
   RVDYN_OBS_COUNT_N("rvdyn.patch.scratch_spilled", stats_.gen.scratch_spilled);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.relax_iterations",
+                    stats_.reloc.relax_iterations);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.rvc_recompressed",
+                    stats_.reloc.rvc_recompressed);
+  RVDYN_OBS_COUNT_N("rvdyn.patch.branch_long", stats_.reloc.branch_long);
   if (stats_.snippets_inserted)
     RVDYN_OBS_HIST("rvdyn.patch.snippet_size",
                    stats_.snippet_insns / stats_.snippets_inserted);
-  RVDYN_OBS_GAUGE("rvdyn.patch.text_bytes", buf.bytes().size());
-  RVDYN_OBS_GAUGE("rvdyn.patch.data_bytes", var_data_.size());
+  RVDYN_OBS_GAUGE("rvdyn.patch.text_bytes", plan_->text.bytes.size());
+  RVDYN_OBS_GAUGE("rvdyn.patch.data_bytes", plan_->data.bytes.size());
+  RVDYN_OBS_GAUGE("rvdyn.patch.text_bytes_before_rvc",
+                  stats_.reloc.bytes_before_rvc);
 #endif
+}
+
+Status BinaryEditor::commit_to(AddressSpace& space) {
+  build_plan();
+  RVDYN_OBS_SPAN("rvdyn.patch.apply");
+  RVDYN_OBS_COUNT("rvdyn.patch.commits");
+  if (!plan_->text.bytes.empty()) space.map_region(plan_->text);
+  if (!plan_->data.bytes.empty()) {
+    space.map_region(plan_->data);
+    for (const RegionSymbol& s : plan_->symbols) space.define_symbol(s);
+  }
+  for (const PatchPlan::SpringboardWrite& sb : plan_->springboards)
+    space.write_code(sb.addr, sb.bytes.data(), sb.bytes.size());
+  if (!plan_->traps.empty()) space.install_traps(plan_->traps);
+  return Status::ok();
+}
+
+Status BinaryEditor::revert_from(AddressSpace& space) {
+  if (!plan_)
+    return Status::error("patch: revert_from() before any commit");
+  RVDYN_OBS_SPAN("rvdyn.patch.revert");
+  RVDYN_OBS_COUNT("rvdyn.patch.reverts");
+  for (const PatchPlan::SpringboardWrite& sb : plan_->springboards)
+    space.write_code(sb.addr, sb.original.data(), sb.original.size());
+  if (!plan_->traps.empty()) space.remove_traps(plan_->traps);
+  return Status::ok();
+}
+
+symtab::Symtab BinaryEditor::commit() {
+  if (static_committed_)
+    Status::error(
+        "patch: commit() already called — the static commit is one-shot; "
+        "use commit_to() to apply the plan to further address spaces")
+        .throw_if_error();
+  static_committed_ = true;
+  symtab::Symtab out = binary_;
+  SymtabSpace space(&out);
+  commit_to(space).throw_if_error();
   return out;
 }
 

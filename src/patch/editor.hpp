@@ -1,14 +1,19 @@
 // PatchAPI: snippet insertion and binary rewriting (paper §2.2, §3.3).
 //
-// BinaryEditor implements Dyninst's code-patching model: instrumented
-// functions are regenerated whole — snippets inlined at their points, pc-
-// relative material re-targeted — into a patch area (`.rvdyn.text`), and
-// each original entry is overwritten with the cheapest in-range jump to
-// the relocated version (paper §3.1.2's displacement ladder:
-// c.j -> jal -> auipc+jalr -> trap). Instrumentation variables live in a
-// fresh `.rvdyn.data` section. commit() yields a new, runnable ELF model:
-// static rewriting. ProcControlAPI reuses the same machinery for dynamic
-// instrumentation by applying the deltas to a live process instead.
+// BinaryEditor drives the pass-based relocation engine (patch/reloc/):
+// instrumented functions are lowered to the widget IR, snippets are woven
+// in, relocated code is RVC re-compressed and branch-relaxed to a fixed
+// point, and the laid-out bytes land in a patch area (`.rvdyn.text`). Each
+// original entry is overwritten with the cheapest in-range jump to the
+// relocated version (paper §3.1.2's displacement ladder:
+// c.j -> jal -> auipc+jalr -> trap).
+//
+// Commit semantics: the engine builds one immutable PatchPlan per editor
+// session, then applies it through the AddressSpace interface —
+// SymtabSpace for static rewriting, proccontrol::ProcessSpace for a live
+// process. commit_to()/revert_from() may target any number of spaces (the
+// plan is built once and reused); the symtab-returning commit() is a
+// one-shot convenience whose second call fails with a Status error.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +24,9 @@
 
 #include "codegen/codegen.hpp"
 #include "parse/cfg.hpp"
+#include "patch/address_space.hpp"
 #include "patch/point.hpp"
+#include "patch/reloc/mover.hpp"
 #include "symtab/symtab.hpp"
 
 namespace rvdyn::patch {
@@ -35,13 +42,27 @@ struct RewriteStats {
   unsigned entry_auipc_jalr = 0;  ///< 8-byte auipc+jalr
   unsigned entry_trap = 0;        ///< 2/4-byte trap + trap-table entry
   codegen::GenStats gen;          ///< aggregated code-generation stats
+  reloc::RelocStats reloc;        ///< pass-pipeline accounting
 };
 
-/// One entry of the .rvdyn.traps section (trap-springboard table): when
-/// the process stops on the trap at `from`, the runtime redirects to `to`.
-struct TrapEntry {
-  std::uint64_t from = 0;
-  std::uint64_t to = 0;
+/// The complete, immutable product of one relocation session: everything a
+/// backend needs to install (or remove) the instrumentation.
+struct PatchPlan {
+  MappedRegion text;  ///< .rvdyn.text (absent when bytes are empty)
+  MappedRegion data;  ///< .rvdyn.data
+  std::vector<RegionSymbol> symbols;
+
+  struct SpringboardWrite {
+    std::uint64_t addr = 0;
+    std::vector<std::uint8_t> bytes;     ///< the springboard encoding
+    std::vector<std::uint8_t> original;  ///< pre-patch bytes, for removal
+  };
+  std::vector<SpringboardWrite> springboards;
+  std::vector<TrapEntry> traps;
+
+  /// Where each springboarded original address lands in the patch area
+  /// (debuggers use this to map original to relocated pcs).
+  std::map<std::uint64_t, std::uint64_t> relocated_entry;
 };
 
 class BinaryEditor {
@@ -59,7 +80,8 @@ class BinaryEditor {
                               std::uint64_t initial = 0);
 
   /// Queue the paper's basic operation: insert snippet AST at point P.
-  /// Multiple snippets at one point run in insertion order.
+  /// Multiple snippets at one point run in insertion order. Throws once a
+  /// plan has been built (the session's insertion set is frozen).
   void insert(const Point& p, codegen::SnippetPtr snippet);
 
   /// Convenience: insert at every point of `type` in function `func_entry`.
@@ -78,31 +100,36 @@ class BinaryEditor {
     patch_data_base_ = data_base;
   }
 
-  /// Perform the rewrite and return the new binary model. Idempotent
-  /// inputs: can be called once per editor.
+  /// Apply the session's PatchPlan to `space` (built on first use). May
+  /// target any number of address spaces — e.g. a static rewrite and a
+  /// live process receive the identical plan. Returns a Status for
+  /// contract errors; internal relocation failures still throw Error.
+  Status commit_to(AddressSpace& space);
+
+  /// Remove the instrumentation from `space`: restores every springboard's
+  /// original bytes and uninstalls the trap redirects (the patch area
+  /// itself stays mapped but becomes unreachable). Errors when no plan has
+  /// been committed yet.
+  Status revert_from(AddressSpace& space);
+
+  /// One-shot static-rewrite convenience: returns a new binary model with
+  /// the plan applied. A second call is a contract violation and throws
+  /// the Status error (use commit_to() for multi-target sessions).
   symtab::Symtab commit();
 
   const RewriteStats& stats() const { return stats_; }
   const std::vector<TrapEntry>& trap_table() const { return traps_; }
 
-  /// Patch-area contents from the last commit(), exposed so
-  /// ProcControlAPI can apply the identical rewrite to a live process.
-  struct Delta {
-    std::uint64_t addr;
-    std::vector<std::uint8_t> bytes;
-  };
-  const std::vector<Delta>& deltas() const { return deltas_; }
-
-  /// The original bytes each springboard overwrote — the inverse patch.
-  /// ProcControlAPI uses these to *remove* instrumentation from a live
-  /// process (the dual of apply_patch).
-  const std::vector<Delta>& undo_deltas() const { return undo_deltas_; }
+  /// The session's plan, or nullptr before the first commit.
+  const PatchPlan* plan() const { return plan_.get(); }
 
   /// Parse a .rvdyn.traps section payload (used by the dynamic runtime).
   static std::vector<TrapEntry> parse_trap_section(
       const std::vector<std::uint8_t>& data);
 
  private:
+  void build_plan();
+
   symtab::Symtab binary_;
   std::unique_ptr<parse::CodeObject> co_;
   std::map<Point, std::vector<codegen::SnippetPtr>> insertions_;
@@ -113,9 +140,8 @@ class BinaryEditor {
   std::uint64_t patch_data_base_ = 0x200000;
   RewriteStats stats_;
   std::vector<TrapEntry> traps_;
-  std::vector<Delta> deltas_;
-  std::vector<Delta> undo_deltas_;
-  bool committed_ = false;
+  std::unique_ptr<PatchPlan> plan_;
+  bool static_committed_ = false;
 };
 
 }  // namespace rvdyn::patch

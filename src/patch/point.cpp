@@ -57,9 +57,12 @@ std::vector<Point> find_points(const parse::Function& f, PointType type) {
       add(type, f.entry());
       break;
     case PointType::FuncExit:
+      // A function is left through returns AND tail calls — a tail-called
+      // callee returns to this function's caller, so control never comes
+      // back. Both must count as exits or exit instrumentation undercounts.
       for (const auto& [a, b] : f.blocks())
         for (const parse::Edge& e : b->succs())
-          if (e.type == EdgeType::Return) {
+          if (e.type == EdgeType::Return || e.type == EdgeType::TailCall) {
             add(type, b->start());
             break;
           }

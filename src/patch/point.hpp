@@ -15,7 +15,7 @@ namespace rvdyn::patch {
 
 enum class PointType {
   FuncEntry,     ///< before the function's first instruction
-  FuncExit,      ///< before each return instruction
+  FuncExit,      ///< before each return or tail-call instruction
   BlockEntry,    ///< before a basic block's first instruction
   CallSite,      ///< before a call instruction
   Edge,          ///< on a specific CFG edge (via an edge trampoline)

@@ -1,0 +1,158 @@
+// CodeMover: the pass-based relocation engine (Dyninst's relocation
+// architecture, paper §3.1).
+//
+// Each instrumented function is lowered into the widget IR, then an
+// explicit pass list transforms the module:
+//   lower   CFG blocks -> widgets (labels bound, control flow symbolic)
+//   weave   generate snippet code into the SnippetWidget placeholders,
+//           scratch registers chosen from DataflowAPI's point-granularity
+//           dead sets
+//   rvc     re-compress relocated 4-byte encodings to their C forms
+//           (profile-gated; relocation otherwise inflates RVC code)
+//   relax   iterative branch-reach relaxation to a fixed point: every
+//           control transfer starts in its smallest form and grows only
+//           when the laid-out displacement demands it — replacing the old
+//           one-shot pessimistic size estimate
+//   emit    serialize widgets at their final layout
+// Passes observe/update MoverModule; new transformer passes (peephole,
+// point batching) slot into the list without touching emission.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+#include "parse/cfg.hpp"
+#include "patch/reloc/widget.hpp"
+
+namespace rvdyn::dataflow {
+class Summaries;
+}
+
+namespace rvdyn::patch::reloc {
+
+/// The snippets to weave into one function, keyed by anchor kind exactly
+/// as the lowering walks the CFG.
+struct WeaveSpec {
+  std::map<std::uint64_t, std::vector<codegen::SnippetPtr>> at_block_entry;
+  /// Before the block's terminator instruction (FuncExit / CallSite).
+  std::map<std::uint64_t, std::vector<codegen::SnippetPtr>> before_term;
+  /// Before one specific instruction address.
+  std::map<std::uint64_t, std::vector<codegen::SnippetPtr>> before_insn;
+  /// On a CFG edge (source block start, target) via an edge trampoline.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<codegen::SnippetPtr>>
+      on_edge;
+
+  bool has_edge(std::uint64_t block, std::uint64_t target) const {
+    return on_edge.count({block, target}) != 0;
+  }
+};
+
+/// One pending weave: which SnippetWidget to fill and where the
+/// instrumentation point lives for the liveness query.
+struct WeaveItem {
+  std::size_t widget_index = 0;
+  std::vector<codegen::SnippetPtr> snippets;
+  const parse::Block* live_block = nullptr;  ///< nullptr: no liveness info
+  std::size_t live_index = 0;
+  std::uint64_t anchor_addr = 0;  ///< nonzero: point-granularity dead_at()
+};
+
+/// One function lowered into widget form.
+struct FunctionImage {
+  const parse::Function* func = nullptr;
+  WeaveSpec spec;
+  std::vector<WidgetPtr> widgets;
+  /// A label binds immediately before the widget at its index (an index of
+  /// widgets.size() binds past the last widget).
+  std::map<LabelKey, std::size_t> label_at;
+  std::vector<std::uint64_t> widget_addr;  ///< layout result, by index
+  std::vector<WeaveItem> weave_items;
+};
+
+/// Relocation accounting, aggregated across the module by the passes.
+struct RelocStats {
+  unsigned relax_iterations = 0;
+  unsigned branch_c2 = 0;    ///< cond branches emitted as c.beqz/c.bnez
+  unsigned branch_near = 0;  ///< 4-byte B-type
+  unsigned branch_long = 0;  ///< widened: inverted branch over jal
+  unsigned jump_c2 = 0;      ///< c.j
+  unsigned jump_near = 0;    ///< jal
+  unsigned transfer_jal = 0;
+  unsigned transfer_auipc_jalr = 0;
+  unsigned rvc_recompressed = 0;  ///< relocated insns shrunk to C forms
+  std::uint64_t bytes_before_rvc = 0;
+  std::uint64_t bytes_after_rvc = 0;
+  unsigned snippet_insns = 0;
+  codegen::GenStats gen;
+};
+
+/// Shared pass state: the functions under relocation plus module-level
+/// configuration and outputs.
+struct MoverModule {
+  std::uint64_t base = 0;  ///< patch-area text base address
+  bool rvc = false;        ///< mutatee profile has the C extension
+  codegen::CodeGenerator* gen = nullptr;
+  const dataflow::Summaries* summaries = nullptr;
+  std::vector<FunctionImage> funcs;
+  Layout layout;
+  std::vector<std::uint8_t> text;  ///< emission output
+  RelocStats stats;
+};
+
+/// One transformer in the pipeline.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  virtual void run(MoverModule& m) = 0;
+};
+
+std::unique_ptr<Pass> make_lower_pass();
+std::unique_ptr<Pass> make_weave_pass();
+std::unique_ptr<Pass> make_rvc_pass();
+std::unique_ptr<Pass> make_relax_pass();
+std::unique_ptr<Pass> make_emit_pass();
+
+/// Recompute every widget and label address sequentially from m.base.
+/// Relaxation re-runs this after each growth round; the final call leaves
+/// the layout emission reads.
+void run_layout(MoverModule& m);
+
+class CodeMover {
+ public:
+  CodeMover(std::uint64_t base, bool rvc, codegen::CodeGenerator* gen,
+            const dataflow::Summaries* summaries);
+
+  /// Queue `f` for relocation with `spec` woven in.
+  void add_function(const parse::Function* f, WeaveSpec spec);
+
+  /// Insert an extra transformer between weaving and re-compression
+  /// (peephole-style passes; emission never needs to know).
+  void add_pass(std::unique_ptr<Pass> p);
+
+  /// Run the pipeline; returns the relocated text. Each pass gets an obs
+  /// trace span and a rvdyn.patch.pass.<name>.ns gauge.
+  const std::vector<std::uint8_t>& run();
+
+  const RelocStats& stats() const { return module_.stats; }
+  const MoverModule& module() const { return module_; }
+
+  /// Relocated address of an original block (valid after run()).
+  std::uint64_t label_addr(std::uint64_t block) const {
+    return module_.layout.addr_of(LabelKey::at(block));
+  }
+  bool has_label(std::uint64_t block) const {
+    return module_.layout.label_addr.count(LabelKey::at(block)) != 0;
+  }
+
+ private:
+  MoverModule module_;
+  std::vector<std::unique_ptr<Pass>> extra_passes_;
+};
+
+}  // namespace rvdyn::patch::reloc

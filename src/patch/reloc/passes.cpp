@@ -1,0 +1,313 @@
+// The relocation pass implementations. Each pass is a small, independently
+// testable transformation over MoverModule; CodeMover strings them into the
+// pipeline (lower -> weave -> rvc -> relax -> emit).
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "dataflow/liveness.hpp"
+#include "patch/reloc/mover.hpp"
+
+namespace rvdyn::patch::reloc {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Reg;
+using parse::Block;
+using parse::EdgeType;
+using parse::Function;
+
+// ---- lower: CFG blocks -> widgets ----------------------------------------
+//
+// Reproduces the relocation semantics of the previous single-pass emitter:
+// labels bind before block-entry snippets; point snippets precede the
+// anchor instruction; auipc re-materializes the original absolute value;
+// intraprocedural jal x0 becomes a label jump; calls and tail calls
+// transfer to the ORIGINAL absolute target (which may itself be
+// springboarded); jalr is position independent and stays verbatim;
+// fallthrough jumps are dropped when the successor block is laid out
+// immediately after and the edge is not instrumented.
+class LowerPass : public Pass {
+ public:
+  const char* name() const override { return "lower"; }
+
+  void run(MoverModule& m) override {
+    for (FunctionImage& fi : m.funcs) lower_function(m, fi);
+  }
+
+ private:
+  static LabelKey edge_key(const FunctionImage& fi, std::uint64_t block,
+                           std::uint64_t target) {
+    return fi.spec.has_edge(block, target) ? LabelKey::stub(block, target)
+                                           : LabelKey::at(target);
+  }
+
+  static void add_anchor(FunctionImage& fi,
+                         const std::vector<codegen::SnippetPtr>& snippets,
+                         const Block* live_block, std::size_t live_index,
+                         std::uint64_t anchor_addr) {
+    WeaveItem item;
+    item.widget_index = fi.widgets.size();
+    item.snippets = snippets;
+    item.live_block = live_block;
+    item.live_index = live_index;
+    item.anchor_addr = anchor_addr;
+    fi.weave_items.push_back(std::move(item));
+    fi.widgets.push_back(std::make_unique<SnippetWidget>());
+  }
+
+  void lower_function(MoverModule& m, FunctionImage& fi) {
+    const Function* f = fi.func;
+    const auto& blocks = f->blocks();
+    for (auto it = blocks.begin(); it != blocks.end(); ++it) {
+      const Block* b = it->second.get();
+      auto next_it = std::next(it);
+      const std::uint64_t next_block_addr =
+          next_it != blocks.end() ? next_it->first : 0;
+
+      fi.label_at[LabelKey::at(b->start())] = fi.widgets.size();
+      if (auto se = fi.spec.at_block_entry.find(b->start());
+          se != fi.spec.at_block_entry.end())
+        add_anchor(fi, se->second, b, 0, 0);
+
+      const auto& insns = b->insns();
+      for (std::size_t i = 0; i < insns.size(); ++i) {
+        const parse::ParsedInsn& pi = insns[i];
+        const Instruction& insn = pi.insn;
+        const bool is_term = i + 1 == insns.size();
+
+        if (auto bi = fi.spec.before_insn.find(pi.addr);
+            bi != fi.spec.before_insn.end())
+          add_anchor(fi, bi->second, b, i, pi.addr);
+        if (is_term && fi.spec.before_term.count(b->start()))
+          add_anchor(fi, fi.spec.before_term.at(b->start()), b, i, 0);
+
+        WidgetPtr w;
+        if (insn.is_cond_branch()) {
+          const std::uint64_t taken =
+              pi.addr + static_cast<std::uint64_t>(insn.branch_offset());
+          w = CFWidget::cond_branch(insn.mnemonic(), insn.operand(0).reg,
+                                    insn.operand(1).reg,
+                                    edge_key(fi, b->start(), taken), m.rvc);
+        } else if (insn.mnemonic() == Mnemonic::auipc) {
+          const std::int64_t value =
+              static_cast<std::int64_t>(pi.addr) + insn.operand(1).imm;
+          w = std::make_unique<PCRelWidget>(insn.operand(0).reg, value);
+        } else if (insn.is_jal()) {
+          const std::uint64_t target =
+              pi.addr + static_cast<std::uint64_t>(insn.branch_offset());
+          const Reg link = insn.link_reg();
+          bool intra = false;
+          for (const parse::Edge& e : b->succs())
+            if ((e.type == EdgeType::Jump || e.type == EdgeType::Taken) &&
+                e.target == target)
+              intra = true;
+          if (link == isa::zero && intra) {
+            w = CFWidget::jump(edge_key(fi, b->start(), target), m.rvc);
+          } else {
+            w = CFWidget::transfer(target, link,
+                                   link == isa::zero ? isa::t6 : link);
+          }
+        } else {
+          // jalr and ordinary instructions are position independent.
+          w = std::make_unique<InsnWidget>(insn);
+        }
+        w->orig_addr = pi.addr;
+        fi.widgets.push_back(std::move(w));
+      }
+
+      // Fallthrough routing for blocks that do not end in an unconditional
+      // transfer, and post-call resume points.
+      const Instruction* term = insns.empty() ? nullptr : &insns.back().insn;
+      const bool ends_unconditional =
+          term && (term->is_jal() || term->is_jalr());
+      if (!ends_unconditional) {
+        for (const parse::Edge& e : b->succs()) {
+          if (e.type != EdgeType::Fallthrough && e.type != EdgeType::NotTaken)
+            continue;
+          const LabelKey key = edge_key(fi, b->start(), e.target);
+          if (key.is_stub || e.target != next_block_addr)
+            fi.widgets.push_back(CFWidget::jump(key, m.rvc));
+        }
+      } else if (term->is_jalr() ||
+                 (term->is_jal() && !(term->link_reg() == isa::zero))) {
+        for (const parse::Edge& e : b->succs()) {
+          if (e.type != EdgeType::CallFallthrough) continue;
+          const LabelKey key = edge_key(fi, b->start(), e.target);
+          if (key.is_stub || e.target != next_block_addr)
+            fi.widgets.push_back(CFWidget::jump(key, m.rvc));
+        }
+      }
+    }
+
+    // Edge trampolines: snippet, then jump back to the edge target.
+    for (const auto& [key, snippets] : fi.spec.on_edge) {
+      fi.label_at[LabelKey::stub(key.first, key.second)] = fi.widgets.size();
+      const Block* tb = f->block_at(key.second);
+      add_anchor(fi, snippets, tb, 0, 0);
+      fi.widgets.push_back(CFWidget::jump(LabelKey::at(key.second), m.rvc));
+    }
+  }
+};
+
+// ---- weave: generate snippet code into the anchors -----------------------
+class WeavePass : public Pass {
+ public:
+  const char* name() const override { return "weave"; }
+
+  void run(MoverModule& m) override {
+    for (FunctionImage& fi : m.funcs) {
+      if (fi.weave_items.empty()) continue;
+      const dataflow::Liveness live(*fi.func, m.summaries);
+      for (const WeaveItem& item : fi.weave_items) {
+        isa::RegSet dead;
+        if (item.anchor_addr) {
+          dead = live.dead_at(item.anchor_addr);
+        } else if (item.live_block) {
+          dead = live.dead_before(item.live_block, item.live_index);
+        }
+        std::vector<isa::Instruction> code;
+        for (const codegen::SnippetPtr& s : item.snippets) {
+          codegen::GenStats gs;
+          auto seq = m.gen->generate(*s, dead, &gs);
+          code.insert(code.end(), seq.begin(), seq.end());
+          m.stats.gen.n_insns += gs.n_insns;
+          m.stats.gen.scratch_from_dead += gs.scratch_from_dead;
+          m.stats.gen.scratch_spilled += gs.scratch_spilled;
+          m.stats.snippet_insns += gs.n_insns;
+        }
+        auto* sw =
+            static_cast<SnippetWidget*>(fi.widgets[item.widget_index].get());
+        sw->set_code(std::move(code));
+      }
+    }
+  }
+};
+
+// ---- rvc: re-compress relocated encodings --------------------------------
+//
+// Relocation and the 4-byte-only code generator inflate originally
+// compressed code; this pass shrinks every eligible encoding back to its C
+// form before relaxation, so branch displacements are measured against the
+// tightest layout.
+class RvcPass : public Pass {
+ public:
+  const char* name() const override { return "rvc"; }
+
+  void run(MoverModule& m) override {
+    std::uint64_t before = 0, after = 0;
+    for (FunctionImage& fi : m.funcs)
+      for (const WidgetPtr& w : fi.widgets) before += w->size();
+    if (m.rvc) {
+      for (FunctionImage& fi : m.funcs)
+        for (const WidgetPtr& w : fi.widgets)
+          m.stats.rvc_recompressed += w->compress_all();
+    }
+    for (FunctionImage& fi : m.funcs)
+      for (const WidgetPtr& w : fi.widgets) after += w->size();
+    m.stats.bytes_before_rvc = before;
+    m.stats.bytes_after_rvc = after;
+  }
+};
+
+// ---- relax: branch-reach fixed point -------------------------------------
+//
+// Lay the module out, grow any control transfer whose displacement exceeds
+// its current form, and repeat until no form changes. Forms only grow, so
+// the iteration terminates (worst case: every CFWidget reaches Long).
+class RelaxPass : public Pass {
+ public:
+  const char* name() const override { return "relax"; }
+
+  void run(MoverModule& m) override {
+    run_layout(m);
+    bool changed;
+    do {
+      changed = false;
+      for (FunctionImage& fi : m.funcs) {
+        for (std::size_t i = 0; i < fi.widgets.size(); ++i) {
+          CFWidget* cf = fi.widgets[i]->as_cf();
+          if (!cf || cf->elided()) continue;
+          const std::int64_t off =
+              cf->displacement(fi.widget_addr[i], m.layout);
+          if (cf->relax(off)) changed = true;
+        }
+      }
+      ++m.stats.relax_iterations;
+      if (changed) run_layout(m);
+    } while (changed);
+  }
+};
+
+// ---- emit: serialize at the final layout ---------------------------------
+class EmitPass : public Pass {
+ public:
+  const char* name() const override { return "emit"; }
+
+  void run(MoverModule& m) override {
+    m.text.clear();
+    for (FunctionImage& fi : m.funcs) {
+      for (std::size_t i = 0; i < fi.widgets.size(); ++i) {
+        const std::size_t at = m.text.size();
+        fi.widgets[i]->emit(fi.widget_addr[i], m.layout, &m.text);
+        if (m.text.size() - at != fi.widgets[i]->size())
+          throw Error("patch: widget emitted size disagrees with layout");
+        tally(m.stats, fi.widgets[i]->as_cf());
+      }
+    }
+  }
+
+ private:
+  static void tally(RelocStats& s, const CFWidget* cf) {
+    if (!cf || cf->elided()) return;
+    switch (cf->cf_kind()) {
+      case CFWidget::Kind::CondBranch:
+        if (cf->form() == CFWidget::Form::C2)
+          ++s.branch_c2;
+        else if (cf->form() == CFWidget::Form::Near)
+          ++s.branch_near;
+        else
+          ++s.branch_long;
+        break;
+      case CFWidget::Kind::Jump:
+        if (cf->form() == CFWidget::Form::C2)
+          ++s.jump_c2;
+        else
+          ++s.jump_near;
+        break;
+      case CFWidget::Kind::Transfer:
+        if (cf->form() == CFWidget::Form::Near)
+          ++s.transfer_jal;
+        else
+          ++s.transfer_auipc_jalr;
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+void run_layout(MoverModule& m) {
+  std::uint64_t cursor = m.base;
+  m.layout.label_addr.clear();
+  for (FunctionImage& fi : m.funcs) {
+    fi.widget_addr.resize(fi.widgets.size());
+    for (std::size_t i = 0; i < fi.widgets.size(); ++i) {
+      fi.widget_addr[i] = cursor;
+      cursor += fi.widgets[i]->size();
+    }
+    const std::uint64_t func_end = cursor;
+    for (const auto& [key, idx] : fi.label_at)
+      m.layout.label_addr[key] =
+          idx < fi.widget_addr.size() ? fi.widget_addr[idx] : func_end;
+  }
+}
+
+std::unique_ptr<Pass> make_lower_pass() { return std::make_unique<LowerPass>(); }
+std::unique_ptr<Pass> make_weave_pass() { return std::make_unique<WeavePass>(); }
+std::unique_ptr<Pass> make_rvc_pass() { return std::make_unique<RvcPass>(); }
+std::unique_ptr<Pass> make_relax_pass() { return std::make_unique<RelaxPass>(); }
+std::unique_ptr<Pass> make_emit_pass() { return std::make_unique<EmitPass>(); }
+
+}  // namespace rvdyn::patch::reloc

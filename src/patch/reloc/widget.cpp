@@ -1,0 +1,211 @@
+#include "patch/reloc/widget.hpp"
+
+#include "common/bits.hpp"
+#include "isa/imm_builder.hpp"
+
+namespace rvdyn::patch::reloc {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Operand;
+using isa::Reg;
+
+Operand W(Reg r) { return Instruction::reg_op(r, Operand::kWrite); }
+Operand R(Reg r) { return Instruction::reg_op(r, Operand::kRead); }
+
+// Condition inversion for the long-branch form.
+Mnemonic invert_branch(Mnemonic mn) {
+  switch (mn) {
+    case Mnemonic::beq: return Mnemonic::bne;
+    case Mnemonic::bne: return Mnemonic::beq;
+    case Mnemonic::blt: return Mnemonic::bge;
+    case Mnemonic::bge: return Mnemonic::blt;
+    case Mnemonic::bltu: return Mnemonic::bgeu;
+    case Mnemonic::bgeu: return Mnemonic::bltu;
+    default: throw Error("patch: not a conditional branch");
+  }
+}
+
+}  // namespace
+
+std::uint64_t Layout::addr_of(const LabelKey& key) const {
+  auto it = label_addr.find(key);
+  if (it == label_addr.end())
+    throw Error("patch: relocation target has no label");
+  return it->second;
+}
+
+void emit_insn(const isa::Instruction& insn,
+               const std::optional<std::uint16_t>& compressed,
+               std::vector<std::uint8_t>* out) {
+  if (compressed) {
+    out->push_back(static_cast<std::uint8_t>(*compressed));
+    out->push_back(static_cast<std::uint8_t>(*compressed >> 8));
+    return;
+  }
+  const std::uint32_t w = insn.raw();
+  out->push_back(static_cast<std::uint8_t>(w));
+  out->push_back(static_cast<std::uint8_t>(w >> 8));
+  if (insn.length() == 4) {
+    out->push_back(static_cast<std::uint8_t>(w >> 16));
+    out->push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+}
+
+PCRelWidget::PCRelWidget(isa::Reg rd, std::int64_t value)
+    : rd_(rd), value_(value) {
+  std::vector<Instruction> seq;
+  isa::materialize_imm(rd, value, &seq);
+  set_insns(std::move(seq));
+}
+
+WidgetPtr CFWidget::cond_branch(Mnemonic mn, Reg rs1, Reg rs2,
+                                LabelKey target, bool rvc) {
+  auto w = WidgetPtr(new CFWidget);
+  auto* cf = static_cast<CFWidget*>(w.get());
+  cf->kind_ = Kind::CondBranch;
+  cf->mn_ = mn;
+  cf->rs1_ = rs1;
+  cf->rs2_ = rs2;
+  cf->target_ = target;
+  // c.beqz/c.bnez: rs1 in x8..x15 against x0, ±256B reach.
+  cf->c2_eligible_ = rvc && (mn == Mnemonic::beq || mn == Mnemonic::bne) &&
+                     rs2 == isa::zero && rs1.index() >= 8 && rs1.index() <= 15;
+  cf->form_ = cf->c2_eligible_ ? Form::C2 : Form::Near;
+  return w;
+}
+
+WidgetPtr CFWidget::jump(LabelKey target, bool rvc) {
+  auto w = WidgetPtr(new CFWidget);
+  auto* cf = static_cast<CFWidget*>(w.get());
+  cf->kind_ = Kind::Jump;
+  cf->target_ = target;
+  cf->c2_eligible_ = rvc;  // c.j reaches ±2KiB
+  cf->form_ = rvc ? Form::C2 : Form::Near;
+  return w;
+}
+
+WidgetPtr CFWidget::transfer(std::uint64_t abs_target, Reg link,
+                             Reg scratch) {
+  auto w = WidgetPtr(new CFWidget);
+  auto* cf = static_cast<CFWidget*>(w.get());
+  cf->kind_ = Kind::Transfer;
+  cf->abs_target_ = abs_target;
+  cf->link_ = link;
+  cf->scratch_ = scratch;
+  cf->form_ = Form::Near;
+  return w;
+}
+
+std::size_t CFWidget::size() const {
+  if (elided_) return 0;
+  switch (form_) {
+    case Form::C2: return 2;
+    case Form::Near: return 4;
+    case Form::Long: return 8;
+  }
+  return 4;
+}
+
+std::int64_t CFWidget::displacement(std::uint64_t self_addr,
+                                    const Layout& layout) const {
+  const std::uint64_t target =
+      kind_ == Kind::Transfer ? abs_target_ : layout.addr_of(target_);
+  return static_cast<std::int64_t>(target) -
+         static_cast<std::int64_t>(self_addr);
+}
+
+bool CFWidget::relax(std::int64_t off) {
+  if (elided_) return false;
+  // The smallest form (at or above the current one — forms never shrink,
+  // which guarantees fixed-point termination) whose reach covers `off`.
+  Form need = form_;
+  switch (kind_) {
+    case Kind::CondBranch:
+      if (form_ == Form::C2 && !fits_signed(off, 9)) need = Form::Near;
+      if (need == Form::Near && !fits_signed(off, 13)) need = Form::Long;
+      if (need == Form::Long && !fits_signed(off - 4, 21))
+        throw Error("patch: relocated branch beyond jal reach");
+      break;
+    case Kind::Jump:
+      if (form_ == Form::C2 && !fits_signed(off, 12)) need = Form::Near;
+      if (need == Form::Near && !fits_signed(off, 21))
+        throw Error("patch: relocated jump beyond jal reach");
+      break;
+    case Kind::Transfer:
+      if (form_ == Form::Near && !fits_signed(off, 21)) need = Form::Long;
+      if (need == Form::Long) {
+        std::int64_t hi, lo;
+        if (!isa::split_hi_lo(off, &hi, &lo))
+          throw Error("patch: transfer target out of ±2GiB range");
+      }
+      break;
+  }
+  if (need == form_) return false;
+  form_ = need;
+  return true;
+}
+
+void CFWidget::emit(std::uint64_t self_addr, const Layout& layout,
+                    std::vector<std::uint8_t>* out) const {
+  if (elided_) return;
+  const std::int64_t off = displacement(self_addr, layout);
+  switch (kind_) {
+    case Kind::CondBranch: {
+      if (form_ == Form::C2 || form_ == Form::Near) {
+        const Instruction b = isa::assemble(
+            mn_, {R(rs1_), R(rs2_), Instruction::pcrel_op(off)});
+        if (form_ == Form::C2) {
+          const auto half = isa::compress(b);
+          if (!half) throw Error("patch: c-branch compression failed");
+          emit_insn(b, half, out);
+        } else {
+          emit_insn(b, std::nullopt, out);
+        }
+        return;
+      }
+      // Long form: inverted branch skipping a jal with ±1MiB reach.
+      emit_insn(isa::assemble(invert_branch(mn_),
+                              {R(rs1_), R(rs2_), Instruction::pcrel_op(8)}),
+                std::nullopt, out);
+      emit_insn(isa::assemble(Mnemonic::jal, {W(isa::zero),
+                                              Instruction::pcrel_op(off - 4)}),
+                std::nullopt, out);
+      return;
+    }
+    case Kind::Jump: {
+      const Instruction j = isa::assemble(
+          Mnemonic::jal, {W(isa::zero), Instruction::pcrel_op(off)});
+      if (form_ == Form::C2) {
+        const auto half = isa::compress(j);
+        if (!half) throw Error("patch: c.j compression failed");
+        emit_insn(j, half, out);
+      } else {
+        emit_insn(j, std::nullopt, out);
+      }
+      return;
+    }
+    case Kind::Transfer: {
+      if (form_ == Form::Near) {
+        emit_insn(isa::assemble(Mnemonic::jal,
+                                {W(link_), Instruction::pcrel_op(off)}),
+                  std::nullopt, out);
+        return;
+      }
+      std::int64_t hi, lo;
+      if (!isa::split_hi_lo(off, &hi, &lo))
+        throw Error("patch: transfer target out of ±2GiB range");
+      emit_insn(isa::assemble(Mnemonic::auipc,
+                              {W(scratch_), Instruction::imm_op(hi)}),
+                std::nullopt, out);
+      emit_insn(isa::assemble(Mnemonic::jalr, {W(link_), R(scratch_),
+                                               Instruction::imm_op(lo)}),
+                std::nullopt, out);
+      return;
+    }
+  }
+}
+
+}  // namespace rvdyn::patch::reloc

@@ -183,25 +183,49 @@ void Process::install_trap_table(const std::vector<patch::TrapEntry>& traps) {
   for (const auto& t : traps) trap_redirects_[t.from] = t.to;
 }
 
-void Process::apply_patch(const patch::BinaryEditor& editor) {
-  RVDYN_OBS_SPAN("rvdyn.proc.apply_patch");
-  std::uint64_t bytes = 0;
-  for (const auto& delta : editor.deltas()) {
-    machine_->write_code(delta.addr, delta.bytes.data(), delta.bytes.size());
-    bytes += delta.bytes.size();
-  }
-  install_trap_table(editor.trap_table());
-  RVDYN_OBS_COUNT_N("rvdyn.proc.patch_bytes_written", bytes);
-  RVDYN_OBS_COUNT_N("rvdyn.proc.traps_installed", editor.trap_table().size());
-#if !RVDYN_OBS_ENABLED
-  (void)bytes;
-#endif
+void Process::remove_trap_table(const std::vector<patch::TrapEntry>& traps) {
+  for (const auto& t : traps) trap_redirects_.erase(t.from);
 }
 
-void Process::revert_patch(const patch::BinaryEditor& editor) {
-  for (const auto& delta : editor.undo_deltas())
-    machine_->write_code(delta.addr, delta.bytes.data(), delta.bytes.size());
-  for (const auto& t : editor.trap_table()) trap_redirects_.erase(t.from);
+void Process::apply_patch(patch::BinaryEditor& editor) {
+  RVDYN_OBS_SPAN("rvdyn.proc.apply_patch");
+  editor.commit_to(space_).throw_if_error();
+}
+
+void Process::revert_patch(patch::BinaryEditor& editor) {
+  RVDYN_OBS_SPAN("rvdyn.proc.revert_patch");
+  editor.revert_from(space_).throw_if_error();
+}
+
+// ---- ProcessSpace: the dynamic AddressSpace backend ----------------------
+
+void ProcessSpace::map_region(const patch::MappedRegion& region) {
+  // The emulated memory is demand-allocated: writing the bytes maps them.
+  proc_->machine().write_code(region.addr, region.bytes.data(),
+                              region.bytes.size());
+  RVDYN_OBS_COUNT_N("rvdyn.proc.patch_bytes_written", region.bytes.size());
+}
+
+void ProcessSpace::write_code(std::uint64_t addr, const std::uint8_t* data,
+                              std::size_t n) {
+  proc_->machine().write_code(addr, data, n);
+  RVDYN_OBS_COUNT_N("rvdyn.proc.patch_bytes_written", n);
+}
+
+std::vector<std::uint8_t> ProcessSpace::read_code(std::uint64_t addr,
+                                                  std::size_t n) const {
+  std::vector<std::uint8_t> out(n);
+  proc_->machine().memory().read_bytes(addr, out.data(), n);
+  return out;
+}
+
+void ProcessSpace::install_traps(const std::vector<patch::TrapEntry>& traps) {
+  proc_->install_trap_table(traps);
+  RVDYN_OBS_COUNT_N("rvdyn.proc.traps_installed", traps.size());
+}
+
+void ProcessSpace::remove_traps(const std::vector<patch::TrapEntry>& traps) {
+  proc_->remove_trap_table(traps);
 }
 
 }  // namespace rvdyn::proccontrol

@@ -7,9 +7,11 @@
 // with breakpoints; both that emulation and the native step are provided so
 // their costs can be compared (bench A5).
 //
-// Dynamic instrumentation: apply_patch() writes a BinaryEditor's rewrite
-// deltas into the live process and installs its trap table — the paper's
-// "attach and instrument a running process" flow (Figure 1).
+// Dynamic instrumentation: ProcessSpace implements patch::AddressSpace
+// over the live (emulated) process, so BinaryEditor::commit_to() installs
+// — and revert_from() removes — instrumentation through exactly the same
+// engine path as static rewriting: the paper's "attach and instrument a
+// running process" flow (Figure 1).
 #pragma once
 
 #include <cstdint>
@@ -19,9 +21,33 @@
 #include <vector>
 
 #include "emu/machine.hpp"
+#include "patch/address_space.hpp"
 #include "patch/editor.hpp"
 
 namespace rvdyn::proccontrol {
+
+class Process;
+
+/// Dynamic-instrumentation backend of patch::AddressSpace: regions become
+/// fresh pages in the emulated memory, code writes go through the
+/// machine's decode-cache-invalidating path, and trap entries become
+/// debugger-runtime redirects.
+class ProcessSpace : public patch::AddressSpace {
+ public:
+  explicit ProcessSpace(Process* proc) : proc_(proc) {}
+
+  const char* backend() const override { return "process"; }
+  void map_region(const patch::MappedRegion& region) override;
+  void write_code(std::uint64_t addr, const std::uint8_t* data,
+                  std::size_t n) override;
+  std::vector<std::uint8_t> read_code(std::uint64_t addr,
+                                      std::size_t n) const override;
+  void install_traps(const std::vector<patch::TrapEntry>& traps) override;
+  void remove_traps(const std::vector<patch::TrapEntry>& traps) override;
+
+ private:
+  Process* proc_;
+};
 
 /// What stopped the process.
 struct Event {
@@ -93,18 +119,26 @@ class Process {
   }
 
   // --- dynamic instrumentation ---
-  /// Apply a committed BinaryEditor rewrite to this live process: writes
-  /// the patch-area bytes and springboards, and installs the trap table.
-  void apply_patch(const patch::BinaryEditor& editor);
+  /// This process viewed as a relocation-commit target. The editor's
+  /// commit_to(address_space()) is what apply_patch() does.
+  patch::AddressSpace& address_space() { return space_; }
+
+  /// Apply a BinaryEditor's PatchPlan to this live process: maps the
+  /// patch-area regions, writes the springboards, and installs the trap
+  /// table (BinaryEditor::commit_to over address_space()).
+  void apply_patch(patch::BinaryEditor& editor);
 
   /// Remove previously applied instrumentation: restore the original
-  /// springboarded bytes and drop the trap redirects. The patch area stays
+  /// springboarded bytes and drop the trap redirects — the engine's
+  /// first-class removal (BinaryEditor::revert_from). The patch area stays
   /// mapped (execution already inside it finishes normally) but no new
   /// entries divert into it.
-  void revert_patch(const patch::BinaryEditor& editor);
+  void revert_patch(patch::BinaryEditor& editor);
 
-  /// Install trap-springboard redirects (normally via apply_patch).
+  /// Install / remove trap-springboard redirects (normally via
+  /// apply_patch / revert_patch).
   void install_trap_table(const std::vector<patch::TrapEntry>& traps);
+  void remove_trap_table(const std::vector<patch::TrapEntry>& traps);
 
   // --- profiling (tool-facing "hardware" counter surface) ---
   /// Emulated hardware counter file: instret, cycles, cache hit/miss.
@@ -139,6 +173,7 @@ class Process {
   emu::StopReason step_over_breakpoint();
 
   std::unique_ptr<emu::Machine> machine_;
+  ProcessSpace space_{this};
   struct SavedBytes {
     std::vector<std::uint8_t> bytes;
   };

@@ -1,0 +1,59 @@
+# Builds the tree once with -DRVDYN_SANITIZE=address and runs the patching
+# and process-control suites under AddressSanitizer — the layers that took
+# the relocation-engine rewrite (widget IR, pass pipeline, AddressSpace
+# backends) and that juggle raw byte buffers and springboard writes. Run via
+#   cmake -P tests/asan_check.cmake
+# (registered as the `asan_patch_suite` ctest from non-sanitized builds).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-asan)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-asan)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "asan check: configuring ${BINARY_DIR} with -DRVDYN_SANITIZE=address")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan check: configure failed")
+endif()
+
+# The relocation engine and both AddressSpace backends, end to end: widget
+# lowering/relaxation/emission, springboard installs and reverts, the trap
+# runtime, and the dynamic-instrumentation path through ProcessSpace.
+set(targets
+  test_patch
+  test_patch_advanced
+  test_patch_reloc
+  test_proccontrol
+  test_extensions_e2e)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan check: build failed with RVDYN_SANITIZE=address")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "asan check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "asan check: ${t} failed under AddressSanitizer")
+  endif()
+endforeach()
+
+message(STATUS "asan check: patch/proccontrol suites clean under ASan")

@@ -2,8 +2,8 @@
 // Zicond/Zba/Zbb programs assemble under an extended profile, run on the
 // emulator, are analyzable and instrumentable, and are rejected by
 // RV64GC-only components. Plus dynamic instrumentation *removal*
-// (revert_patch), the inverse operation ProcControlAPI layers on the
-// editor's undo deltas.
+// (revert_patch), the first-class engine inverse that restores every
+// springboard's pre-patch bytes through the AddressSpace.
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.hpp"
@@ -190,7 +190,7 @@ tick:
   EXPECT_EQ(proc->read_mem(c.addr, 8), 5u);  // counting stopped at revert
 }
 
-TEST(ExtE2E, UndoDeltasInvertApply) {
+TEST(ExtE2E, RevertRestoresOriginalSpringboardBytes) {
   const auto bin = assembler::assemble(R"(
     .globl _start
     .globl f
@@ -206,15 +206,26 @@ f:
   const auto c = editor.alloc_var("c");
   editor.insert_at(editor.code().function_named("f")->entry(),
                    patch::PointType::FuncEntry, codegen::increment(c));
-  editor.commit();
-  ASSERT_FALSE(editor.undo_deltas().empty());
-  // Undo deltas cover exactly the springboarded ranges of the deltas.
-  for (const auto& undo : editor.undo_deltas()) {
-    bool matched = false;
-    for (const auto& d : editor.deltas())
-      if (d.addr == undo.addr && d.bytes.size() == undo.bytes.size())
-        matched = true;
-    EXPECT_TRUE(matched) << std::hex << undo.addr;
+
+  // First-class removal through the engine: commit_to then revert_from on
+  // the same address space must leave every springboarded byte range
+  // exactly as it was before the commit.
+  auto proc = proccontrol::Process::launch(bin);
+  ASSERT_TRUE(editor.commit_to(proc->address_space()).is_ok());
+  const patch::PatchPlan* plan = editor.plan();
+  ASSERT_NE(plan, nullptr);
+  ASSERT_FALSE(plan->springboards.empty());
+  for (const auto& sb : plan->springboards) {
+    ASSERT_EQ(sb.bytes.size(), sb.original.size());
+    // The springboard is installed...
+    EXPECT_EQ(proc->address_space().read_code(sb.addr, sb.bytes.size()),
+              sb.bytes);
+  }
+  ASSERT_TRUE(editor.revert_from(proc->address_space()).is_ok());
+  for (const auto& sb : plan->springboards) {
+    // ...and removal restores the pre-patch bytes.
+    EXPECT_EQ(proc->address_space().read_code(sb.addr, sb.original.size()),
+              sb.original);
   }
 }
 
