@@ -1,0 +1,85 @@
+// Differential-correctness harness throughput: how fast the three oracles
+// (lockstep semantics↔emulator, decode/encode round trip, shadow-stack
+// walk) grind through states, so CI can budget oracle depth. Each run also
+// populates the rvdyn.check.* obs counters, which land in the JSON's
+// rvdyn_meta metrics block — the bench artifact doubles as a coverage
+// record for the oracle pass (states, encodings, rvc forms, divergences).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "check/check.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace rvdyn;
+
+namespace {
+
+void BM_LockstepOracle(benchmark::State& state) {
+  check::LockstepOptions opts;
+  opts.states_per_mnemonic = static_cast<unsigned>(state.range(0));
+  opts.states_per_encoding = 5;
+  opts.rvc_exhaustive = false;
+  std::uint64_t states = 0, divergences = 0;
+  for (auto _ : state) {
+    const auto rep = check::run_lockstep(opts);
+    states += rep.states;
+    divergences += rep.divergence_count;
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["states/s"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsRate);
+  state.counters["divergences"] = static_cast<double>(divergences);
+}
+BENCHMARK(BM_LockstepOracle)
+    ->Arg(100)
+    ->Arg(500)
+    ->ArgNames({"states_per_mn"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RoundTripOracle(benchmark::State& state) {
+  check::RoundTripOptions opts;
+  opts.random_words = static_cast<unsigned>(state.range(0));
+  std::uint64_t checks = 0, divergences = 0;
+  for (auto _ : state) {
+    const auto rep = check::run_roundtrip(opts);
+    checks += rep.checks;
+    divergences += rep.divergence_count;
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["checks/s"] = benchmark::Counter(
+      static_cast<double>(checks), benchmark::Counter::kIsRate);
+  state.counters["divergences"] = static_cast<double>(divergences);
+}
+BENCHMARK(BM_RoundTripOracle)
+    ->Arg(50000)
+    ->ArgNames({"words"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShadowStackOracle(benchmark::State& state) {
+  const auto stops = static_cast<unsigned>(state.range(0));
+  std::uint64_t frames = 0, divergences = 0;
+  for (auto _ : state) {
+    check::ShadowStackOptions opts;
+    opts.stops = stops;
+    const auto rep =
+        check::run_shadow_stack("matmul", workloads::matmul_program(8, 2),
+                                opts);
+    frames += rep.frames_compared;
+    divergences += rep.divergence_count;
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["divergences"] = static_cast<double>(divergences);
+}
+BENCHMARK(BM_ShadowStackOracle)
+    ->Arg(50)
+    ->ArgNames({"stops"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return rvdyn::bench::run_benchmarks_with_json(argc, argv,
+                                                "BENCH_check.json");
+}

@@ -402,7 +402,24 @@ class Assembler {
     const auto toks = split_operands(rest);
     if (expand_pseudo(mn_text, toks)) return;
 
-    const Mnemonic mn = isa::mnemonic_from_name(mn_text);
+    // Atomic ordering suffixes (amoswap.w.aqrl, lr.d.aq, ...) strip down to
+    // the base mnemonic and surface as an Ordering operand via spec 'q'.
+    std::int64_t aqrl = -1;
+    Mnemonic mn = isa::mnemonic_from_name(mn_text);
+    if (mn == Mnemonic::kInvalid) {
+      for (const auto& [suffix, bits] :
+           {std::pair<const char*, std::int64_t>{".aqrl", 3},
+            {".aq", 2},
+            {".rl", 1}}) {
+        const std::size_t n = std::string(suffix).size();
+        if (mn_text.size() > n &&
+            mn_text.compare(mn_text.size() - n, n, suffix) == 0) {
+          mn = isa::mnemonic_from_name(mn_text.substr(0, mn_text.size() - n));
+          if (mn != Mnemonic::kInvalid) aqrl = bits;
+          break;
+        }
+      }
+    }
     if (mn == Mnemonic::kInvalid) fail(line_, "unknown mnemonic: " + mn_text);
     const isa::OpcodeInfo& info = isa::opcode_info(mn);
     if (!opts_.extensions.has(info.ext))
@@ -461,6 +478,39 @@ class Assembler {
         }
         case 'x':
           break;  // rounding mode defaults to dynamic
+        case 'q':
+          if (aqrl >= 0) {
+            Operand o;
+            o.kind = Operand::Kind::Ordering;
+            o.imm = aqrl;
+            it.ops.push_back(o);
+          }
+          break;  // no suffix: relaxed ordering, no operand
+        case 'f': {
+          // Optional `fence pred,succ` sets (subsets of "iorw"); the bare
+          // mnemonic keeps its historical all-zero field.
+          if (ti >= toks.size()) break;
+          std::int64_t sets = 0;
+          for (int field = 1; field >= 0; --field) {
+            std::int64_t v = 0;
+            for (const char ch : next_tok()) {
+              switch (ch) {
+                case 'i': v |= 8; break;
+                case 'o': v |= 4; break;
+                case 'r': v |= 2; break;
+                case 'w': v |= 1; break;
+                case '0': break;
+                default: fail(line_, "bad fence set");
+              }
+            }
+            sets |= v << (4 * field);
+          }
+          Operand o;
+          o.kind = Operand::Kind::Ordering;
+          o.imm = sets;
+          it.ops.push_back(o);
+          break;
+        }
         default:
           fail(line_, "internal: bad spec char");
       }

@@ -1,0 +1,451 @@
+// Lockstep semantics oracle: semantics::semantics_of + const_eval vs. a
+// single-stepped emu::Machine, over randomized states and adversarial
+// corners, for every mnemonic with a precise spec.
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+#include "check/check.hpp"
+#include "common/status.hpp"
+#include "emu/machine.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "obs/metrics.hpp"
+#include "semantics/eval.hpp"
+#include "semantics/expr.hpp"
+
+namespace rvdyn::check {
+
+namespace {
+
+using isa::Instruction;
+using isa::Mnemonic;
+
+constexpr std::uint64_t kCodeBase = 0x10000;
+constexpr std::uint64_t kScratchBase = 0x40000000;
+// Memory-operand targets stay inside a two-page scratch window so a
+// million-trial run maps a handful of pages, not one per random address.
+constexpr std::uint64_t kScratchSpan = 0x1ff0;
+
+/// Adversarial register values: shift-count boundaries, division overflow
+/// pair, all-zero / all-one Zbb inputs, 32-bit-boundary patterns.
+constexpr std::uint64_t kCornerValues[] = {
+    0,
+    1,
+    2,
+    31,
+    32,
+    33,
+    63,
+    64,
+    0x7fffffffffffffffULL,  // INT64_MAX
+    0x8000000000000000ULL,  // INT64_MIN
+    ~0ULL,                  // -1 (divisor of the overflow pair)
+    0x7fffffffULL,
+    0x80000000ULL,
+    0xffffffffULL,
+    0xffffffff00000000ULL,
+    0x0123456789abcdefULL,
+};
+
+/// Immediate corners pushed through encode32 (out-of-range values are
+/// rejected by the encoder and skipped): shift counts 0/1/31/32/63,
+/// negative and extreme load/store offsets.
+constexpr std::int64_t kImmCorners[] = {0,  1,    31,    32,   63,
+                                        -1, -2048, 2047, -64, 255};
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool branch_taken(Mnemonic mn, std::uint64_t a, std::uint64_t b) {
+  switch (mn) {
+    case Mnemonic::beq: return a == b;
+    case Mnemonic::bne: return a != b;
+    case Mnemonic::blt:
+      return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+    case Mnemonic::bge:
+      return static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+    case Mnemonic::bltu: return a < b;
+    case Mnemonic::bgeu: return a >= b;
+    default: return false;
+  }
+}
+
+struct Harness {
+  const LockstepOptions& opts;
+  LockstepReport& rep;
+  emu::Machine m{isa::ExtensionSet(0xffff)};
+  isa::Decoder dec{isa::ExtensionSet(0xffff)};
+
+  void diverge(const Instruction& insn, std::uint64_t trial_seed,
+               const std::string& what) {
+    ++rep.divergence_count;
+    if (rep.divergences.size() >= opts.max_recorded) return;
+    Divergence d;
+    d.oracle = "lockstep";
+    d.subject = isa::mnemonic_name(insn.mnemonic());
+    d.seed = trial_seed;
+    d.encoding = insn.raw();
+    d.detail = insn.to_string() + ": " + what;
+    rep.divergences.push_back(std::move(d));
+  }
+
+  static std::string hex(std::uint64_t v) {
+    std::ostringstream os;
+    os << "0x" << std::hex << v;
+    return os.str();
+  }
+
+  /// Execute one (encoding, state) trial. `regs` holds the desired values
+  /// for x1..x31 (x0 is hard zero); memory-operand base registers are
+  /// retargeted into the scratch window before evaluation.
+  void run_state(const Instruction& insn, const semantics::InsnSemantics& sem,
+                 std::uint64_t trial_seed, std::uint64_t regs[32]) {
+    std::uint64_t s = trial_seed;
+    for (unsigned i = 1; i < 32; ++i) m.set_x(i, regs[i]);
+
+    // Retarget the memory operand into the scratch window (base x0 keeps
+    // its architectural address: imm around 0, still a bounded page set).
+    const isa::Operand* memop = nullptr;
+    for (unsigned i = 0; i < insn.num_operands(); ++i)
+      if (insn.operand(i).is_mem()) memop = &insn.operand(i);
+    std::uint64_t mem_addr = 0;
+    if (memop) {
+      if (memop->reg != isa::zero) {
+        const std::uint64_t target =
+            kScratchBase + (splitmix(s) % kScratchSpan);
+        m.set_x(memop->reg.num,
+                target - static_cast<std::uint64_t>(memop->imm));
+      }
+      mem_addr = m.get_reg(memop->reg) + static_cast<std::uint64_t>(memop->imm);
+    }
+
+    std::uint8_t guard_lo = 0, guard_hi = 0;
+    if (insn.reads_memory() && memop)
+      m.memory().write(mem_addr, splitmix(s), 8);
+    if (insn.writes_memory() && memop) {
+      m.memory().write(mem_addr, splitmix(s), 8);
+      guard_lo = static_cast<std::uint8_t>(splitmix(s));
+      guard_hi = static_cast<std::uint8_t>(splitmix(s));
+      m.memory().write(mem_addr - 1, guard_lo, 1);
+      m.memory().write(mem_addr + memop->size, guard_hi, 1);
+    }
+
+    // Oracle-side evaluation against the pre-step state.
+    const semantics::RegResolver rr =
+        [this](isa::Reg r) -> std::optional<std::uint64_t> {
+      return m.get_reg(r);
+    };
+    const semantics::MemReader mr =
+        [this](std::uint64_t a, unsigned sz) -> std::optional<std::uint64_t> {
+      return m.memory().read(a, sz);
+    };
+    const unsigned len = insn.length();
+    std::optional<std::uint64_t> want_rd, want_addr, want_val;
+    if (sem.has_reg_write)
+      want_rd = semantics::const_eval(*sem.reg_value, kCodeBase, len, rr, mr);
+    if (sem.has_mem_write) {
+      want_addr =
+          semantics::const_eval(*sem.store_addr, kCodeBase, len, rr, mr);
+      want_val =
+          semantics::const_eval(*sem.store_value, kCodeBase, len, rr, mr);
+    }
+
+    // Next-pc oracle (the spec models values; control flow is checked from
+    // the decoded shape, so a wrong branch condition in either
+    // implementation still surfaces here).
+    std::uint64_t want_pc;
+    if (insn.is_cond_branch()) {
+      const std::uint64_t a = m.get_reg(insn.operand(0).reg);
+      const std::uint64_t b = m.get_reg(insn.operand(1).reg);
+      want_pc = kCodeBase + (branch_taken(insn.mnemonic(), a, b)
+                                 ? static_cast<std::uint64_t>(
+                                       insn.branch_offset())
+                                 : len);
+    } else if (insn.is_jal()) {
+      want_pc = kCodeBase + static_cast<std::uint64_t>(insn.branch_offset());
+    } else if (insn.is_jalr()) {
+      want_pc = (m.get_reg(insn.operand(1).reg) +
+                 static_cast<std::uint64_t>(insn.operand(2).imm)) &
+                ~1ULL;
+    } else {
+      want_pc = kCodeBase + len;
+    }
+
+    std::uint64_t pre[32];
+    for (unsigned i = 0; i < 32; ++i) pre[i] = m.get_x(i);
+
+    std::uint8_t bytes[4];
+    for (unsigned i = 0; i < len; ++i)
+      bytes[i] = static_cast<std::uint8_t>(insn.raw() >> (8 * i));
+    m.write_code(kCodeBase, bytes, len);
+    m.set_pc(kCodeBase);
+    const emu::StopReason stop = m.step();
+
+    ++rep.states;
+    ++rep.per_mnemonic[insn.mnemonic()];
+
+    if (stop != emu::StopReason::Running) {
+      diverge(insn, trial_seed,
+              "machine stopped (reason " +
+                  std::to_string(static_cast<int>(stop)) + ") on a decodable "
+                  "in-profile instruction");
+      return;
+    }
+    if (m.pc() != want_pc) {
+      diverge(insn, trial_seed,
+              "next-pc mismatch: emulator " + hex(m.pc()) + " vs oracle " +
+                  hex(want_pc));
+      return;
+    }
+
+    // Full register-file diff: the written register must hold the oracle
+    // value; every other register (x0 included) must be untouched. This is
+    // also the x0-write-suppression check — an encoding with rd = x0 has
+    // sem.has_reg_write == false, so *no* register may change.
+    for (unsigned i = 0; i < 32; ++i) {
+      std::uint64_t want = pre[i];
+      if (sem.has_reg_write && sem.written_reg.cls == isa::RegClass::Int &&
+          sem.written_reg.num == i) {
+        if (!want_rd) {
+          diverge(insn, trial_seed,
+                  "oracle could not evaluate a precise spec (unresolved leaf)");
+          return;
+        }
+        want = *want_rd;
+      }
+      if (m.get_x(i) != want) {
+        diverge(insn, trial_seed,
+                "x" + std::to_string(i) + " mismatch: emulator " +
+                    hex(m.get_x(i)) + " vs oracle " + hex(want));
+        return;
+      }
+    }
+
+    if (sem.has_mem_write) {
+      if (!want_addr || !want_val) {
+        diverge(insn, trial_seed, "oracle could not evaluate store addr/value");
+        return;
+      }
+      const unsigned sz = sem.store_size;
+      const std::uint64_t mask =
+          sz >= 8 ? ~0ULL : ((1ULL << (8 * sz)) - 1);
+      const std::uint64_t got = m.memory().read(*want_addr, sz);
+      if (got != (*want_val & mask)) {
+        diverge(insn, trial_seed,
+                "store value mismatch at " + hex(*want_addr) + ": memory " +
+                    hex(got) + " vs oracle " + hex(*want_val & mask));
+        return;
+      }
+      if (*want_addr != mem_addr || sz != memop->size) {
+        diverge(insn, trial_seed,
+                "store addr/size mismatch: oracle " + hex(*want_addr) + "/" +
+                    std::to_string(sz) + " vs operand " + hex(mem_addr) + "/" +
+                    std::to_string(memop->size));
+        return;
+      }
+      if (m.memory().read(mem_addr - 1, 1) != guard_lo ||
+          m.memory().read(mem_addr + sz, 1) != guard_hi) {
+        diverge(insn, trial_seed, "store clobbered adjacent guard bytes");
+        return;
+      }
+    } else if (insn.writes_memory()) {
+      diverge(insn, trial_seed,
+              "instruction writes memory but its precise spec models no store");
+      return;
+    }
+  }
+
+  void random_regs(std::uint64_t seed, std::uint64_t regs[32]) {
+    std::uint64_t s = seed;
+    for (unsigned i = 1; i < 32; ++i) {
+      // ~1 in 4 registers draws from the adversarial pool so corner pairs
+      // (INT64_MIN with -1, shift counts at width boundaries, all-ones)
+      // appear organically across every operand position.
+      const std::uint64_t r = splitmix(s);
+      regs[i] = (r & 3) == 0
+                    ? kCornerValues[(r >> 2) %
+                                    (sizeof(kCornerValues) / sizeof(std::uint64_t))]
+                    : splitmix(s);
+    }
+    regs[0] = 0;
+  }
+
+  /// Random states for one encoding.
+  void run_encoding(const Instruction& insn, unsigned n_states,
+                    std::uint64_t enc_seed) {
+    const semantics::InsnSemantics sem = semantics::semantics_of(insn);
+    if (!sem.precise) {
+      diverge(insn, enc_seed, "expected a precise spec but got conservative");
+      return;
+    }
+    ++rep.encodings;
+    std::uint64_t regs[32];
+    for (unsigned k = 0; k < n_states; ++k) {
+      std::uint64_t s = enc_seed + k;
+      const std::uint64_t trial_seed = splitmix(s);
+      random_regs(trial_seed, regs);
+      run_state(insn, sem, trial_seed, regs);
+    }
+  }
+
+  /// The deterministic corner matrix: every (rs1, rs2) pair from the
+  /// adversarial pool on one encoding (guarantees INT64_MIN ÷ -1, ÷ 0,
+  /// all-zero/all-one Zbb inputs, width-boundary shift counts in registers).
+  void run_corner_matrix(const Instruction& insn, std::uint64_t enc_seed) {
+    const semantics::InsnSemantics sem = semantics::semantics_of(insn);
+    if (!sem.precise) return;
+    isa::Reg rs1{}, rs2{};
+    bool have1 = false, have2 = false;
+    // Register sources beyond a written operand 0: the canonical rs1/rs2
+    // slots across the table's spec layouts (dst/dsz/stb/da/...).
+    for (unsigned i = 0; i < insn.num_operands(); ++i) {
+      const isa::Operand& op = insn.operand(i);
+      if (!op.is_reg() || !op.reads()) continue;
+      if (!have1) { rs1 = op.reg; have1 = true; }
+      else if (!have2) { rs2 = op.reg; have2 = true; break; }
+    }
+    if (!have1) return;
+    std::uint64_t regs[32];
+    constexpr unsigned n =
+        sizeof(kCornerValues) / sizeof(std::uint64_t);
+    for (unsigned a = 0; a < n; ++a) {
+      for (unsigned b = 0; b < (have2 ? n : 1); ++b) {
+        std::uint64_t s = enc_seed ^ (a * 131 + b);
+        const std::uint64_t trial_seed = splitmix(s);
+        random_regs(trial_seed, regs);
+        if (rs1.cls == isa::RegClass::Int && rs1.num != 0)
+          regs[rs1.num] = kCornerValues[a];
+        if (have2 && rs2.cls == isa::RegClass::Int && rs2.num != 0)
+          regs[rs2.num] = kCornerValues[b];
+        run_state(insn, sem, trial_seed, regs);
+      }
+    }
+  }
+
+  /// Operand-mutated encodings: immediate corners (shift counts, negative
+  /// store offsets) and a forced rd = x0 variant, built through encode32 so
+  /// only representable corners run.
+  void run_operand_corners(const Instruction& base, std::uint64_t enc_seed) {
+    std::vector<isa::Operand> ops(base.num_operands());
+    for (unsigned i = 0; i < base.num_operands(); ++i) ops[i] = base.operand(i);
+
+    auto try_encoding = [&](const std::vector<isa::Operand>& mutated) {
+      std::uint32_t word;
+      try {
+        word = isa::encode32(base.mnemonic(), mutated);
+      } catch (const Error&) {
+        return;  // corner not representable in this format
+      }
+      Instruction insn;
+      if (!dec.decode32(word, &insn)) return;
+      if (insn.mnemonic() != base.mnemonic()) return;  // canonical alias
+      run_encoding(insn, opts.states_per_encoding, splitmix(enc_seed) ^ word);
+    };
+
+    for (unsigned i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != isa::Operand::Kind::Imm &&
+          ops[i].kind != isa::Operand::Kind::Mem)
+        continue;
+      for (std::int64_t v : kImmCorners) {
+        std::vector<isa::Operand> mutated = ops;
+        mutated[i].imm = v;
+        try_encoding(mutated);
+      }
+    }
+    if (!ops.empty() && ops[0].is_reg() && ops[0].writes() &&
+        ops[0].reg.cls == isa::RegClass::Int) {
+      std::vector<isa::Operand> mutated = ops;
+      mutated[0].reg = isa::zero;
+      try_encoding(mutated);
+    }
+  }
+
+  void run_mnemonic(Mnemonic mn, std::uint64_t mn_seed) {
+    const isa::OpcodeInfo& info = isa::opcode_info(mn);
+    std::uint64_t s = mn_seed;
+    bool first = true;
+    unsigned attempts = 0;
+    const unsigned max_attempts =
+        16 * (opts.states_per_mnemonic / std::max(1u, opts.states_per_encoding) +
+              16);
+    while (rep.per_mnemonic[mn] < opts.states_per_mnemonic &&
+           attempts++ < max_attempts) {
+      const std::uint32_t word =
+          info.match | (static_cast<std::uint32_t>(splitmix(s)) & ~info.mask);
+      Instruction insn;
+      if (!dec.decode32(word, &insn)) continue;
+      if (insn.mnemonic() != mn) continue;  // a more specific entry won
+      if (first) {
+        first = false;
+        run_corner_matrix(insn, splitmix(s));
+        run_operand_corners(insn, splitmix(s));
+      }
+      run_encoding(insn, opts.states_per_encoding, splitmix(s));
+    }
+  }
+
+  void run_rvc_sweep(std::uint64_t sweep_seed) {
+    for (std::uint32_t h = 0; h <= 0xffff; ++h) {
+      if (!isa::is_compressed_encoding(static_cast<std::uint16_t>(h)))
+        continue;
+      Instruction insn;
+      if (!dec.decode16(static_cast<std::uint16_t>(h), &insn)) continue;
+      const Mnemonic mn = insn.mnemonic();
+      if (semantics::semantics_spec(mn)[0] == '\0') continue;
+      if (opts.only != Mnemonic::kInvalid && mn != opts.only) continue;
+      ++rep.rvc_forms;
+      std::uint64_t s = sweep_seed ^ h;
+      run_encoding(insn, opts.rvc_states, splitmix(s));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Mnemonic> lockstep_mnemonics() {
+  std::vector<Mnemonic> out;
+  for (std::uint16_t i = 0;
+       i < static_cast<std::uint16_t>(Mnemonic::kCount); ++i) {
+    const Mnemonic mn = static_cast<Mnemonic>(i);
+    if (semantics::semantics_spec(mn)[0] != '\0') out.push_back(mn);
+  }
+  return out;
+}
+
+LockstepReport run_lockstep(const LockstepOptions& opts) {
+  LockstepReport rep;
+  Harness h{opts, rep};
+
+  const std::vector<Mnemonic> targets = lockstep_mnemonics();
+  std::uint64_t s = opts.seed;
+  for (Mnemonic mn : targets) {
+    const std::uint64_t mn_seed = splitmix(s);
+    if (opts.only != Mnemonic::kInvalid && mn != opts.only) continue;
+    rep.per_mnemonic[mn];  // materialize a zero entry for the ledger
+    h.run_mnemonic(mn, mn_seed);
+  }
+  if (opts.rvc_exhaustive) h.run_rvc_sweep(splitmix(s));
+
+  for (Mnemonic mn : targets) {
+    if (opts.only != Mnemonic::kInvalid && mn != opts.only) continue;
+    if (rep.per_mnemonic[mn] < opts.states_per_mnemonic)
+      rep.uncovered.push_back(mn);
+  }
+
+  RVDYN_OBS_COUNT_N("rvdyn.check.lockstep.states", rep.states);
+  RVDYN_OBS_COUNT_N("rvdyn.check.lockstep.encodings", rep.encodings);
+  RVDYN_OBS_COUNT_N("rvdyn.check.lockstep.rvc_forms", rep.rvc_forms);
+  RVDYN_OBS_COUNT_N("rvdyn.check.lockstep.divergences", rep.divergence_count);
+  RVDYN_OBS_GAUGE("rvdyn.check.lockstep.mnemonics_covered",
+                  static_cast<std::int64_t>(rep.per_mnemonic.size() -
+                                            rep.uncovered.size()));
+  return rep;
+}
+
+}  // namespace rvdyn::check

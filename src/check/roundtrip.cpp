@@ -1,0 +1,173 @@
+// Round-trip fuzzer: decode→encode→decode identity for random 32-bit
+// encodings and the exhaustive compressed space, including operand
+// read/write-set preservation across the RVC expansion.
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common/status.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvdyn::check {
+
+namespace {
+
+using isa::Instruction;
+
+std::string hex32(std::uint32_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// Operand-for-operand equality (kind, access, size, register, immediate).
+bool same_operands(const Instruction& a, const Instruction& b) {
+  if (a.mnemonic() != b.mnemonic()) return false;
+  if (a.num_operands() != b.num_operands()) return false;
+  for (unsigned i = 0; i < a.num_operands(); ++i) {
+    const isa::Operand& x = a.operand(i);
+    const isa::Operand& y = b.operand(i);
+    if (x.kind != y.kind || x.access != y.access || x.size != y.size ||
+        !(x.reg == y.reg) || x.imm != y.imm)
+      return false;
+  }
+  return true;
+}
+
+struct Harness {
+  const RoundTripOptions& opts;
+  RoundTripReport& rep;
+  isa::Decoder dec{isa::ExtensionSet(0xffff)};
+
+  void diverge(std::uint32_t encoding, std::uint64_t seed,
+               const std::string& subject, const std::string& what) {
+    ++rep.divergence_count;
+    if (rep.divergences.size() >= opts.max_recorded) return;
+    rep.divergences.push_back(
+        Divergence{"roundtrip", subject, seed, encoding, what});
+  }
+
+  std::vector<isa::Operand> operand_list(const Instruction& insn) {
+    std::vector<isa::Operand> ops(insn.num_operands());
+    for (unsigned i = 0; i < insn.num_operands(); ++i) ops[i] = insn.operand(i);
+    return ops;
+  }
+
+  /// decode32 → encode32 must reproduce the exact word, and the re-decode
+  /// must agree operand-for-operand (hence in read/write sets too).
+  void check_word(std::uint32_t word, std::uint64_t seed) {
+    Instruction insn;
+    if (!dec.decode32(word, &insn)) return;
+    ++rep.decoded32;
+    const std::string name = isa::mnemonic_name(insn.mnemonic());
+
+    std::uint32_t back;
+    try {
+      back = isa::encode32(insn.mnemonic(), operand_list(insn));
+    } catch (const Error& e) {
+      diverge(word, seed, name,
+              std::string("decoded operands rejected by encode32: ") +
+                  e.what());
+      return;
+    }
+    ++rep.checks;
+    if (back != word) {
+      diverge(word, seed, name,
+              "re-encode mismatch: " + hex32(word) + " -> " + hex32(back));
+      return;
+    }
+    Instruction again;
+    if (!dec.decode32(back, &again) || !same_operands(insn, again) ||
+        insn.regs_read().bits() != again.regs_read().bits() ||
+        insn.regs_written().bits() != again.regs_written().bits()) {
+      diverge(word, seed, name, "re-decode disagrees with original decode");
+    }
+  }
+
+  /// decode16 → compress must reproduce the halfword; the expansion encoded
+  /// as its 32-bit form must carry identical operands and read/write sets.
+  void check_half(std::uint16_t half) {
+    Instruction insn;
+    if (!dec.decode16(half, &insn)) return;
+    ++rep.decoded16;
+    const std::string name = isa::mnemonic_name(insn.mnemonic());
+
+    const std::optional<std::uint16_t> back = isa::compress(insn);
+    ++rep.checks;
+    if (!back) {
+      diverge(half, half, name,
+              "valid compressed form " + hex32(half) +
+                  " does not re-compress (" + insn.to_string() + ")");
+    } else if (*back != half) {
+      Instruction alias;
+      if (dec.decode16(*back, &alias) && same_operands(insn, alias)) {
+        // A different encoding of the identical instruction: not a data
+        // loss, but kept visible as an alias count.
+        ++rep.rvc_aliases;
+      } else {
+        diverge(half, half, name,
+                "re-compress mismatch: " + hex32(half) + " -> " +
+                    hex32(*back));
+      }
+    }
+
+    // Cross-width: the expansion's standard 32-bit encoding must decode to
+    // the same operands and access sets (the property DataflowAPI relies
+    // on when it treats compressed code uniformly).
+    std::uint32_t word;
+    try {
+      word = isa::encode32(insn.mnemonic(), operand_list(insn));
+    } catch (const Error& e) {
+      diverge(half, half, name,
+              std::string("expanded operands rejected by encode32: ") +
+                  e.what());
+      return;
+    }
+    ++rep.checks;
+    Instruction wide;
+    if (!dec.decode32(word, &wide)) {
+      diverge(half, half, name, "expansion's 32-bit encoding does not decode");
+      return;
+    }
+    if (!same_operands(insn, wide) ||
+        insn.regs_read().bits() != wide.regs_read().bits() ||
+        insn.regs_written().bits() != wide.regs_written().bits() ||
+        insn.flags() != wide.flags()) {
+      diverge(half, half, name,
+              "expansion and 32-bit form disagree on operands/access sets");
+    }
+  }
+};
+
+}  // namespace
+
+RoundTripReport run_roundtrip(const RoundTripOptions& opts) {
+  RoundTripReport rep;
+  Harness h{opts, rep};
+
+  std::mt19937_64 rng(opts.seed);
+  for (std::uint64_t i = 0; i < opts.random_words; ++i) {
+    // Force the 32-bit quadrant so the whole budget lands on full words;
+    // the compressed space is swept exhaustively below.
+    const std::uint32_t word = static_cast<std::uint32_t>(rng()) | 0x3;
+    h.check_word(word, opts.seed ^ i);
+  }
+  if (opts.rvc_exhaustive) {
+    for (std::uint32_t v = 0; v <= 0xffff; ++v) {
+      const auto half = static_cast<std::uint16_t>(v);
+      if (!isa::is_compressed_encoding(half)) continue;
+      h.check_half(half);
+    }
+  }
+
+  RVDYN_OBS_COUNT_N("rvdyn.check.roundtrip.decoded32", rep.decoded32);
+  RVDYN_OBS_COUNT_N("rvdyn.check.roundtrip.decoded16", rep.decoded16);
+  RVDYN_OBS_COUNT_N("rvdyn.check.roundtrip.checks", rep.checks);
+  RVDYN_OBS_COUNT_N("rvdyn.check.roundtrip.divergences", rep.divergence_count);
+  return rep;
+}
+
+}  // namespace rvdyn::check

@@ -25,19 +25,66 @@ bool is_intraproc(EdgeType t) {
   }
 }
 
+/// Decompose a register-copy-plus-constant: `addi rd, rs, imm`,
+/// `add rd, rs, x0` or `add rd, x0, rs` — the forms compilers emit for
+/// frame setup/teardown (c.mv expands to the add forms). Returns
+/// (source register, constant) when the instruction is one of them.
+struct SrcAdjust {
+  isa::Reg src;
+  std::int64_t imm;
+};
+std::optional<SrcAdjust> adjust_src(const isa::Instruction& insn) {
+  if (insn.mnemonic() == isa::Mnemonic::addi && insn.num_operands() == 3)
+    return SrcAdjust{insn.operand(1).reg, insn.operand(2).imm};
+  if (insn.mnemonic() == isa::Mnemonic::add && insn.num_operands() == 3) {
+    if (insn.operand(2).reg == isa::zero)
+      return SrcAdjust{insn.operand(1).reg, 0};
+    if (insn.operand(1).reg == isa::zero)
+      return SrcAdjust{insn.operand(2).reg, 0};
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
-StackHeight StackHeightAnalysis::apply(const parse::ParsedInsn& pi,
-                                       StackHeight h) {
-  if (!h) return h;
+HeightState StackHeightAnalysis::apply(const parse::ParsedInsn& pi,
+                                       HeightState s) {
   const isa::Instruction& insn = pi.insn;
-  if (!insn.regs_written().contains(isa::sp)) return h;
-  // The only modelled sp update is addi sp, sp, imm (which covers both the
-  // standard prologue/epilogue and c.addi16sp's expansion).
-  if (insn.mnemonic() == isa::Mnemonic::addi && insn.num_operands() == 3 &&
-      insn.operand(1).reg == isa::sp)
-    return *h + insn.operand(2).imm;
-  return std::nullopt;  // sp escapes the model
+  const bool writes_sp = insn.regs_written().contains(isa::sp);
+  const bool writes_fp = insn.regs_written().contains(isa::fp);
+  if (!writes_sp && !writes_fp) return s;
+
+  const auto adj = adjust_src(insn);
+  if (writes_sp) {
+    // sp from sp: standard prologue/epilogue (covers c.addi16sp). sp from
+    // fp: the frame-pointer epilogue `addi sp, s0, imm` — height stays
+    // known when fp's offset is tracked.
+    if (adj && adj->src == isa::sp && s.sp)
+      s.sp = *s.sp + adj->imm;
+    else if (adj && adj->src == isa::fp && s.fp)
+      s.sp = *s.fp + adj->imm;
+    else
+      s.sp = std::nullopt;  // sp escapes the model
+  }
+  if (writes_fp) {
+    s.fp_original = false;
+    if (adj && adj->src == isa::sp && s.sp)
+      s.fp = *s.sp + adj->imm;  // fp setup: addi s0, sp, frame
+    else if (adj && adj->src == isa::fp && s.fp)
+      s.fp = *s.fp + adj->imm;
+    else
+      s.fp = std::nullopt;  // fp reload / arbitrary write
+  }
+  return s;
+}
+
+HeightState StackHeightAnalysis::merge(const HeightState& a,
+                                       const HeightState& b) {
+  HeightState m;
+  m.sp = (a.sp && b.sp && *a.sp == *b.sp) ? a.sp : std::nullopt;
+  m.fp = (a.fp && b.fp && *a.fp == *b.fp) ? a.fp : std::nullopt;
+  m.fp_original = a.fp_original && b.fp_original;
+  return m;
 }
 
 StackHeightAnalysis::StackHeightAnalysis(const parse::Function& f)
@@ -45,61 +92,73 @@ StackHeightAnalysis::StackHeightAnalysis(const parse::Function& f)
   const Block* entry = f.entry_block();
   if (!entry) return;
 
-  // Forward worklist; heights merge to "unknown" on conflict.
+  // Forward worklist; components merge to "unknown" on conflict.
   std::deque<const Block*> work{entry};
-  in_[entry] = 0;
+  in_[entry] = HeightState{0, std::nullopt, true};
   reached_[entry] = true;
 
   while (!work.empty()) {
     const Block* b = work.front();
     work.pop_front();
-    StackHeight h = in_.at(b);
-    for (const auto& pi : b->insns()) h = apply(pi, h);
-    out_[b] = h;
+    HeightState s = in_.at(b);
+    for (const auto& pi : b->insns()) s = apply(pi, s);
+    out_[b] = s;
     for (const parse::Edge& e : b->succs()) {
       if (!is_intraproc(e.type)) continue;
       const Block* t = f.block_at(e.target);
       if (!t) continue;
       auto it = in_.find(t);
       if (it == in_.end()) {
-        in_[t] = h;
+        in_[t] = s;
+        reached_[t] = true;
         work.push_back(t);
-      } else if (it->second != h && it->second.has_value()) {
-        // Conflicting or newly-unknown height: demote and re-propagate.
-        it->second = std::nullopt;
-        work.push_back(t);
+      } else {
+        HeightState m = merge(it->second, s);
+        if (!(m == it->second)) {
+          it->second = m;
+          work.push_back(t);
+        }
       }
     }
   }
 
-  // Discover the frame allocation and the return-address save slot from
-  // the first reachable occurrences at known heights. Functions with fast
-  // leaf paths (recursion base cases) allocate/save outside the entry
-  // block, so every reachable block is scanned.
+  // Discover the frame allocation and the ra/fp save slots from the first
+  // reachable occurrences at known heights. Functions with fast leaf paths
+  // (recursion base cases) allocate/save outside the entry block, so every
+  // reachable block is scanned. The fp spill only identifies the *caller's*
+  // fp while x8 provably still holds its entry value.
   for (const auto& [addr, blk] : f.blocks()) {
     const parse::Block* b = blk.get();
     auto it = in_.find(b);
     if (it == in_.end()) continue;
-    StackHeight h = it->second;
+    HeightState s = it->second;
     for (std::size_t i = 0; i < b->insns().size(); ++i) {
       const parse::ParsedInsn& pi = b->insns()[i];
       const isa::Instruction& insn = pi.insn;
-      if (!frame_size_ && h == StackHeight(0) &&
+      if (!frame_size_ && s.sp == StackHeight(0) &&
           insn.mnemonic() == isa::Mnemonic::addi &&
           insn.num_operands() == 3 && insn.operand(0).reg == isa::sp &&
           insn.operand(1).reg == isa::sp && insn.operand(2).imm < 0)
         frame_size_ = -insn.operand(2).imm;
-      if (!save_block_ && h.has_value() &&
-          insn.mnemonic() == isa::Mnemonic::sd && insn.num_operands() == 2 &&
-          insn.operand(0).reg == isa::ra && insn.operand(1).reg == isa::sp) {
-        ra_slot_ = *h + insn.operand(1).imm;  // relative to entry sp
-        save_block_ = b;
-        save_index_ = i;
+      if (insn.mnemonic() == isa::Mnemonic::sd && insn.num_operands() == 2 &&
+          insn.operand(1).reg == isa::sp && s.sp.has_value()) {
+        if (!save_block_ && insn.operand(0).reg == isa::ra) {
+          ra_slot_ = *s.sp + insn.operand(1).imm;  // relative to entry sp
+          save_block_ = b;
+          save_index_ = i;
+        }
+        if (!fp_save_block_ && insn.operand(0).reg == isa::fp &&
+            s.fp_original) {
+          fp_slot_ = *s.sp + insn.operand(1).imm;
+          fp_save_block_ = b;
+          fp_save_index_ = i;
+        }
       }
-      h = apply(pi, h);
+      if (insn.regs_written().contains(isa::fp)) fp_clobbered_ = true;
+      s = apply(pi, s);
     }
   }
-  if (save_block_) idom_ = parse::immediate_dominators(f);
+  if (save_block_ || fp_save_block_) idom_ = parse::immediate_dominators(f);
 }
 
 bool StackHeightAnalysis::ra_saved_at(const parse::Block* block,
@@ -109,24 +168,42 @@ bool StackHeightAnalysis::ra_saved_at(const parse::Block* block,
   return parse::dominates(idom_, save_block_->start(), block->start());
 }
 
+bool StackHeightAnalysis::fp_saved_at(const parse::Block* block,
+                                      std::size_t index) const {
+  if (!fp_save_block_) return false;
+  if (block == fp_save_block_) return index > fp_save_index_;
+  return parse::dominates(idom_, fp_save_block_->start(), block->start());
+}
+
+HeightState StackHeightAnalysis::state_before(const parse::Block* block,
+                                              std::size_t index) const {
+  auto it = in_.find(block);
+  if (it == in_.end()) return HeightState{};
+  HeightState s = it->second;
+  const auto& insns = block->insns();
+  for (std::size_t i = 0; i < index && i < insns.size(); ++i)
+    s = apply(insns[i], s);
+  return s;
+}
+
 StackHeight StackHeightAnalysis::height_in(const Block* block) const {
   auto it = in_.find(block);
-  return it == in_.end() ? std::nullopt : it->second;
+  return it == in_.end() ? std::nullopt : it->second.sp;
 }
 
 StackHeight StackHeightAnalysis::height_out(const Block* block) const {
   auto it = out_.find(block);
-  return it == out_.end() ? std::nullopt : it->second;
+  return it == out_.end() ? std::nullopt : it->second.sp;
 }
 
 StackHeight StackHeightAnalysis::height_before(const Block* block,
                                                std::size_t index) const {
-  StackHeight h = height_in(block);
-  const auto& insns = block->insns();
-  for (std::size_t i = 0; i < index && i < insns.size(); ++i)
-    h = apply(insns[i], h);
-  return h;
+  return state_before(block, index).sp;
 }
 
+StackHeight StackHeightAnalysis::fp_height_before(const parse::Block* block,
+                                                  std::size_t index) const {
+  return state_before(block, index).fp;
+}
 
 }  // namespace rvdyn::dataflow

@@ -4,6 +4,13 @@
 // function entry. StackwalkerAPI's SP-based frame stepper (paper §3.2.7)
 // uses this to walk frames of functions that, as most RISC-V compilers do,
 // omit the frame pointer and address everything off sp.
+//
+// The analysis additionally tracks frame-pointer provenance: where x8 (s0)
+// is set up from sp (`addi s0, sp, imm`), fp-relative sp restores
+// (`addi sp, s0, imm` — the frame-pointer epilogue) keep the height known
+// instead of demoting it, and the slot where the *caller's* fp is spilled
+// (`sd s0, off(sp)` before x8 is first written) is discovered so the
+// walker can recover it.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,16 @@ namespace rvdyn::dataflow {
 /// paths).
 using StackHeight = std::optional<std::int64_t>;
 
+/// Per-program-point lattice state: sp and fp offsets from the entry sp,
+/// plus whether x8 provably still holds the value it had on entry (so a
+/// `sd s0, off(sp)` spills the *caller's* frame pointer).
+struct HeightState {
+  StackHeight sp;
+  StackHeight fp;            ///< x8 - entry_sp, known only after fp setup
+  bool fp_original = false;  ///< x8 unmodified since function entry
+  bool operator==(const HeightState&) const = default;
+};
+
 class StackHeightAnalysis {
  public:
   explicit StackHeightAnalysis(const parse::Function& f);
@@ -32,6 +49,16 @@ class StackHeightAnalysis {
 
   /// Height after the last instruction of `block`.
   StackHeight height_out(const parse::Block* block) const;
+
+  /// Full lattice state immediately before instruction `index` of `block`.
+  /// Unreached blocks report all-unknown / not-original.
+  HeightState state_before(const parse::Block* block,
+                           std::size_t index) const;
+
+  /// fp's offset from the entry sp immediately before instruction `index`
+  /// (known only after an `addi s0, sp, imm` at known height).
+  StackHeight fp_height_before(const parse::Block* block,
+                               std::size_t index) const;
 
   /// The fixed frame size when the function follows the standard pattern
   /// (one `addi sp, sp, -N` allocating from height 0): N, else nullopt.
@@ -49,17 +76,43 @@ class StackHeightAnalysis {
   /// or a block dominated by the save's block).
   bool ra_saved_at(const parse::Block* block, std::size_t index) const;
 
+  /// The stack slot (relative to the entry sp) holding the caller's frame
+  /// pointer: the first reachable `sd s0, off(sp)` at a known height while
+  /// x8 still holds its entry value. nullopt when the function never spills
+  /// fp (or only after clobbering it).
+  std::optional<std::int64_t> fp_save_slot() const { return fp_slot_; }
+
+  /// True when the fp spill has provably executed before instruction
+  /// `index` of `block` (same dominator rule as ra_saved_at).
+  bool fp_saved_at(const parse::Block* block, std::size_t index) const;
+
+  /// True when x8 provably still holds the caller's value immediately
+  /// before instruction `index` of `block` (no write to x8 on any path
+  /// from entry).
+  bool fp_preserved_at(const parse::Block* block, std::size_t index) const {
+    return state_before(block, index).fp_original;
+  }
+
+  /// True when any reached instruction of the function writes x8 (the
+  /// register cannot be trusted to carry the caller's fp on exit paths).
+  bool fp_clobbered() const { return fp_clobbered_; }
+
  private:
-  static StackHeight apply(const parse::ParsedInsn& pi, StackHeight h);
+  static HeightState apply(const parse::ParsedInsn& pi, HeightState s);
+  static HeightState merge(const HeightState& a, const HeightState& b);
 
   const parse::Function& func_;
-  std::map<const parse::Block*, StackHeight> in_;
-  std::map<const parse::Block*, StackHeight> out_;
+  std::map<const parse::Block*, HeightState> in_;
+  std::map<const parse::Block*, HeightState> out_;
   std::map<const parse::Block*, bool> reached_;
   std::optional<std::int64_t> ra_slot_;
+  std::optional<std::int64_t> fp_slot_;
   std::optional<std::int64_t> frame_size_;
   const parse::Block* save_block_ = nullptr;
   std::size_t save_index_ = 0;
+  const parse::Block* fp_save_block_ = nullptr;
+  std::size_t fp_save_index_ = 0;
+  bool fp_clobbered_ = false;
   std::map<std::uint64_t, std::uint64_t> idom_;
 };
 

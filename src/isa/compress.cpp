@@ -91,6 +91,28 @@ std::uint16_t imm6_split(std::int64_t v, std::uint16_t* b12) {
 }  // namespace
 
 std::optional<std::uint16_t> compress(const Instruction& insn) {
+  // Identity first: an instruction decoded from a compressed encoding whose
+  // operands are untouched re-compresses to its own bytes. This keeps
+  // rewriting byte-faithful across the whole accepted RVC space — including
+  // HINT and shamt-0 forms (c.nop, c.addi x0, c.mv x0, c.slli64, ...) that
+  // the canonical search below deliberately never emits — and prefers the
+  // original over an operand-identical alias (c.addi sp vs c.addi16sp).
+  // The re-expansion guard makes a stale raw() harmless.
+  if (insn.compressed()) {
+    const auto half = static_cast<std::uint16_t>(insn.raw());
+    if (const auto re = expand16(half);
+        re && re->mnemonic() == insn.mnemonic() &&
+        re->num_operands() == insn.num_operands()) {
+      bool same = true;
+      for (unsigned i = 0; same && i < insn.num_operands(); ++i) {
+        const Operand& x = insn.operand(i);
+        const Operand& y = re->operand(i);
+        same = x.kind == y.kind && x.reg == y.reg && x.imm == y.imm;
+      }
+      if (same) return half;
+    }
+  }
+
   const Mnemonic mn = insn.mnemonic();
   const auto op = [&](unsigned i) -> const Operand& {
     return insn.operand(i);

@@ -64,6 +64,8 @@ CompiledOperand compile_spec_char(char c, const OpcodeInfo& info) {
     case 'c': op.step = OpStep::Csr; break;
     case 'Z': op.step = OpStep::Zimm; break;
     case 'x': op.step = OpStep::RoundMode; break;
+    case 'q': op.step = OpStep::AqRl; break;
+    case 'f': op.step = OpStep::FenceSet; break;
     default: op.step = OpStep::RoundMode; break;  // unreachable for valid specs
   }
   return op;
@@ -276,6 +278,14 @@ void emit_operands(const DecodeEntry& e, std::uint32_t w, Instruction* out) {
         o.kind = Operand::Kind::RoundMode;
         o.imm = static_cast<std::int64_t>(bits(w, 12, 3));
         break;
+      case OpStep::AqRl:
+        o.kind = Operand::Kind::Ordering;
+        o.imm = static_cast<std::int64_t>(bits(w, 25, 2));
+        break;
+      case OpStep::FenceSet:
+        o.kind = Operand::Kind::Ordering;
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 12));
+        break;
     }
     out->add_operand(o);
   }
@@ -338,6 +348,12 @@ void patch_decoded(const DecodeEntry& e, std::uint32_t w, Instruction* out) {
         break;
       case OpStep::RoundMode:
         o.imm = static_cast<std::int64_t>(bits(w, 12, 3));
+        break;
+      case OpStep::AqRl:
+        o.imm = static_cast<std::int64_t>(bits(w, 25, 2));
+        break;
+      case OpStep::FenceSet:
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 12));
         break;
     }
   }

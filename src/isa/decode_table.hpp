@@ -59,6 +59,8 @@ enum class OpStep : std::uint8_t {
   ImmI, ImmU, PcRelB, PcRelJ, Shamt6, Shamt5,
   MemI, MemS, MemA,      // [rs1 + imm12(I)], [rs1 + imm12(S)], [rs1]
   Csr, Zimm, RoundMode,
+  AqRl,      // atomic aq/rl ordering bits (26:25)
+  FenceSet,  // fence fm:pred:succ field (31:20)
 };
 
 struct CompiledOperand {

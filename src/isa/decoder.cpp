@@ -151,6 +151,20 @@ void build_operands(const OpcodeInfo& info, std::uint32_t w,
         out->add_operand(o);
         break;
       }
+      case 'q': {
+        Operand o;
+        o.kind = Operand::Kind::Ordering;
+        o.imm = static_cast<std::int64_t>(bits(w, 25, 2));
+        out->add_operand(o);
+        break;
+      }
+      case 'f': {
+        Operand o;
+        o.kind = Operand::Kind::Ordering;
+        o.imm = static_cast<std::int64_t>(bits(w, 20, 12));
+        out->add_operand(o);
+        break;
+      }
       default:
         break;
     }

@@ -148,6 +148,24 @@ std::uint32_t encode32(Mnemonic mn, std::span<const Operand> ops) {
         word |= place(rm, 12, 3);
         break;
       }
+      case 'q': {
+        // aq/rl ordering bits: optional, relaxed (00) when not supplied.
+        std::uint32_t aqrl = 0;
+        if (oi < ops.size() && ops[oi].kind == Operand::Kind::Ordering)
+          aqrl = static_cast<std::uint32_t>(ops[oi++].imm & 3);
+        word |= place(aqrl, 25, 2);
+        break;
+      }
+      case 'f': {
+        // fence fm:pred:succ: optional; the bare `fence` mnemonic keeps its
+        // historical all-zero field here (decoded fences carry the operand,
+        // so rewriting preserves the original ordering sets).
+        std::uint32_t sets = 0;
+        if (oi < ops.size() && ops[oi].kind == Operand::Kind::Ordering)
+          sets = static_cast<std::uint32_t>(ops[oi++].imm & 0xfff);
+        word |= place(sets, 20, 12);
+        break;
+      }
       default:
         fail(mn, std::string("bad spec char '") + *p + "'");
     }

@@ -87,13 +87,42 @@ RegSet Instruction::regs_written() const {
   return s;
 }
 
+namespace {
+
+// fence pred/succ set: bits 3..0 = i, o, r, w.
+std::string fence_set(unsigned m) {
+  std::string s;
+  if (m & 8) s += 'i';
+  if (m & 4) s += 'o';
+  if (m & 2) s += 'r';
+  if (m & 1) s += 'w';
+  return s.empty() ? "0" : s;
+}
+
+}  // namespace
+
 std::string Instruction::to_string() const {
   if (!valid()) return "<invalid>";
   std::string out = mnemonic_name(mn_);
+  if (flags_ & F_ATOMIC) {
+    // Atomic ordering prints as a mnemonic suffix, binutils-style.
+    for (unsigned i = 0; i < nops_; ++i) {
+      if (ops_[i].kind != Operand::Kind::Ordering) continue;
+      switch (ops_[i].imm & 3) {
+        case 1: out += ".rl"; break;
+        case 2: out += ".aq"; break;
+        case 3: out += ".aqrl"; break;
+        default: break;
+      }
+    }
+  }
   bool first = true;
   for (unsigned i = 0; i < nops_; ++i) {
     const Operand& op = ops_[i];
     if (op.kind == Operand::Kind::RoundMode) continue;  // elide dynamic rm
+    if (op.kind == Operand::Kind::Ordering &&
+        ((flags_ & F_ATOMIC) || op.imm == 0))
+      continue;  // suffixed above, or the bare-`fence` zero field
     out += first ? " " : ", ";
     first = false;
     switch (op.kind) {
@@ -115,6 +144,11 @@ std::string Instruction::to_string() const {
         out += "csr" + std::to_string(op.imm);
         break;
       case Operand::Kind::RoundMode:
+        break;
+      case Operand::Kind::Ordering:
+        // Reached only for fence with nonzero sets: "fence pred,succ".
+        out += fence_set(static_cast<unsigned>(op.imm) >> 4 & 0xf) + "," +
+               fence_set(static_cast<unsigned>(op.imm) & 0xf);
         break;
     }
   }

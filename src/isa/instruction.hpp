@@ -57,6 +57,9 @@ struct Operand {
     PcRelative, ///< branch/jump byte offset relative to this instruction
     Csr,        ///< CSR number in `imm`
     RoundMode,  ///< FP rounding-mode field in `imm`
+    Ordering,   ///< memory-ordering bits in `imm`: aq/rl for atomics
+                ///< (aq<<1|rl), fm:pred:succ for fence — carried as an
+                ///< operand so re-encoding reproduces the original bytes
   };
   enum Access : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2, kRW = 3 };
 

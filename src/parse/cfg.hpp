@@ -194,12 +194,37 @@ class CodeObject {
   /// True when `a` is a known function entry (used by jalr classification).
   bool is_function_entry(std::uint64_t a) const { return funcs_.count(a) != 0; }
 
+  /// One entry of the sorted address-interval → function index: the
+  /// half-open byte range [start, end) belongs to `func`.
+  struct AddrSegment {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    Function* func = nullptr;
+  };
+
+  /// Function whose parsed blocks contain `a` — O(log segments) through the
+  /// interval index instead of a scan over every function. When functions
+  /// share bytes (gap-parse overlaps, shared epilogues) the one with the
+  /// lowest entry wins, matching the functions() iteration order that the
+  /// old linear scans exposed. Falls back to the linear scan if the index
+  /// has not been built (parse() builds it).
+  Function* function_containing(std::uint64_t a) const;
+
+  /// Rebuild the interval index from the current function set. parse()
+  /// calls this automatically; call again after mutating blocks directly.
+  void rebuild_addr_index();
+
+  /// The sorted, non-overlapping segment list (exposed for tests/tools).
+  const std::vector<AddrSegment>& addr_index() const { return addr_index_; }
+
   /// Aggregate statistics over all functions.
   FunctionStats total_stats() const;
 
  private:
   const symtab::Symtab& symtab_;
   std::map<std::uint64_t, std::unique_ptr<Function>> funcs_;
+  std::vector<AddrSegment> addr_index_;
+  bool addr_index_built_ = false;
 };
 
 }  // namespace rvdyn::parse

@@ -642,9 +642,64 @@ FunctionStats CodeObject::total_stats() const {
   return total;
 }
 
+void CodeObject::rebuild_addr_index() {
+  // Insert every block interval in ascending function-entry order, clipping
+  // against ranges already claimed, so an address shared by two functions
+  // resolves to the lower-entry one — exactly what the old per-lookup scan
+  // over functions() returned. Keyed map: start -> (end, func).
+  std::map<std::uint64_t, std::pair<std::uint64_t, Function*>> covered;
+  for (const auto& [entry, f] : funcs_) {
+    for (const auto& [bstart, blk] : f->blocks()) {
+      std::uint64_t s = blk->start();
+      const std::uint64_t e = blk->end();
+      while (s < e) {
+        auto it = covered.upper_bound(s);
+        if (it != covered.begin()) {
+          auto prev = std::prev(it);
+          if (prev->second.first > s) {
+            s = prev->second.first;  // already claimed; skip past it
+            continue;
+          }
+        }
+        const std::uint64_t lim =
+            (it == covered.end()) ? e : std::min(e, it->first);
+        if (s < lim) covered.emplace(s, std::make_pair(lim, f.get()));
+        s = lim;
+      }
+    }
+  }
+  addr_index_.clear();
+  addr_index_.reserve(covered.size());
+  for (const auto& [s, rest] : covered) {
+    // Merge segments that touch and belong to the same function.
+    if (!addr_index_.empty() && addr_index_.back().end == s &&
+        addr_index_.back().func == rest.second) {
+      addr_index_.back().end = rest.first;
+    } else {
+      addr_index_.push_back(AddrSegment{s, rest.first, rest.second});
+    }
+  }
+  addr_index_built_ = true;
+}
+
+Function* CodeObject::function_containing(std::uint64_t a) const {
+  if (addr_index_built_) {
+    auto it = std::upper_bound(
+        addr_index_.begin(), addr_index_.end(), a,
+        [](std::uint64_t v, const AddrSegment& s) { return v < s.start; });
+    if (it == addr_index_.begin()) return nullptr;
+    --it;
+    return a < it->end ? it->func : nullptr;
+  }
+  for (const auto& [entry, f] : funcs_)
+    if (f->block_containing(a)) return f.get();
+  return nullptr;
+}
+
 void CodeObject::parse(const ParseOptions& opts) {
   Parser parser(*this, symtab_, opts, funcs_);
   parser.run();
+  rebuild_addr_index();
 }
 
 }  // namespace rvdyn::parse

@@ -171,10 +171,11 @@ Bindings bind_operands(const isa::Instruction& insn) {
         b.off = op.imm;
         ++oi;
         break;
-      // FP registers, CSR numbers and rounding modes are not bound: the
-      // modelled (integer) subset never references them, and instructions
-      // outside the subset take the conservative path.
+      // FP registers, CSR numbers, rounding modes and ordering bits are not
+      // bound: the modelled (integer) subset never references them, and
+      // instructions outside the subset take the conservative path.
       case 'D': case 'S': case 'T': case 'R': case 'c': case 'x':
+      case 'q': case 'f':
         ++oi;
         break;
       default:

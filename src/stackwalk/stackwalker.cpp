@@ -18,21 +18,41 @@ struct Location {
 
 std::optional<Location> locate(const parse::CodeObject& co,
                                std::uint64_t pc) {
-  for (const auto& [entry, f] : co.functions()) {
-    const Block* b = f->block_containing(pc);
-    if (!b) continue;
-    for (std::size_t i = 0; i < b->insns().size(); ++i) {
-      if (b->insns()[i].addr == pc) return Location{f.get(), b, i};
-    }
-    // pc inside the block but between decoded boundaries (shouldn't happen
-    // for aligned walks); treat as block start.
-    return Location{f.get(), b, 0};
+  const Function* f = co.function_containing(pc);
+  if (!f) return std::nullopt;
+  const Block* b = f->block_containing(pc);
+  if (!b) return std::nullopt;
+  // Snap to the last instruction boundary ≤ pc. A pc between boundaries
+  // (async stop inside a patched region, misaligned probe) must map to the
+  // instruction containing it — falling back to block start would rewind
+  // the stack height across any sp adjustment earlier in the block and
+  // read the wrong ra slot.
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < b->insns().size(); ++i) {
+    if (b->insns()[i].addr == pc) return Location{f, b, i};
+    if (b->insns()[i].addr < pc) idx = i;
   }
-  return std::nullopt;
+  return Location{f, b, idx};
 }
 
 bool plausible_code_addr(const parse::CodeObject& co, std::uint64_t pc) {
   return pc != 0 && co.symtab().in_code(pc);
+}
+
+/// The caller's frame-pointer value at the point described by `loc`:
+/// still in x8 when the function has not touched it, else loaded from the
+/// prologue's save slot, else unknown (0). Returning the callee's register
+/// value when the callee repurposed x8 would hand FramePointerStepper a
+/// stale chain and let it fabricate frames.
+std::uint64_t recover_caller_fp(proccontrol::Process& proc,
+                                const dataflow::StackHeightAnalysis& sh,
+                                const Location& loc, const Frame& frame,
+                                std::uint64_t entry_sp) {
+  if (sh.fp_preserved_at(loc.block, loc.index)) return frame.fp;
+  const auto slot = sh.fp_save_slot();
+  if (slot && sh.fp_saved_at(loc.block, loc.index))
+    return proc.read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
+  return 0;
 }
 
 }  // namespace
@@ -74,20 +94,29 @@ std::optional<Frame> SpHeightStepper::step(proccontrol::Process& proc,
   Frame out;
   out.pc = ra;
   out.sp = entry_sp;
-  out.fp = frame.fp;
+  out.fp = recover_caller_fp(proc, sh, *loc, frame, entry_sp);
   return out;
 }
 
 std::optional<Frame> LeafStepper::step(proccontrol::Process& proc,
                                        const parse::CodeObject& co,
                                        const Frame& frame) {
-  (void)proc;
   if (frame.ra == 0 || !plausible_code_addr(co, frame.ra))
     return std::nullopt;
   Frame out;
   out.pc = frame.ra;
-  out.sp = frame.sp;  // leaf frames allocate nothing
+  out.sp = frame.sp;
   out.fp = frame.fp;
+  // A stop mid-prologue (after `addi sp, sp, -N`, before `sd ra`) has
+  // already moved sp: undo the known height so the caller frame carries the
+  // caller's sp, and recover the caller's fp if the prologue spilled it.
+  if (const auto loc = locate(co, frame.pc)) {
+    dataflow::StackHeightAnalysis sh(*loc->func);
+    if (const auto h = sh.height_before(loc->block, loc->index)) {
+      out.sp = frame.sp - static_cast<std::uint64_t>(*h);
+      out.fp = recover_caller_fp(proc, sh, *loc, frame, out.sp);
+    }
+  }
   return out;
 }
 
@@ -107,12 +136,9 @@ void StackWalker::add_stepper(std::unique_ptr<FrameStepper> stepper) {
 }
 
 void StackWalker::annotate(Frame* f) const {
-  for (const auto& [entry, func] : co_.functions()) {
-    if (func->block_containing(f->pc)) {
-      f->func_name = func->name();
-      f->func_entry = entry;
-      return;
-    }
+  if (const parse::Function* func = co_.function_containing(f->pc)) {
+    f->func_name = func->name();
+    f->func_entry = func->entry();
   }
 }
 
@@ -125,7 +151,19 @@ std::vector<Frame> StackWalker::walk(unsigned max_depth) {
   cur.ra = proc_.get_reg(isa::ra);
   annotate(&cur);
 
+  // The program's entry function has no caller: once the walk reaches it,
+  // stale register contents (ra left over from a completed call) must not
+  // fabricate an extra frame above it.
+  const parse::Function* entry_func =
+      co_.function_containing(co_.symtab().entry);
+
   for (unsigned depth = 0; depth < max_depth; ++depth) {
+    if (entry_func && cur.func_entry == entry_func->entry() &&
+        !cur.func_name.empty()) {
+      cur.stepper = "";
+      out.push_back(cur);
+      break;
+    }
     std::optional<Frame> caller;
     const char* used = "";
     for (const auto& stepper : steppers_) {

@@ -1,0 +1,142 @@
+// Round-trip oracle acceptance (decode → encode → decode is the identity
+// over random 32-bit words and the exhaustive compressed space), plus
+// pinned regressions for the three encode-loss families the fuzzer
+// originally flushed out: fence fm/pred/succ, atomic aq/rl, and the RVC
+// HINT space (c.nop and friends) that compress() refused to reproduce.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assembler/assembler.hpp"
+#include "check/check.hpp"
+#include "isa/decoder.hpp"
+#include "isa/encoder.hpp"
+#include "symtab/symtab.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using isa::Decoder;
+using isa::Instruction;
+
+std::uint32_t reencode(const Decoder& dec, std::uint32_t word) {
+  Instruction insn;
+  EXPECT_TRUE(dec.decode32(word, &insn)) << std::hex << word;
+  std::vector<isa::Operand> ops;
+  for (unsigned i = 0; i < insn.num_operands(); ++i)
+    ops.push_back(insn.operand(i));
+  return isa::encode32(insn.mnemonic(), ops);
+}
+
+TEST(RoundTrip, RandomWordsAndExhaustiveRvcClean) {
+  const check::RoundTripReport rep = check::run_roundtrip({});
+  for (const auto& d : rep.divergences)
+    ADD_FAILURE() << "[" << d.subject << " enc=0x" << std::hex << d.encoding
+                  << "] " << d.detail;
+  EXPECT_EQ(rep.divergence_count, 0u);
+  // No operand-identical encoding aliases either: re-compression is exact.
+  EXPECT_EQ(rep.rvc_aliases, 0u);
+  EXPECT_GT(rep.decoded32, 40000u);   // random words that decoded
+  EXPECT_GT(rep.decoded16, 40000u);   // the whole valid RVC space
+}
+
+// Regression: decode accepted any fence fm/pred/succ but captured none of
+// it, so every rewritten fence canonicalized to 0x0f (ordering sets lost).
+TEST(RoundTrip, FenceOrderingSetsSurviveReencode) {
+  const Decoder dec{isa::ExtensionSet(0xffff)};
+  const std::uint32_t cases[] = {
+      0x0000000f,  // fence (all-zero sets, historical bare form)
+      0x0ff0000f,  // fence iorw,iorw — what compilers actually emit
+      0x0330000f,  // fence rw,rw
+      0x0820000f,  // fence i,r
+      0x8330000f,  // fence.tso (fm=1000)
+  };
+  for (const std::uint32_t w : cases)
+    EXPECT_EQ(reencode(dec, w), w) << std::hex << w;
+
+  Instruction insn;
+  ASSERT_TRUE(dec.decode32(0x0ff0000f, &insn));
+  EXPECT_EQ(insn.to_string(), "fence iorw,iorw");
+
+  // The reserved rd/rs1 fields are now mask-pinned: a word using them is
+  // rejected outright instead of being silently canonicalized.
+  EXPECT_FALSE(dec.decode32(0x0ff0008f, &insn));  // rd = x1
+  EXPECT_FALSE(dec.decode32(0x0ff0800f, &insn));  // rs1 = x1
+  // fence.i likewise decodes only in its canonical all-reserved-zero form.
+  EXPECT_TRUE(dec.decode32(0x0000100f, &insn));
+  EXPECT_FALSE(dec.decode32(0x0010100f, &insn));
+}
+
+// Regression: aq/rl (bits 26:25) were neither mask-checked nor captured as
+// operands, so rewriting atomics silently weakened their memory ordering.
+TEST(RoundTrip, AtomicAqRlBitsSurviveReencode) {
+  const Decoder dec{isa::ExtensionSet(0xffff)};
+  // Original fuzzer hits: amoadd.d.aq, sc.d.aq, amominu.w.aqrl.
+  for (const std::uint32_t w : {0x0796bb2fu, 0x1c9bbdafu, 0xc73c23afu})
+    EXPECT_EQ(reencode(dec, w), w) << std::hex << w;
+
+  Instruction insn;
+  ASSERT_TRUE(dec.decode32(0xc73c23af, &insn));
+  EXPECT_EQ(insn.to_string().substr(0, 13), "amominu.w.aqr");  // .aqrl suffix
+  ASSERT_TRUE(dec.decode32(0x1c9bbdaf, &insn));
+  EXPECT_NE(insn.to_string().find(".aq"), std::string::npos);
+}
+
+// Regression: decode16 accepts the RVC HINT space (c.nop, c.addi x0,
+// c.li x0, c.slli64, c.mv x0, shamt-0 shifts) but compress() refused to
+// reproduce those bytes, so rewriting a c.nop grew it to four bytes.
+TEST(RoundTrip, RvcHintEncodingsRecompressToThemselves) {
+  const Decoder dec{isa::ExtensionSet(0xffff)};
+  const std::uint16_t cases[] = {
+      0x0001,  // c.nop
+      0x0005,  // c.addi x0, 1 (HINT)
+      0x4001,  // c.li x0, 0 (HINT)
+      0x0002,  // c.slli x0, 0 (c.slli64 HINT)
+      0x105a,  // c.slli x0, 22 (HINT)
+      0x8006,  // c.mv x0, x1 (HINT)
+      0x0141,  // c.addi sp, 16 — used to re-compress as its alias c.addi16sp
+  };
+  for (const std::uint16_t h : cases) {
+    Instruction insn;
+    ASSERT_TRUE(dec.decode16(h, &insn)) << std::hex << h;
+    const auto back = isa::compress(insn);
+    ASSERT_TRUE(back.has_value()) << std::hex << h;
+    EXPECT_EQ(*back, h) << std::hex << h << " -> " << *back;
+  }
+}
+
+// The assembler speaks the new forms: ordering suffixes on atomics and
+// fence predecessor/successor sets round-trip source -> bytes -> decode.
+TEST(RoundTrip, AssemblerEmitsOrderingBits) {
+  const symtab::Symtab st = assembler::assemble(R"(
+    .globl _start
+_start:
+    amoswap.w.aqrl a0, a1, (a2)
+    lr.d.aq t0, (a2)
+    fence rw,rw
+    fence
+    li a7, 93
+    ecall
+)");
+  const auto* sec = st.section_containing(st.entry);
+  ASSERT_NE(sec, nullptr);
+  const std::uint8_t* p = sec->data.data() + (st.entry - sec->addr);
+  const Decoder dec{isa::ExtensionSet(0xffff)};
+  Instruction insn;
+  auto word_at = [&](unsigned off) {
+    return static_cast<std::uint32_t>(p[off]) |
+           (static_cast<std::uint32_t>(p[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(p[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(p[off + 3]) << 24);
+  };
+  ASSERT_TRUE(dec.decode32(word_at(0), &insn));
+  EXPECT_EQ(insn.to_string(), "amoswap.w.aqrl a0, a1, 0(a2)");
+  EXPECT_EQ(word_at(0) & 0x06000000u, 0x06000000u);  // aq|rl set
+  ASSERT_TRUE(dec.decode32(word_at(4), &insn));
+  EXPECT_EQ(insn.mnemonic(), isa::Mnemonic::lr_d);
+  EXPECT_EQ(word_at(4) & 0x06000000u, 0x04000000u);  // aq only
+  EXPECT_EQ(word_at(8), 0x0330000fu);                // fence rw,rw
+  EXPECT_EQ(word_at(12), 0x0000000fu);               // bare fence unchanged
+}
+
+}  // namespace

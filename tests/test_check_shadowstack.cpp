@@ -1,0 +1,73 @@
+// Shadow-stack oracle acceptance: StackWalker::walk agrees frame-by-frame
+// with the emulator's ground-truth call stack at randomized stop points
+// over real workloads — including mid-prologue, mid-epilogue and leaf pcs,
+// since stops are drawn uniformly from the whole retirement trace.
+#include <gtest/gtest.h>
+
+#include "check/check.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace rvdyn;
+
+void expect_clean(const check::ShadowStackReport& rep) {
+  for (const auto& d : rep.divergences)
+    ADD_FAILURE() << "[" << d.subject << " step=" << d.seed << "] " << d.detail;
+  EXPECT_EQ(rep.divergence_count, 0u);
+}
+
+TEST(ShadowStack, MatmulTwoHundredRandomStops) {
+  check::ShadowStackOptions opts;
+  opts.stops = 200;
+  const auto rep =
+      check::run_shadow_stack("matmul", workloads::matmul_program(10, 3), opts);
+  expect_clean(rep);
+  EXPECT_EQ(rep.stops, 200u);
+  EXPECT_GT(rep.frames_compared, 200u);
+  EXPECT_GE(rep.max_depth, 2u);
+}
+
+TEST(ShadowStack, SortTwoHundredRandomStops) {
+  check::ShadowStackOptions opts;
+  opts.stops = 200;
+  const auto rep =
+      check::run_shadow_stack("sort", workloads::sort_program(96), opts);
+  expect_clean(rep);
+  EXPECT_EQ(rep.stops, 200u);
+  EXPECT_GT(rep.frames_compared, 200u);
+}
+
+TEST(ShadowStack, CallChurnWalkAtEveryRetiredInstruction) {
+  // Exhaustive: a walk after every instruction covers every prologue and
+  // epilogue offset the program ever occupies.
+  check::ShadowStackOptions opts;
+  opts.walk_every_step = true;
+  const auto rep = check::run_shadow_stack(
+      "call_churn", workloads::call_churn_program(2), opts);
+  expect_clean(rep);
+  EXPECT_EQ(rep.stops, rep.steps);
+  EXPECT_GE(rep.max_depth, 3u);
+}
+
+TEST(ShadowStack, FibRecursionDepth) {
+  check::ShadowStackOptions opts;
+  opts.stops = 200;
+  const auto rep =
+      check::run_shadow_stack("fib", workloads::fib_program(12), opts);
+  expect_clean(rep);
+  EXPECT_GE(rep.max_depth, 8u);  // recursion actually went deep
+}
+
+TEST(ShadowStack, DifferentSeedsDifferentStopsStillClean) {
+  for (const std::uint64_t seed : {0x1ULL, 0xdecafULL}) {
+    check::ShadowStackOptions opts;
+    opts.seed = seed;
+    opts.stops = 64;
+    const auto rep = check::run_shadow_stack(
+        "dispatch", workloads::dispatch_program(40), opts);
+    expect_clean(rep);
+  }
+}
+
+}  // namespace

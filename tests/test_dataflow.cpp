@@ -231,6 +231,79 @@ l:
   EXPECT_EQ(sh.height_in(join), -16);
 }
 
+// Regression (found by the shadow-stack oracle): the frame-pointer epilogue
+// `addi sp, s0, imm` used to demote the height to unknown even when fp
+// provenance was known, so a stop between the sp restore and the `ret` lost
+// the walk. With fp tracked, the height stays known through the epilogue.
+TEST(StackHeight, FpEpilogueKeepsHeightKnown) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi sp, sp, -64
+    sd ra, 56(sp)
+    sd s0, 48(sp)
+    addi s0, sp, 64   # fp = entry sp
+    li t0, 128
+    sub sp, sp, t0    # variable-size alloca: sp height unknown here
+    addi sp, s0, -64  # fp-relative restore back to the fixed frame
+    ld ra, 56(sp)
+    ld s0, 48(sp)
+    addi sp, sp, 64
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  const Block* b = f->entry_block();
+  EXPECT_EQ(sh.height_before(b, 4), -64);           // after the fp setup
+  EXPECT_EQ(sh.height_before(b, 6), std::nullopt);  // inside the alloca
+  // After `addi sp, s0, -64`: fp is entry_sp, so sp = entry_sp - 64.
+  EXPECT_EQ(sh.height_before(b, 7), -64);
+  EXPECT_EQ(sh.height_out(b), 0);  // the whole epilogue resolves
+  ASSERT_TRUE(sh.fp_save_slot().has_value());
+  EXPECT_EQ(*sh.fp_save_slot(), -64 + 48);
+  EXPECT_TRUE(sh.fp_saved_at(b, 4));
+  EXPECT_FALSE(sh.fp_saved_at(b, 2));  // before the sd s0
+}
+
+// Pinning: without fp provenance (s0 never set up from sp), the fp-relative
+// restore must still go unknown — guessing here would corrupt walks.
+TEST(StackHeight, FpEpilogueWithoutProvenanceStaysUnknown) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi sp, sp, -32
+    addi sp, s0, -32  # s0's relation to sp was never established
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  const Block* b = f->entry_block();
+  EXPECT_EQ(sh.height_before(b, 1), -32);
+  EXPECT_EQ(sh.height_before(b, 2), std::nullopt);
+  EXPECT_EQ(sh.height_out(b), std::nullopt);
+}
+
+TEST(StackHeight, FpClobberTracking) {
+  auto p = parse_src(R"(
+    .globl f
+f:
+    addi sp, sp, -32
+    sd s0, 24(sp)
+    li s0, 7          # clobbers fp after the spill
+    ld s0, 24(sp)
+    addi sp, sp, 32
+    ret
+)");
+  Function* f = p.co->function_named("f");
+  StackHeightAnalysis sh(*f);
+  const Block* b = f->entry_block();
+  EXPECT_TRUE(sh.fp_clobbered());
+  EXPECT_TRUE(sh.fp_preserved_at(b, 2));   // before the li
+  EXPECT_FALSE(sh.fp_preserved_at(b, 3));  // after it
+  ASSERT_TRUE(sh.fp_save_slot().has_value());
+  EXPECT_EQ(*sh.fp_save_slot(), -32 + 24);
+}
+
 // ---- slicing ----
 
 TEST(Slicing, BackwardSliceFollowsDataflow) {

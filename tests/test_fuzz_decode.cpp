@@ -42,17 +42,25 @@ TEST_P(FuzzDecode, RandomWordsNeverCrashAndRoundTrip) {
     Instruction insn;
     if (!dec.decode32(word | 0x3, &insn)) continue;  // force 32-bit space
     ++decoded;
-    // Rebuild from the operand list; the re-encoded word must decode to an
-    // equal instruction (unconstrained bits like aq/rl may differ).
+    // Rebuild from the operand list; re-encoding must reproduce the exact
+    // original bytes — every architectural bit (including aq/rl and fence
+    // sets) is carried by some operand, and every don't-care bit is pinned
+    // by the decode mask.
     std::vector<isa::Operand> ops;
     for (unsigned k = 0; k < insn.num_operands(); ++k)
       ops.push_back(insn.operand(k));
     const std::uint32_t re = isa::encode32(insn.mnemonic(), ops);
+    EXPECT_EQ(re, word | 0x3)
+        << std::hex << (word | 0x3) << " -> " << re << ": "
+        << insn.to_string();
     Instruction insn2;
     ASSERT_TRUE(dec.decode32(re, &insn2)) << std::hex << word;
     EXPECT_TRUE(same_instruction(insn, insn2))
         << std::hex << word << " -> " << re << ": " << insn.to_string()
         << " vs " << insn2.to_string();
+    // The operand read/write sets must survive the round trip too.
+    EXPECT_EQ(insn.regs_read(), insn2.regs_read()) << insn.to_string();
+    EXPECT_EQ(insn.regs_written(), insn2.regs_written()) << insn.to_string();
   }
   // A random 32-bit word hits a valid encoding reasonably often.
   EXPECT_GT(decoded, 100u);
@@ -72,6 +80,27 @@ TEST_P(FuzzDecode, RandomHalfwordsNeverCrash) {
       EXPECT_FALSE(insn.to_string().empty());
     }
   }
+}
+
+TEST(FuzzDecodeExhaustive, EveryValidHalfwordRecompressesToItself) {
+  // The entire 16-bit space: whatever decode16 accepts, compress() must map
+  // back to the identical halfword — HINT encodings and aliasable forms
+  // (c.addi sp vs c.addi16sp) included.
+  Decoder dec(isa::ExtensionSet(0xffff));
+  unsigned decoded = 0;
+  for (std::uint32_t h = 0; h <= 0xffff; ++h) {
+    if ((h & 3) == 3) continue;
+    const auto half = static_cast<std::uint16_t>(h);
+    Instruction insn;
+    if (!dec.decode16(half, &insn)) continue;
+    ++decoded;
+    const auto back = isa::compress(insn);
+    ASSERT_TRUE(back.has_value())
+        << std::hex << h << ": " << insn.to_string();
+    EXPECT_EQ(*back, half)
+        << std::hex << h << " -> " << *back << ": " << insn.to_string();
+  }
+  EXPECT_GT(decoded, 40000u);
 }
 
 TEST_P(FuzzDecode, RandomByteStreamsParseSafely) {

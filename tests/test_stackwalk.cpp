@@ -258,4 +258,150 @@ TEST(StackWalk, FramesCarrySpOrdering) {
     EXPECT_GE(frames[i].sp, frames[i - 1].sp) << i;
 }
 
+// Regression (found by the shadow-stack oracle): a pc that falls between
+// instruction boundaries — e.g. mid-patch, or a corrupted sample — used to
+// make locate() fall back to height index 0 (function entry), walking as if
+// no frame existed. It must snap to the last boundary at or below the pc.
+TEST(StackWalk, MidInstructionPcSnapsToBoundary) {
+  const char* src = R"(
+    .globl _start
+    .globl f
+    .globl probe
+_start:
+    call f
+    li a7, 93
+    ecall
+f:
+    addi sp, sp, -2032
+    sd ra, 2024(sp)
+probe:
+    addi t0, t0, 1000
+    ld ra, 2024(sp)
+    addi sp, sp, 2032
+    ret
+)";
+  auto s = stop_at(src, "probe");
+  const auto* sym = s.st.find_symbol("probe");
+  ASSERT_NE(sym, nullptr);
+  // Point the pc into the middle of the 4-byte addi at `probe`. The stack
+  // height there is the same as at `probe` itself: -2032, ra saved.
+  s.proc->set_pc(sym->value + 2);
+
+  StackWalker walker(*s.proc, *s.co);
+  const auto frames = walker.walk();
+  const auto names = frame_names(frames);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(names[0], "f");
+  EXPECT_EQ(names[1], "_start");
+  // With the old entry-height fallback the caller sp came out 2032 short.
+  EXPECT_EQ(frames[1].sp, frames[0].sp + 2032);
+}
+
+// Regression (found by the shadow-stack oracle): when a callee saves and
+// then clobbers s0, the frame-pointer stepper used to copy the *stale*
+// callee fp into the caller frame instead of recovering the caller's fp
+// from the save slot, derailing the rest of the fp-chain walk.
+TEST(StackWalk, StaleFpRecoveredFromSaveSlot) {
+  const char* src = R"(
+    .globl _start
+    .globl fpmaker
+    .globl mid
+    .globl leaf
+_start:
+    li s0, 0          # terminate the fp chain
+    call fpmaker
+    li a7, 93
+    ecall
+fpmaker:
+    li t0, 32
+    sub sp, sp, t0    # register-sized frame: only walkable via fp chain
+    sd ra, 24(sp)
+    sd s0, 16(sp)
+    addi s0, sp, 32
+    call mid
+    ld ra, 24(sp)
+    ld s0, 16(sp)
+    addi sp, sp, 32
+    ret
+mid:
+    addi sp, sp, -32
+    sd ra, 24(sp)
+    sd s0, 16(sp)
+    li s0, 12345      # clobber fp after saving it
+    call leaf
+    ld ra, 24(sp)
+    ld s0, 16(sp)
+    addi sp, sp, 32
+    ret
+leaf:
+    nop
+    ret
+)";
+  auto s = stop_at(src, "leaf");
+  StackWalker walker(*s.proc, *s.co);
+  const auto frames = walker.walk();
+  const auto names = frame_names(frames);
+  ASSERT_GE(frames.size(), 4u);
+  EXPECT_EQ(names[0], "leaf");
+  EXPECT_EQ(names[1], "mid");
+  // fpmaker's frame is register-sized: reaching _start requires the caller
+  // fp recovered from mid's save slot, not the clobbered live s0 (12345).
+  EXPECT_EQ(names[2], "fpmaker");
+  EXPECT_EQ(names[3], "_start");
+  EXPECT_STREQ(frames[2].stepper, "frame-pointer");
+}
+
+// Once the walk reaches the entry function there is no caller: the walk
+// must stop rather than manufacture frames from leftover ra/stack bytes.
+TEST(StackWalk, EntryFunctionFencesWalk) {
+  const char* src = R"(
+    .globl _start
+    .globl f
+    .globl after
+_start:
+    call f
+after:
+    nop
+    li a7, 93
+    ecall
+f:
+    ret
+)";
+  auto s = stop_at(src, "after");
+  StackWalker walker(*s.proc, *s.co);
+  const auto frames = walker.walk();
+  ASSERT_EQ(frames.size(), 1u);  // ra still points into _start; not a frame
+  EXPECT_EQ(frames[0].func_name, "_start");
+}
+
+// Mid-prologue stop: sp already dropped but ra not yet saved. The height
+// analysis knows the sp displacement at that exact pc; the caller sp must
+// reflect the full (large, non-RVC) adjustment.
+TEST(StackWalk, MidProloguePcUsesExactHeight) {
+  const char* src = R"(
+    .globl _start
+    .globl f
+    .globl midpro
+_start:
+    call f
+    li a7, 93
+    ecall
+f:
+    addi sp, sp, -448
+midpro:
+    sd ra, 440(sp)
+    ld ra, 440(sp)
+    addi sp, sp, 448
+    ret
+)";
+  auto s = stop_at(src, "midpro");
+  StackWalker walker(*s.proc, *s.co);
+  const auto frames = walker.walk();
+  const auto names = frame_names(frames);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(names[0], "f");
+  EXPECT_EQ(names[1], "_start");
+  EXPECT_EQ(frames[1].sp, frames[0].sp + 448);
+}
+
 }  // namespace

@@ -1,0 +1,60 @@
+# Builds the tree once with -DRVDYN_SANITIZE=undefined and runs the
+# semantics, emulator, and differential-check suites under UBSan. The
+# lockstep oracle drives both interpreters through adversarial corner
+# states (INT_MIN / -1 division, shift-amount edges, signed boundaries) —
+# the inputs where undefined behavior in either side would silently decide
+# a comparison. Run via
+#   cmake -P tests/ubsan_check.cmake
+# (registered as the `ubsan_check_suite` ctest from non-sanitized builds).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-ubsan)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-ubsan)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "ubsan check: configuring ${BINARY_DIR} with -DRVDYN_SANITIZE=undefined")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_SANITIZE=undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ubsan check: configure failed")
+endif()
+
+# Both sides of the lockstep comparison plus the three oracle harnesses.
+set(targets
+  test_semantics
+  test_emu
+  test_emu_cache
+  test_check_lockstep
+  test_check_roundtrip
+  test_check_shadowstack)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ubsan check: build failed with RVDYN_SANITIZE=undefined")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "ubsan check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "ubsan check: ${t} failed under UBSan")
+  endif()
+endforeach()
+
+message(STATUS "ubsan check: semantics/emu/check suites clean under UBSan")
