@@ -28,6 +28,34 @@
 
 namespace rvdyn::bench {
 
+// ---- build hygiene --------------------------------------------------------
+
+/// True when this harness was compiled without optimization (-O0). Numbers
+/// from such a build measure the compiler's laziness, not the toolkit;
+/// every BENCH_*.json records the flag so a degraded file can never be
+/// mistaken for a real baseline.
+constexpr bool build_is_degraded() {
+#if defined(__OPTIMIZE__)
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Loud stderr banner when running a degraded build. Call once at harness
+/// start (run_benchmarks_with_json and JsonWriter::write both do).
+inline void warn_if_degraded() {
+  if (!build_is_degraded()) return;
+  std::fprintf(stderr,
+               "*** WARNING: benchmark built WITHOUT optimization "
+               "(build_type=%s). ***\n"
+               "*** Numbers below are not comparable to committed "
+               "baselines; rebuild with   ***\n"
+               "*** -DCMAKE_BUILD_TYPE=Release (or RelWithDebInfo) before "
+               "trusting them.    ***\n",
+               RVDYN_BUILD_TYPE);
+}
+
 // ---- machine-readable benchmark output ------------------------------------
 //
 // Every bench writes a BENCH_<name>.json into the working directory so the
@@ -40,6 +68,8 @@ namespace rvdyn::bench {
 inline std::string meta_json(std::size_t entries_run) {
   std::string s = "{\"git_sha\": \"" RVDYN_GIT_SHA
                   "\", \"build_type\": \"" RVDYN_BUILD_TYPE "\"";
+  s += ", \"degraded\": ";
+  s += build_is_degraded() ? "true" : "false";
   s += ", \"obs\": ";
 #if RVDYN_OBS_ENABLED
   s += "true";
@@ -91,6 +121,7 @@ inline bool append_meta_to_json_file(const std::string& path,
 /// JSON gets an `rvdyn_meta` provenance block appended.
 inline int run_benchmarks_with_json(int argc, char** argv,
                                     const char* default_out) {
+  warn_if_degraded();
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = std::string("--benchmark_out=") + default_out;
   std::string fmt_flag = "--benchmark_out_format=json";
@@ -129,6 +160,7 @@ class JsonWriter {
   /// Write the collected entries plus the rvdyn_meta provenance block;
   /// returns false on I/O failure.
   bool write() const {
+    warn_if_degraded();
     std::FILE* fp = std::fopen(path_.c_str(), "w");
     if (!fp) return false;
     std::fprintf(fp, "{\n  \"benchmarks\": [\n");

@@ -112,6 +112,57 @@ struct RoundTripReport {
 RoundTripReport run_roundtrip(const RoundTripOptions& opts = {});
 
 // ---------------------------------------------------------------------------
+// JIT-tier differential oracle
+// ---------------------------------------------------------------------------
+
+/// Which emu::jit backend the subject machine should use. Mirrors
+/// emu::jit::BackendKind without pulling jit headers into check.hpp, so
+/// this header stays valid under -DRVDYN_JIT=OFF builds.
+enum class JitDiffBackend { Auto, X64, Threaded };
+
+struct JitDiffOptions {
+  std::uint64_t seed = 0x5eedULL;
+  /// Compile on the second execution of a block so even short workloads
+  /// spend most of their retirement in compiled code.
+  std::uint32_t hot_threshold = 2;
+  std::uint64_t max_steps = 50'000'000;
+  /// 0 = one uninterrupted run; N > 0 = drive the JIT machine through N
+  /// randomized run(k) chunks, exercising budget side-exits and session
+  /// re-entry mid-trace.
+  unsigned chunks = 0;
+  /// Diff the per-pc hit/cycle profile as well as final state.
+  bool with_profile = true;
+  /// Meta-test hook: compile this mnemonic with a deliberately wrong
+  /// template (forwarded to emu::jit::Config::sabotage). The oracle is
+  /// expected to report divergences when set.
+  isa::Mnemonic sabotage = isa::Mnemonic::kInvalid;
+  JitDiffBackend backend = JitDiffBackend::Auto;
+  unsigned max_recorded = 20;
+};
+
+struct JitDiffReport {
+  std::uint64_t steps = 0;          ///< instructions retired (reference)
+  std::uint64_t jit_steps = 0;      ///< of which the subject retired in JIT
+  std::uint64_t blocks_compiled = 0;
+  std::uint64_t profile_pcs = 0;    ///< per-pc profile entries compared
+  std::uint64_t divergence_count = 0;
+  std::vector<Divergence> divergences;
+  /// False when the build has the JIT compiled out (-DRVDYN_JIT=OFF):
+  /// nothing was compared and ok() is vacuously true.
+  bool jit_available = false;
+  bool ok() const { return divergence_count == 0; }
+};
+
+/// Assemble `asm_src` and run it twice — once interpreter-only, once with
+/// the JIT tier hot — then diff stop reason, exit code, pc, every x/f
+/// register, instret, cycles, a whole-memory digest, and (optionally) the
+/// per-pc profile. Divergences carry the register/pc detail needed to
+/// reproduce. The subject run must actually enter compiled code or a
+/// divergence is reported (guards against the tier silently not engaging).
+JitDiffReport run_jit_diff(const std::string& name, const std::string& asm_src,
+                           const JitDiffOptions& opts = {});
+
+// ---------------------------------------------------------------------------
 // Shadow-stack walk oracle
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,30 @@
+// Internal backend factories (not part of the public jit.hpp surface).
+#pragma once
+
+#include <memory>
+
+#include "emu/jit/jit.hpp"
+
+namespace rvdyn::emu::jit {
+
+/// Portable tail-dispatched continuation backend. Never fails.
+std::unique_ptr<Tier> make_threaded_tier(const Config& cfg);
+
+/// x86-64 copy-and-patch backend. Returns nullptr when the host is not
+/// x86-64 Linux or the RWX code arena cannot be mapped.
+std::unique_ptr<Tier> make_x64_tier(const Config& cfg);
+
+/// Software-TLB hit test shared by the threaded backend and the C slow
+/// paths: host pointer for `addr` when its page is cached AND the access
+/// does not cross the page edge, else nullptr. Mirrors exactly the check
+/// the x64 backend emits inline.
+inline std::uint8_t* tlb_lookup(JitState& st, std::uint64_t addr,
+                                unsigned size) {
+  const std::uint64_t page = addr >> 12;
+  const unsigned idx = page & (kTlbEntries - 1);
+  if (st.tlb_tag[idx] == page && ((addr & 4095) + size) <= 4096)
+    return st.tlb_host[idx] + (addr & 4095);
+  return nullptr;
+}
+
+}  // namespace rvdyn::emu::jit

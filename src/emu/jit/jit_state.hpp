@@ -1,0 +1,73 @@
+// JitState: the emulator's architectural state laid out for direct access
+// from JIT-compiled host code.
+//
+// The Machine embeds one JitState as its *only* copy of the guest register
+// file, so entering and leaving compiled code moves no data: x86-64
+// templates address the fields as [rbx + offset] with rbx pinned to the
+// JitState base, the threaded-code backend addresses them by precomputed
+// byte offsets, and the interpreter reads the same words through the
+// Machine accessors. Side-exits therefore materialize full architectural
+// state by construction — compiled code keeps instret/cycles up to date at
+// block granularity and writes the exit pc before returning.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+// Driven by the RVDYN_JIT CMake option (OFF passes RVDYN_JIT_ENABLED=0 on
+// the command line); defaults to ON.
+#ifndef RVDYN_JIT_ENABLED
+#define RVDYN_JIT_ENABLED 1
+#endif
+
+namespace rvdyn::emu::jit {
+
+/// Direct-mapped software-TLB geometry: {guest page number -> host page
+/// base}. emu::Memory pages are allocated on first touch and never freed
+/// or moved, so a filled entry stays valid for the Machine's lifetime and
+/// the TLB never needs shootdowns.
+inline constexpr unsigned kTlbBits = 8;
+inline constexpr unsigned kTlbEntries = 1u << kTlbBits;
+
+/// Side-exit reasons compiled code reports in JitState::exit_kind.
+enum ExitKind : std::uint32_t {
+  kExitNone = 0,
+  kExitEdge = 1,      ///< direct edge (branch/jal) to an unchained target
+  kExitDispatch = 2,  ///< jalr target missed the inline dispatch table
+  kExitBudget = 3,    ///< next block would overrun the session step budget
+  kExitInterp = 4,    ///< next insn needs the interpreter (trap/syscall/...)
+};
+
+struct JitState {
+  std::uint64_t x[32] = {};  ///< integer registers; x[0] is kept 0 by
+                             ///< invariant so templates read it blindly
+  std::uint64_t f[32] = {};  ///< FP registers (singles NaN-boxed)
+  std::uint64_t pc = 0;
+  std::uint64_t instret = 0;
+  std::uint64_t cycles = 0;
+
+  // --- session fields (meaningful only while compiled code runs) ---
+  std::uint64_t budget = 0;  ///< remaining steps; blocks subtract up front
+  std::uint64_t blocks_entered = 0;  ///< compiled blocks entered (stats)
+  std::uint64_t dispatch_hits = 0;   ///< inline jalr-table hits (stats)
+  std::uint64_t sink = 0;       ///< x0-write target (threaded backend)
+  std::uint32_t exit_kind = 0;  ///< ExitKind of the last side exit
+  std::uint32_t exit_edge = 0;  ///< edge id for kExitEdge
+  void* machine = nullptr;      ///< owning emu::Machine, for slow helpers
+  void* tier = nullptr;         ///< owning jit::Tier
+
+  std::uint64_t tlb_tag[kTlbEntries];   ///< guest page number, ~0 = empty
+  std::uint8_t* tlb_host[kTlbEntries];  ///< host base of that 4KiB page
+
+  JitState() {
+    for (unsigned i = 0; i < kTlbEntries; ++i) {
+      tlb_tag[i] = ~0ULL;
+      tlb_host[i] = nullptr;
+    }
+  }
+};
+
+static_assert(std::is_standard_layout_v<JitState>,
+              "compiled code addresses JitState by fixed byte offsets");
+
+}  // namespace rvdyn::emu::jit

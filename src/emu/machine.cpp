@@ -91,12 +91,27 @@ void Machine::publish_metrics() {
                     c.evict_capacity - p.evict_capacity);
   RVDYN_OBS_COUNT_N("rvdyn.emu.fencei_flushes",
                     c.fencei_flushes - p.fencei_flushes);
-  RVDYN_OBS_GAUGE("rvdyn.emu.instret", instret_);
-  RVDYN_OBS_GAUGE("rvdyn.emu.cycles", cycles_);
+  RVDYN_OBS_GAUGE("rvdyn.emu.instret", st_.instret);
+  RVDYN_OBS_GAUGE("rvdyn.emu.cycles", st_.cycles);
   published_ = cstats_;
   decoder_.publish_stats();
+#if RVDYN_JIT_ENABLED
+  if (jit_) jit_->publish_metrics();
+#endif
 #endif
 }
+
+#if RVDYN_JIT_ENABLED
+void Machine::set_jit_enabled(bool on) {
+  if (!on && jit_) {
+    jit_->publish_metrics();
+    // Drop code rather than the tier itself: the epoch bump marks every
+    // bcache jit_epoch stamp stale, so blocks recompile on re-enable.
+    jit_->invalidate_all(jit::InvalidateCause::Config);
+  }
+  jit_enabled_ = on;
+}
+#endif
 
 void Machine::load(const symtab::Symtab& binary) {
   RVDYN_OBS_SPAN("rvdyn.emu.load");
@@ -109,7 +124,7 @@ void Machine::load(const symtab::Symtab& binary) {
     if (sec.data.empty()) continue;
     mem_.write_bytes(sec.addr, sec.data.data(), sec.data.size());
   }
-  pc_ = binary.entry;
+  st_.pc = binary.entry;
   mem_.map(kStackTop - kStackSize, kStackSize);
   set_x(2, kStackTop - 64);  // sp, with a little headroom for argv scaffolding
   stop_ = StopReason::Running;
@@ -117,6 +132,17 @@ void Machine::load(const symtab::Symtab& binary) {
 }
 
 void Machine::flush_code_caches() {
+#if RVDYN_JIT_ENABLED
+  // Compiled blocks are invalidated by the same events that flush the
+  // interpreter caches; the cause carries over for eviction attribution.
+  if (jit_) {
+    jit::InvalidateCause cause = jit::InvalidateCause::Config;
+    if (flush_pending_ & kFlushFenceI) cause = jit::InvalidateCause::FenceI;
+    else if (flush_pending_ & kFlushWriteCode)
+      cause = jit::InvalidateCause::WriteCode;
+    jit_->invalidate_all(cause);
+  }
+#endif
   for (ICacheLine& line : icache_) line.tag = ~0ULL;
   // Attribute the dropped block entries to whichever event forced the
   // flush; a fence.i wins because the full flush is architecturally its.
@@ -143,6 +169,12 @@ void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
     ICacheLine& line = icache_[(a >> 1) & (kICacheLines - 1)];
     if (line.tag == a) line.tag = ~0ULL;
   }
+#if RVDYN_JIT_ENABLED
+  // Precisely drop (and unchain) compiled blocks overlapping the patch;
+  // safe even mid-run because compiled code is never executing while the
+  // debugger surface runs.
+  if (jit_) jit_->invalidate_range(addr, hi, jit::InvalidateCause::WriteCode);
+#endif
   if (in_block_) {
     // Patching from inside block execution (e.g. a trace hook): erasing
     // bcache_ here would destroy the vector being iterated, so defer to
@@ -190,29 +222,34 @@ bool Machine::fetch(std::uint64_t pc, Instruction* out, unsigned* len) {
   return n != 0;
 }
 
-void Machine::charge(const Instruction& insn, bool taken_branch) {
-  unsigned c = model_.base;
-  if (insn.reads_memory()) c = model_.load;
-  else if (insn.writes_memory()) c = model_.store;
+unsigned insn_cycle_charge(const CycleModel& model, const Instruction& insn,
+                           bool taken_branch) {
+  unsigned c = model.base;
+  if (insn.reads_memory()) c = model.load;
+  else if (insn.writes_memory()) c = model.store;
   if (insn.has_flag(isa::F_MULDIV)) {
     const Mnemonic m = insn.mnemonic();
     const bool is_div = m == Mnemonic::div || m == Mnemonic::divu ||
                         m == Mnemonic::rem || m == Mnemonic::remu ||
                         m == Mnemonic::divw || m == Mnemonic::divuw ||
                         m == Mnemonic::remw || m == Mnemonic::remuw;
-    c = is_div ? model_.div : model_.mul;
+    c = is_div ? model.div : model.mul;
   } else if (insn.has_flag(isa::F_FLOAT)) {
     const Mnemonic m = insn.mnemonic();
     const bool is_fdiv = m == Mnemonic::fdiv_s || m == Mnemonic::fdiv_d ||
                          m == Mnemonic::fsqrt_s || m == Mnemonic::fsqrt_d;
     if (!insn.reads_memory() && !insn.writes_memory())
-      c = is_fdiv ? model_.fdiv : model_.fp;
+      c = is_fdiv ? model.fdiv : model.fp;
   }
-  if (taken_branch) c += model_.branch_taken - 1;
-  cycles_ += c;
+  if (taken_branch) c += model.branch_taken - 1;
+  return c;
 }
 
-const Machine::BlockEntry* Machine::lookup_or_build_block(std::uint64_t pc) {
+void Machine::charge(const Instruction& insn, bool taken_branch) {
+  st_.cycles += insn_cycle_charge(model_, insn, taken_branch);
+}
+
+Machine::BlockEntry* Machine::lookup_or_build_block(std::uint64_t pc) {
   const auto it = bcache_.find(pc);
   if (it != bcache_.end()) {
     RVDYN_OBS_STAT(++cstats_.bcache_hits);
@@ -249,10 +286,38 @@ StopReason Machine::run(std::uint64_t max_steps) {
   RVDYN_OBS_SPAN("rvdyn.emu.run");
   stop_ = StopReason::Running;
   std::uint64_t remaining = max_steps;
+#if RVDYN_JIT_ENABLED
+  // Compiled code bypasses the per-insn hook/watchpoint checks, so the JIT
+  // stands down entirely whenever either is active.
+  const bool jit_ok =
+      jit_enabled_ && trace_ == nullptr && watchpoints_.empty();
+#endif
   while (remaining > 0) {
     if (flush_pending_) flush_code_caches();
-    const BlockEntry* blk = lookup_or_build_block(pc_);
+#if RVDYN_JIT_ENABLED
+    if (jit_ok && jit_ && jit_->has_code()) {
+      const std::uint64_t done = jit_->execute(*this, remaining);
+      if (done != 0) {
+        remaining -= done;
+        continue;
+      }
+    }
+#endif
+    BlockEntry* blk = lookup_or_build_block(st_.pc);
     if (blk != nullptr && blk->insns.size() <= remaining) {
+#if RVDYN_JIT_ENABLED
+      if (jit_ok) {
+        if (blk->exec_count < jit_cfg_.hot_threshold) {
+          ++blk->exec_count;
+        } else if (!jit_ || blk->jit_epoch != jit_->epoch()) {
+          if (!jit_) jit_ = jit::Tier::create(jit_cfg_);
+          // Stamp the epoch first: a failed compile is remembered and the
+          // block is not re-offered until the next invalidation.
+          blk->jit_epoch = jit_->epoch();
+          if (jit_->compile(*this, blk->start, blk->insns)) continue;
+        }
+      }
+#endif
       // Execute the whole straight-line run without per-instruction
       // fetch/dispatch. Only the last instruction can redirect pc, so each
       // iteration resumes exactly where the next cached insn was decoded.
@@ -325,51 +390,37 @@ StopReason Machine::exec_one() {
   if (flush_pending_) flush_code_caches();
   Instruction insn;
   unsigned len = 0;
-  if (!fetch(pc_, &insn, &len))
-    return mem_.is_mapped(pc_) ? StopReason::IllegalInsn : StopReason::BadFetch;
+  if (!fetch(st_.pc, &insn, &len))
+    return mem_.is_mapped(st_.pc) ? StopReason::IllegalInsn : StopReason::BadFetch;
   return exec_insn(insn, len);
 }
 
 StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
-  if (trace_) trace_(pc_, insn);
+  if (trace_) trace_(st_.pc, insn);
   // Per-PC "hardware" counters: hit now, cycle attribution after charge.
   PcCount* prof = nullptr;
   std::uint64_t prof_c0 = 0;
   if (pc_profile_enabled_) {
-    prof = &pc_profile_[pc_];
+    prof = &pc_profile_[st_.pc];
     ++prof->hits;
-    prof_c0 = cycles_;
+    prof_c0 = st_.cycles;
   }
-  const bool watch_fires = check_watchpoints(pc_, insn);
+  const bool watch_fires = check_watchpoints(st_.pc, insn);
 
-  const std::uint64_t next_pc = pc_ + len;
+  const std::uint64_t next_pc = st_.pc + len;
   bool taken = false;
   std::uint64_t new_pc = next_pc;
 
   auto xr = [&](unsigned opi) { return get_x(insn.operand(opi).reg.num); };
-  auto fr = [&](unsigned opi) { return f_[insn.operand(opi).reg.num]; };
   auto wx = [&](std::uint64_t v) { set_x(insn.operand(0).reg.num, v); };
-  auto wf = [&](std::uint64_t v) { f_[insn.operand(0).reg.num] = v; };
   auto imm = [&](unsigned opi) {
     return static_cast<std::uint64_t>(insn.operand(opi).imm);
   };
-  auto mem_addr = [&](unsigned opi) {
-    const isa::Operand& m = insn.operand(opi);
-    return get_x(m.reg.num) + static_cast<std::uint64_t>(m.imm);
-  };
-
-  using semantics::rv_div_s;
-  using semantics::rv_div_u;
-  using semantics::rv_rem_s;
-  using semantics::rv_rem_u;
 
   switch (insn.mnemonic()) {
-    // ---- RV64I ----
-    case Mnemonic::lui: wx(imm(1)); break;
-    case Mnemonic::auipc: wx(pc_ + imm(1)); break;
     case Mnemonic::jal:
       wx(next_pc);
-      new_pc = pc_ + imm(1);
+      new_pc = st_.pc + imm(1);
       taken = true;
       break;
     case Mnemonic::jalr: {
@@ -390,6 +441,101 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
     case Mnemonic::bltu: taken = xr(0) < xr(1); break;
     case Mnemonic::bgeu: taken = xr(0) >= xr(1); break;
 
+    case Mnemonic::fence:
+    case Mnemonic::fence_i:
+      // Deferred: a fence.i inside a cached block must not destroy the
+      // block vector mid-iteration. The flush happens before the next fetch.
+      if (insn.mnemonic() == Mnemonic::fence_i) flush_pending_ |= kFlushFenceI;
+      break;
+    case Mnemonic::ecall: {
+      const StopReason r = syscall();
+      if (r != StopReason::Running) {
+        // The ecall itself executed and retired; account for it before
+        // reporting the stop so instret/cycles include it.
+        charge(insn, false);
+        ++st_.instret;
+        if (prof) prof->cycles += st_.cycles - prof_c0;
+        return r;
+      }
+      break;
+    }
+    case Mnemonic::ebreak:
+      // pc stays at the ebreak; the debugger decides what happens next.
+      return StopReason::Breakpoint;
+
+    // ---- Zicsr (cycle/time/instret and a tolerant default) ----
+    case Mnemonic::csrrw:
+    case Mnemonic::csrrs:
+    case Mnemonic::csrrc:
+    case Mnemonic::csrrwi:
+    case Mnemonic::csrrsi:
+    case Mnemonic::csrrci: {
+      const std::int64_t csr = insn.operand(1).imm;
+      std::uint64_t old = 0;
+      switch (csr) {
+        case 0xC00: old = st_.cycles; break;
+        case 0xC01: old = virtual_ns(); break;
+        case 0xC02: old = st_.instret; break;
+        default: old = csr_scratch_[csr]; break;
+      }
+      std::uint64_t wrval = 0;
+      const Mnemonic m = insn.mnemonic();
+      if (m == Mnemonic::csrrw || m == Mnemonic::csrrs || m == Mnemonic::csrrc)
+        wrval = xr(2);
+      else
+        wrval = imm(2);
+      std::uint64_t newval = old;
+      if (m == Mnemonic::csrrw || m == Mnemonic::csrrwi) newval = wrval;
+      if (m == Mnemonic::csrrs || m == Mnemonic::csrrsi) newval = old | wrval;
+      if (m == Mnemonic::csrrc || m == Mnemonic::csrrci) newval = old & ~wrval;
+      if (csr < 0xC00) csr_scratch_[csr] = newval;  // counters are read-only
+      wx(old);
+      break;
+    }
+
+    default:
+      // Every value-semantics instruction funnels through exec_value —
+      // the same switch JIT-compiled code reuses for its generic helper.
+      if (!exec_value(insn, st_.pc)) return StopReason::IllegalInsn;
+      break;
+  }
+
+  if (insn.is_cond_branch() && taken)
+    new_pc = st_.pc + static_cast<std::uint64_t>(insn.branch_offset());
+
+  charge(insn, taken);
+  ++st_.instret;
+  if (prof) prof->cycles += st_.cycles - prof_c0;
+  st_.pc = new_pc;
+  // A data watchpoint reports after the access completes (pc already
+  // advanced), matching how hardware debug traps behave.
+  if (watch_fires) return StopReason::Watchpoint;
+  return StopReason::Running;
+}
+
+bool Machine::exec_value(const Instruction& insn, std::uint64_t pc) {
+  (void)pc;  // auipc only
+  auto xr = [&](unsigned opi) { return get_x(insn.operand(opi).reg.num); };
+  auto fr = [&](unsigned opi) { return st_.f[insn.operand(opi).reg.num]; };
+  auto wx = [&](std::uint64_t v) { set_x(insn.operand(0).reg.num, v); };
+  auto wf = [&](std::uint64_t v) { st_.f[insn.operand(0).reg.num] = v; };
+  auto imm = [&](unsigned opi) {
+    return static_cast<std::uint64_t>(insn.operand(opi).imm);
+  };
+  auto mem_addr = [&](unsigned opi) {
+    const isa::Operand& m = insn.operand(opi);
+    return get_x(m.reg.num) + static_cast<std::uint64_t>(m.imm);
+  };
+
+  using semantics::rv_div_s;
+  using semantics::rv_div_u;
+  using semantics::rv_rem_s;
+  using semantics::rv_rem_u;
+
+  switch (insn.mnemonic()) {
+    // ---- RV64I ----
+    case Mnemonic::lui: wx(imm(1)); break;
+    case Mnemonic::auipc: wx(pc + imm(1)); break;
     case Mnemonic::lb: wx(static_cast<std::uint64_t>(sext(mem_.read(mem_addr(1), 1), 8))); break;
     case Mnemonic::lh: wx(static_cast<std::uint64_t>(sext(mem_.read(mem_addr(1), 2), 16))); break;
     case Mnemonic::lw: wx(static_cast<std::uint64_t>(sext(mem_.read(mem_addr(1), 4), 32))); break;
@@ -551,58 +697,6 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
       wx(static_cast<std::uint64_t>(
           static_cast<std::int64_t>(sext(xr(1), 32)) >> (xr(2) & 31)));
       break;
-
-    case Mnemonic::fence:
-    case Mnemonic::fence_i:
-      // Deferred: a fence.i inside a cached block must not destroy the
-      // block vector mid-iteration. The flush happens before the next fetch.
-      if (insn.mnemonic() == Mnemonic::fence_i) flush_pending_ |= kFlushFenceI;
-      break;
-    case Mnemonic::ecall: {
-      const StopReason r = syscall();
-      if (r != StopReason::Running) {
-        // The ecall itself executed and retired; account for it before
-        // reporting the stop so instret/cycles include it.
-        charge(insn, false);
-        ++instret_;
-        if (prof) prof->cycles += cycles_ - prof_c0;
-        return r;
-      }
-      break;
-    }
-    case Mnemonic::ebreak:
-      // pc stays at the ebreak; the debugger decides what happens next.
-      return StopReason::Breakpoint;
-
-    // ---- Zicsr (cycle/time/instret and a tolerant default) ----
-    case Mnemonic::csrrw:
-    case Mnemonic::csrrs:
-    case Mnemonic::csrrc:
-    case Mnemonic::csrrwi:
-    case Mnemonic::csrrsi:
-    case Mnemonic::csrrci: {
-      const std::int64_t csr = insn.operand(1).imm;
-      std::uint64_t old = 0;
-      switch (csr) {
-        case 0xC00: old = cycles_; break;
-        case 0xC01: old = virtual_ns(); break;
-        case 0xC02: old = instret_; break;
-        default: old = csr_scratch_[csr]; break;
-      }
-      std::uint64_t wrval = 0;
-      const Mnemonic m = insn.mnemonic();
-      if (m == Mnemonic::csrrw || m == Mnemonic::csrrs || m == Mnemonic::csrrc)
-        wrval = xr(2);
-      else
-        wrval = imm(2);
-      std::uint64_t newval = old;
-      if (m == Mnemonic::csrrw || m == Mnemonic::csrrwi) newval = wrval;
-      if (m == Mnemonic::csrrs || m == Mnemonic::csrrsi) newval = old | wrval;
-      if (m == Mnemonic::csrrc || m == Mnemonic::csrrci) newval = old & ~wrval;
-      if (csr < 0xC00) csr_scratch_[csr] = newval;  // counters are read-only
-      wx(old);
-      break;
-    }
 
     // ---- M ----
     case Mnemonic::mul: wx(xr(1) * xr(2)); break;
@@ -824,20 +918,9 @@ StopReason Machine::exec_insn(const Instruction& insn, unsigned len) {
     case Mnemonic::fcvt_s_lu: wf(box_float(static_cast<float>(xr(1)))); break;
 
     default:
-      return StopReason::IllegalInsn;
+      return false;
   }
-
-  if (insn.is_cond_branch() && taken)
-    new_pc = pc_ + static_cast<std::uint64_t>(insn.branch_offset());
-
-  charge(insn, taken);
-  ++instret_;
-  if (prof) prof->cycles += cycles_ - prof_c0;
-  pc_ = new_pc;
-  // A data watchpoint reports after the access completes (pc already
-  // advanced), matching how hardware debug traps behave.
-  if (watch_fires) return StopReason::Watchpoint;
-  return StopReason::Running;
+  return true;
 }
 
 StopReason Machine::syscall() {

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "emu/jit/jit.hpp"
+#include "emu/jit/jit_state.hpp"
 #include "emu/memory.hpp"
 #include "isa/decoder.hpp"
 #include "symtab/symtab.hpp"
@@ -49,6 +51,12 @@ struct CycleModel {
   std::uint64_t hz = 1'400'000'000;  ///< virtual clock frequency (1.4 GHz)
 };
 
+/// Cycle charge for one retired instruction under `model` — the single
+/// source of truth shared by the interpreter's per-insn accounting and the
+/// JIT's compile-time whole-block cost precomputation.
+unsigned insn_cycle_charge(const CycleModel& model,
+                           const isa::Instruction& insn, bool taken_branch);
+
 class Machine {
  public:
   explicit Machine(isa::ExtensionSet profile = isa::ExtensionSet::rv64gc())
@@ -70,14 +78,14 @@ class Machine {
   StopReason step();
 
   // --- register and memory access (the debugger surface) ---
-  std::uint64_t pc() const { return pc_; }
-  void set_pc(std::uint64_t pc) { pc_ = pc; }
-  std::uint64_t get_x(unsigned i) const { return i == 0 ? 0 : x_[i]; }
+  std::uint64_t pc() const { return st_.pc; }
+  void set_pc(std::uint64_t pc) { st_.pc = pc; }
+  std::uint64_t get_x(unsigned i) const { return i == 0 ? 0 : st_.x[i]; }
   void set_x(unsigned i, std::uint64_t v) {
-    if (i != 0) x_[i] = v;
+    if (i != 0) st_.x[i] = v;
   }
-  std::uint64_t get_f(unsigned i) const { return f_[i]; }
-  void set_f(unsigned i, std::uint64_t v) { f_[i] = v; }
+  std::uint64_t get_f(unsigned i) const { return st_.f[i]; }
+  void set_f(unsigned i, std::uint64_t v) { st_.f[i] = v; }
   std::uint64_t get_reg(isa::Reg r) const {
     return r.cls == isa::RegClass::Int ? get_x(r.num) : get_f(r.num);
   }
@@ -94,8 +102,8 @@ class Machine {
   void write_code(std::uint64_t addr, const std::uint8_t* data, std::size_t n);
 
   // --- accounting ---
-  std::uint64_t instret() const { return instret_; }
-  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instret() const { return st_.instret; }
+  std::uint64_t cycles() const { return st_.cycles; }
 
   /// Decoded-code cache traffic (observability builds only; all zero when
   /// RVDYN_OBS_ENABLED=0). Evictions are attributed to their cause so
@@ -130,7 +138,7 @@ class Machine {
     std::uint64_t blocks_built = 0;
   };
   HwCounterFile hw_counters() const {
-    return {instret_,           cycles_,
+    return {st_.instret,           st_.cycles,
             cstats_.icache_hits, cstats_.icache_misses,
             cstats_.bcache_hits, cstats_.bcache_misses,
             cstats_.blocks_entered, cstats_.blocks_built};
@@ -159,18 +167,18 @@ class Machine {
   /// Virtual nanoseconds elapsed (cycles / hz).
   std::uint64_t virtual_ns() const {
     return static_cast<std::uint64_t>(
-        static_cast<double>(cycles_) * 1e9 / static_cast<double>(model_.hz));
+        static_cast<double>(st_.cycles) * 1e9 / static_cast<double>(model_.hz));
   }
   CycleModel& cycle_model() { return model_; }
   /// Charge extra virtual cycles (used by ProcControl for trap redirects).
-  void add_cycles(std::uint64_t n) { cycles_ += n; }
+  void add_cycles(std::uint64_t n) { st_.cycles += n; }
 
   // --- process state ---
   int exit_code() const { return exit_code_; }
   StopReason last_stop() const { return stop_; }
   /// Address of the faulting/stopping instruction for Breakpoint /
   /// IllegalInsn / BadFetch stops (pc is left at that instruction).
-  std::uint64_t stop_pc() const { return pc_; }
+  std::uint64_t stop_pc() const { return st_.pc; }
 
   /// Captured stdout from write(1/2, ...) syscalls.
   const std::string& output() const { return out_; }
@@ -196,27 +204,46 @@ class Machine {
   };
   const WatchHit& watch_hit() const { return watch_hit_; }
 
+#if RVDYN_JIT_ENABLED
+  // --- JIT tier (compiled-code execution engine behind run()) ---
+  /// Tier configuration. Changes apply to future compiles; the tier itself
+  /// is created lazily on the first hotness-threshold crossing. To force a
+  /// clean slate after edits, toggle set_jit_enabled(false/true).
+  jit::Config& jit_config() { return jit_cfg_; }
+  void set_jit_enabled(bool on);
+  bool jit_enabled() const { return jit_enabled_; }
+  /// The live tier, or nullptr before any block turned hot.
+  const jit::Tier* jit_tier() const { return jit_.get(); }
+  /// Tier statistics (zeroes before the tier exists).
+  jit::Stats jit_stats() const { return jit_ ? jit_->stats() : jit::Stats{}; }
+#endif
+
   // Stack layout constants.
   static constexpr std::uint64_t kStackTop = 0x7f000000;
   static constexpr std::uint64_t kStackSize = 0x100000;  // 1 MiB
 
  private:
+  friend struct jit::Runtime;
+
   StopReason exec_one();
-  /// Execute one already-fetched instruction: trace hook, watchpoints, the
-  /// dispatch switch, accounting, pc update. Shared by exec_one and the
-  /// cached-block loop in run().
+  /// Execute one already-fetched instruction: trace hook, watchpoints,
+  /// control flow and trap dispatch, accounting, pc update. Shared by
+  /// exec_one and the cached-block loop in run().
   StopReason exec_insn(const isa::Instruction& insn, unsigned len);
+  /// Pure architectural value effect (registers/memory/reservation) of one
+  /// non-control-flow, non-trapping instruction — no pc/accounting/hooks.
+  /// The switch the JIT's generic helper reuses so template coverage never
+  /// duplicates semantics. Returns false for unknown mnemonics.
+  bool exec_value(const isa::Instruction& insn, std::uint64_t pc);
   bool fetch(std::uint64_t pc, isa::Instruction* out, unsigned* len);
   StopReason syscall();
   void charge(const isa::Instruction& insn, bool taken_branch);
 
   isa::Decoder decoder_;
   Memory mem_;
-  std::uint64_t x_[32] = {};
-  std::uint64_t f_[32] = {};
-  std::uint64_t pc_ = 0;
-  std::uint64_t instret_ = 0;
-  std::uint64_t cycles_ = 0;
+  /// The architectural state, laid out for direct access from JIT-compiled
+  /// code (x/f/pc/instret/cycles live here; the accessors above read it).
+  jit::JitState st_;
   std::uint64_t brk_ = 0x50000000;
   std::uint64_t mmap_top_ = 0x60000000;
   std::uint64_t reservation_ = ~0ULL;  ///< lr/sc reservation address
@@ -248,6 +275,8 @@ class Machine {
     std::uint64_t start = 0;
     std::uint64_t end = 0;  ///< one past the last decoded byte
     std::vector<isa::Instruction> insns;
+    std::uint32_t exec_count = 0;  ///< run() entries (JIT hotness counter)
+    std::uint32_t jit_epoch = 0;   ///< tier epoch this block was offered in
   };
   static constexpr std::size_t kMaxBlockInsns = 256;
   static constexpr std::size_t kMaxBlocks = 16384;  // crude size bound
@@ -263,8 +292,14 @@ class Machine {
   /// Cached block starting at `pc`, building it on miss; nullptr when the
   /// first instruction does not fetch (caller falls back to exec_one for
   /// the fault path).
-  const BlockEntry* lookup_or_build_block(std::uint64_t pc);
+  BlockEntry* lookup_or_build_block(std::uint64_t pc);
   void flush_code_caches();
+
+#if RVDYN_JIT_ENABLED
+  jit::Config jit_cfg_;
+  std::unique_ptr<jit::Tier> jit_;  ///< created lazily on first hot block
+  bool jit_enabled_ = true;
+#endif
 
   struct Watchpoint {
     unsigned id;

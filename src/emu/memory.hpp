@@ -68,6 +68,29 @@ class Memory {
     for (std::size_t i = 0; i < n; ++i) data[i] = read8(addr + i);
   }
 
+  /// Host pointer to `addr`'s page data (zero-fill allocating on first
+  /// touch, like the load/store path). Pages never move once allocated, so
+  /// the pointer stays valid for the Memory's lifetime — the JIT's inline
+  /// TLB caches it per page.
+  std::uint8_t* page_ptr(std::uint64_t addr) { return page(addr); }
+
+  /// Order-independent FNV-1a digest over (page number, page bytes) of
+  /// every mapped page. Zero-filled pages contribute, so two memories
+  /// compare equal only when their mapped footprints match too.
+  std::uint64_t digest() const {
+    std::uint64_t acc = 0;
+    for (const auto& [num, pg] : pages_) {
+      std::uint64_t h = 1469598103934665603ULL;
+      const auto mix = [&h](std::uint8_t b) {
+        h = (h ^ b) * 1099511628211ULL;
+      };
+      for (unsigned i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(num >> (8 * i)));
+      for (std::uint8_t b : *pg) mix(b);
+      acc += h;  // commutative combine: iteration order is unspecified
+    }
+    return acc;
+  }
+
   /// Copy `n` bytes into `data` without allocating pages. Returns false
   /// (leaving `data` unspecified) when any byte of the range is unmapped.
   /// This is the instruction-fetch interface: a fetch must never map pages

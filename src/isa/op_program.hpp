@@ -1,0 +1,74 @@
+// Operand programs for JIT template emission (paper §3.2.2's InstructionAPI
+// serving a translator): a uniform {rd, srcs, imm, mem} view of an
+// instruction's operand list, in the spirit of the decoder's copy-then-
+// patch prototypes (decode_table.cpp) — per-mnemonic host-code templates
+// are stamped out by patching register-slot offsets and immediates, and
+// this program is the recipe describing which slots to patch.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace rvdyn::isa {
+
+/// Role-indexed operand view. Register numbers are architectural (0..31)
+/// within their class; the consumer maps them to storage offsets.
+struct OperandProgram {
+  bool has_rd = false;
+  bool rd_fp = false;
+  unsigned rd = 0;  ///< destination register (first written reg operand)
+
+  unsigned n_src = 0;  ///< read register operands, in operand order
+  unsigned src[3] = {};
+  bool src_fp[3] = {};
+
+  bool has_imm = false;
+  std::int64_t imm = 0;  ///< first Imm/PcRelative operand
+
+  bool has_mem = false;
+  unsigned mem_base = 0;  ///< integer base register of the Mem operand
+  std::int64_t mem_disp = 0;
+  unsigned mem_size = 0;
+  bool mem_write = false;
+};
+
+inline OperandProgram operand_program(const Instruction& insn) {
+  OperandProgram p;
+  for (unsigned i = 0; i < insn.num_operands(); ++i) {
+    const Operand& o = insn.operand(i);
+    switch (o.kind) {
+      case Operand::Kind::Reg:
+        if (o.writes() && !p.has_rd) {
+          p.has_rd = true;
+          p.rd = o.reg.num;
+          p.rd_fp = o.reg.cls == RegClass::Fp;
+        }
+        if (o.reads() && p.n_src < 3) {
+          p.src[p.n_src] = o.reg.num;
+          p.src_fp[p.n_src] = o.reg.cls == RegClass::Fp;
+          ++p.n_src;
+        }
+        break;
+      case Operand::Kind::Imm:
+      case Operand::Kind::PcRelative:
+        if (!p.has_imm) {
+          p.has_imm = true;
+          p.imm = o.imm;
+        }
+        break;
+      case Operand::Kind::Mem:
+        p.has_mem = true;
+        p.mem_base = o.reg.num;
+        p.mem_disp = o.imm;
+        p.mem_size = o.size;
+        p.mem_write = o.writes();
+        break;
+      default:  // Csr / RoundMode / Ordering carry no template slots
+        break;
+    }
+  }
+  return p;
+}
+
+}  // namespace rvdyn::isa

@@ -1,0 +1,58 @@
+# Builds the tree once with -DRVDYN_SANITIZE=address and runs the JIT
+# suites under AddressSanitizer — the tier juggles raw code arenas,
+# patchable jump sites, and cross-block chain pointers, exactly the places
+# where an eviction leaving a stale edge would read or execute freed
+# memory. The threaded backend's session loop and the shared front-end run
+# fully instrumented; the x64 backend's emitted code itself is opaque to
+# ASan but every C++ path around it (emission, chaining, unchaining,
+# dispatch, drop) is checked. Run via
+#   cmake -P tests/asan_jit_check.cmake
+# (registered as the `asan_jit_suite` ctest from non-sanitized builds).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-asan-jit)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-asan-jit)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "asan-jit check: configuring ${BINARY_DIR} with -DRVDYN_SANITIZE=address")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan-jit check: configure failed")
+endif()
+
+set(targets
+  test_jit
+  test_jit_invalidate
+  test_check_jit)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan-jit check: build failed with RVDYN_SANITIZE=address")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "asan-jit check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "asan-jit check: ${t} failed under AddressSanitizer")
+  endif()
+endforeach()
+
+message(STATUS "asan-jit check: JIT suites clean under ASan")

@@ -1,0 +1,61 @@
+# Builds the tree once with -DRVDYN_JIT=OFF and runs the emulator, JIT and
+# oracle suites, proving the tier compiles out cleanly: the Machine API
+# shrinks to the interpreter, the JIT tests reduce to their compiled-out
+# stubs, and run_jit_diff reports jit_available=false instead of lying.
+# Run via
+#   cmake -P tests/jit_off_check.cmake
+# (registered as the `jit_off_build` ctest when the main build is ON).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-jit-off)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-jit-off)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "jit-off check: configuring ${BINARY_DIR} with -DRVDYN_JIT=OFF")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_JIT=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "jit-off check: configure failed")
+endif()
+
+# Everything that touches the tier or its absence: the emulator core and
+# cache suites (interpreter-only now), the JIT suites' compiled-out stubs,
+# the differential oracle, and the workload substrate.
+set(targets
+  test_emu
+  test_emu_cache
+  test_jit
+  test_jit_invalidate
+  test_check_jit
+  test_workloads)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "jit-off check: build failed with RVDYN_JIT=OFF")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "jit-off check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "jit-off check: ${t} failed in the OFF build")
+  endif()
+endforeach()
+
+message(STATUS "jit-off check: all tests pass with RVDYN_JIT=OFF")
