@@ -6,14 +6,24 @@
 // Hand-rolled timing (steady_clock around Machine::run) rather than
 // google-benchmark: each entry is one pair of long deterministic runs and
 // the quantity of interest is the ratio, not nanosecond noise.
+// Observability flags (kept out of the timed runs so they cannot skew the
+// committed numbers):
+//   --flamegraph <path>  extra sampled JIT run per workload, merged folded
+//                        stacks written to <path>
+//   --postmortem         print an obs::postmortem_report of the final
+//                        machine state of the last extra run
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "assembler/assembler.hpp"
 #include "bench_util.hpp"
 #include "emu/machine.hpp"
+#include "obs/postmortem.hpp"
+#include "obs/sampler.hpp"
+#include "parse/cfg.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace rvdyn;
@@ -49,7 +59,22 @@ struct Timed {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string flame_path;
+  bool postmortem = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--flamegraph" && i + 1 < argc) {
+      flame_path = argv[++i];
+    } else if (a == "--postmortem") {
+      postmortem = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--flamegraph <path>] [--postmortem]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const struct {
     const char* name;
     std::string src;
@@ -128,6 +153,59 @@ int main() {
   if (!out.write()) {
     std::fprintf(stderr, "failed to write BENCH_jit.json\n");
     return 1;
+  }
+
+  // Optional observability pass: separate sampled JIT runs so the timed
+  // numbers above stay clean.
+  if (!flame_path.empty() || postmortem) {
+    obs::FoldedStacks merged;
+    for (const auto& w : workloads) {
+      const auto bin = assembler::assemble(w.src);
+      parse::CodeObject co(bin);
+      co.parse();
+      emu::Machine m;
+#if RVDYN_JIT_ENABLED
+      m.set_jit_enabled(true);
+#endif
+      m.load(bin);
+      if (postmortem) m.enable_block_trace(true);
+      obs::Sampler sampler(m, co);
+      const auto r = m.run(4'000'000'000ULL);
+      sampler.detach();
+      if (r != emu::StopReason::Exited) {
+        std::fprintf(stderr, "%s: sampled run did not exit (stop=%d)\n",
+                     w.name, static_cast<int>(r));
+        return 1;
+      }
+      // Prefix every stack with the workload name so the merged graph has
+      // one root per workload.
+      obs::FoldedStacks prefixed;
+      const std::string folded = sampler.folded();
+      std::size_t pos = 0;
+      while (pos < folded.size()) {
+        const std::size_t eol = folded.find('\n', pos);
+        const std::string line = folded.substr(pos, eol - pos);
+        pos = eol == std::string::npos ? folded.size() : eol + 1;
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos) continue;
+        prefixed.add_folded(std::string(w.name) + ";" + line.substr(0, sp),
+                            std::strtoull(line.c_str() + sp + 1, nullptr, 10));
+      }
+      merged.merge(prefixed);
+      std::printf("%-12s sampled: %llu samples, %llu in JIT code\n", w.name,
+                  static_cast<unsigned long long>(sampler.samples()),
+                  static_cast<unsigned long long>(sampler.jit_samples()));
+      if (postmortem && std::string(w.name) == "call_churn")
+        std::printf("\n%s\n",
+                    obs::postmortem_report(m, co, r).c_str());
+    }
+    if (!flame_path.empty()) {
+      if (!merged.write_folded(flame_path)) {
+        std::fprintf(stderr, "failed to write %s\n", flame_path.c_str());
+        return 1;
+      }
+      std::printf("folded stacks written to %s\n", flame_path.c_str());
+    }
   }
   return 0;
 }

@@ -79,6 +79,26 @@ inline std::string meta_json(std::size_t entries_run) {
   s += ", \"entries\": " + std::to_string(entries_run);
 #if RVDYN_OBS_ENABLED
   s += ", \"metrics\": " + obs::Registry::instance().to_json();
+  // Per-histogram latency digest so a committed BENCH_*.json carries tail
+  // behaviour, not just totals.
+  {
+    const auto hists = obs::Registry::instance().histograms();
+    s += ", \"histograms\": {";
+    for (std::size_t i = 0; i < hists.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "\"%s\": {\"count\": %llu, \"mean\": %.6g, \"p50\": %.6g, "
+                    "\"p95\": %.6g, \"p99\": %.6g, \"max\": %llu}",
+                    hists[i].name.c_str(),
+                    static_cast<unsigned long long>(hists[i].count),
+                    hists[i].mean(), hists[i].p50(), hists[i].p95(),
+                    hists[i].p99(),
+                    static_cast<unsigned long long>(hists[i].max));
+      s += buf;
+      if (i + 1 < hists.size()) s += ", ";
+    }
+    s += "}";
+  }
 #endif
   s += "}";
   return s;

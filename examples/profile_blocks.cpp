@@ -3,27 +3,62 @@
 // snippet, run the rewritten binary, and print the hot-block table with
 // disassembly. The same run is cross-checked against the emulator's own
 // per-PC profile, so the tool validates the numbers it prints.
+//
+// Observability flags:
+//   --flamegraph <path>  sample the uninstrumented run with obs::Sampler
+//                        and write FlameGraph/speedscope folded stacks
+//   --postmortem         print an obs::postmortem_report of the final
+//                        machine state (block trace enabled for the run)
 #include <cstdio>
+#include <optional>
 #include <string>
 
 #include "assembler/assembler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/profiler.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "parse/cfg.hpp"
 #include "proccontrol/process.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace rvdyn;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string flame_path;
+  bool postmortem = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--flamegraph" && i + 1 < argc) {
+      flame_path = argv[++i];
+    } else if (a == "--postmortem") {
+      postmortem = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--flamegraph <path>] [--postmortem]\n", argv[0]);
+      return 2;
+    }
+  }
+
   obs::TraceSink::instance().set_enabled(true);
 
   const std::string src = workloads::matmul_program(8, 4);
   const symtab::Symtab bin = assembler::assemble(src, {});
+  parse::CodeObject co(bin);
+  co.parse();
 
   // Ground truth: emulator-side per-PC profile of the original binary.
   auto truth = proccontrol::Process::launch(bin);
   truth->enable_pc_profile(true);
+  if (postmortem) truth->machine().enable_block_trace(true);
+  std::optional<obs::Sampler> sampler;
+  if (!flame_path.empty()) {
+    obs::SamplerOptions sopts;
+    sopts.interval = 1021;  // short demo workload: sample densely (prime
+                            // interval, see SamplerOptions::interval)
+    sampler.emplace(truth->machine(), co, sopts);
+  }
   const auto ev0 = truth->continue_run();
   if (ev0.kind != proccontrol::Event::Kind::Exited) {
     std::fprintf(stderr, "uninstrumented run did not exit\n");
@@ -101,6 +136,23 @@ int main() {
   }
   std::printf("emulator cross-check: all %zu blocks agree exactly\n",
               hot.size());
+
+  if (sampler) {
+    sampler->detach();
+    std::printf("\nsampled profile (%llu samples, interval %llu):\n%s",
+                static_cast<unsigned long long>(sampler->samples()),
+                static_cast<unsigned long long>(sampler->options().interval),
+                sampler->stacks().hot_table_text().c_str());
+    if (!sampler->stacks().write_folded(flame_path)) {
+      std::fprintf(stderr, "failed to write %s\n", flame_path.c_str());
+      return 1;
+    }
+    std::printf("folded stacks written to %s (feed to flamegraph.pl or "
+                "speedscope)\n", flame_path.c_str());
+  }
+
+  if (postmortem)
+    std::printf("\n%s", obs::postmortem_report(*truth, co).c_str());
 
   proc->machine().publish_metrics();
   obs::TraceSink::instance().set_enabled(false);

@@ -1,14 +1,19 @@
-// Sampling profiler: periodically interrupt the process, walk its call
-// stack (StackwalkerAPI), and report where time is spent — the skeleton of
+// Sampling profiler: interrupt the guest every N retired instructions,
+// walk its call stack (StackwalkerAPI), and report where time is spent —
 // HPCToolkit-style profiling (paper §2's tool list) on the RISC-V port.
+//
+// The heavy lifting now lives in obs::Sampler, which hooks the emulator's
+// retired-instruction counter directly: samples land at exact instret
+// boundaries, so the profile below is byte-for-byte reproducible (and
+// identical with the JIT tier on or off).
 #include <cstdio>
 #include <map>
 #include <string>
 
 #include "assembler/assembler.hpp"
+#include "obs/sampler.hpp"
 #include "parse/cfg.hpp"
 #include "proccontrol/process.hpp"
-#include "stackwalk/stackwalker.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace rvdyn;
@@ -21,34 +26,25 @@ int main() {
   parse::CodeObject co(binary);
   co.parse();
   auto proc = Process::launch(binary);
-  stackwalk::StackWalker walker(*proc, co);
 
-  std::map<std::string, unsigned> leaf_samples;
-  std::map<unsigned, unsigned> depth_histogram;
-  unsigned samples = 0;
+  obs::SamplerOptions opts;
+  opts.interval = 1999;  // one sample per 1999 retired insns (prime, so
+                         // no loop-phase aliasing)
+  obs::Sampler sampler(proc->machine(), co, opts);
 
-  // "Timer" sampling: run a fixed instruction quantum, then interrupt.
-  while (true) {
-    const Event ev = proc->continue_run(2000);
-    if (ev.kind == Event::Kind::Exited) break;
-    if (ev.kind != Event::Kind::LimitReached) {
-      std::printf("unexpected stop kind=%d\n", static_cast<int>(ev.kind));
-      return 1;
-    }
-    const auto frames = walker.walk();
-    if (frames.empty()) continue;
-    ++samples;
-    leaf_samples[frames[0].func_name.empty() ? "?" : frames[0].func_name]++;
-    depth_histogram[static_cast<unsigned>(frames.size())]++;
+  const Event ev = proc->continue_run();
+  if (ev.kind != Event::Kind::Exited) {
+    std::printf("unexpected stop kind=%d\n", static_cast<int>(ev.kind));
+    return 1;
   }
+  sampler.detach();
 
-  std::printf("%u samples of fib(18)\n\n", samples);
-  std::printf("flat profile (innermost frame):\n");
-  for (const auto& [name, count] : leaf_samples)
-    std::printf("  %-12s %5.1f%%  (%u samples)\n", name.c_str(),
-                100.0 * count / samples, count);
-  std::printf("\nstack depth histogram:\n");
-  for (const auto& [depth, count] : depth_histogram)
-    std::printf("  depth %2u: %u\n", depth, count);
+  std::printf("%llu samples of fib(18) (interval %llu insns)\n\n",
+              static_cast<unsigned long long>(sampler.samples()),
+              static_cast<unsigned long long>(opts.interval));
+  std::printf("hot functions (self = innermost frame):\n%s",
+              sampler.stacks().hot_table_text().c_str());
+  std::printf("\nfolded stacks (flamegraph.pl / speedscope input):\n%s",
+              sampler.folded().c_str());
   return 0;
 }

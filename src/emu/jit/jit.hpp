@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,12 @@ struct CycleModel;
 namespace rvdyn::emu::jit {
 
 struct BlockIR;
+
+/// Per-retired-instruction profile record: (guest pc, not-taken charge).
+struct PcCharge {
+  std::uint64_t pc;
+  std::uint32_t charge;
+};
 
 enum class BackendKind { Auto, X64, Threaded };
 
@@ -85,6 +92,21 @@ struct Stats {
   std::uint64_t evict_config = 0;
 };
 
+/// Attribution side-table record for one compiled block: which guest range
+/// the host code covers, how many instructions one pass retires, and the
+/// per-pc cycle charge vector — everything a profiler needs to map a pc
+/// observed at a side-exit (always a precise guest pc; see the side-exit
+/// contract above) back to compiled-code occupancy and cost. Kept by the
+/// backend-neutral Tier, in sync with compile/invalidate.
+struct BlockInfo {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;        ///< one past the last compiled guest byte
+  std::uint32_t n_retired = 0;  ///< guest insns retired per pass
+  std::uint64_t cost_fall = 0;  ///< cycles: fallthrough / not-taken pass
+  std::uint64_t cost_taken = 0; ///< cycles: taken pass
+  std::vector<PcCharge> charges;  ///< per-insn (pc, not-taken cycles)
+};
+
 /// One compiled-code tier. Created lazily by the Machine on the first
 /// threshold crossing; all entry points are called from the owning
 /// Machine's thread only.
@@ -116,6 +138,12 @@ class Tier {
   /// Drop every compiled block.
   void invalidate_all(InvalidateCause cause);
 
+  /// Attribution side-table lookup: the compiled block whose guest range
+  /// [start, end) contains `pc`, or nullptr when `pc` is not inside any
+  /// compiled block. Pointers stay valid until the next compile or
+  /// invalidation. O(log live_blocks).
+  const BlockInfo* block_info(std::uint64_t pc) const;
+
   /// Monotonic generation; bumped by every invalidation so the Machine's
   /// bcache entries know their compiled copy is gone and re-offer the block.
   std::uint32_t epoch() const { return epoch_; }
@@ -143,6 +171,9 @@ class Tier {
   Stats published_;  ///< snapshot at the last publish_metrics()
   std::size_t live_blocks_ = 0;
   std::uint32_t epoch_ = 1;  ///< bcache entries default to 0 == "stale"
+  /// Attribution records keyed by block start, maintained in lockstep with
+  /// the backend's compiled-block set by compile/invalidate_*.
+  std::map<std::uint64_t, BlockInfo> infos_;
 
  private:
   /// Compile-time snapshots; drift (a tool mutating cycle_model() or

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "emu/jit/jit.hpp"        // PcCharge lives with the Tier interface
 #include "emu/jit/jit_state.hpp"  // supplies the RVDYN_JIT_ENABLED default
 #include "isa/instruction.hpp"
 
@@ -21,12 +22,6 @@ enum class TermKind : std::uint8_t {
   CondBranch,  ///< beq/bne/blt/bge/bltu/bgeu
   Jal,
   Jalr,
-};
-
-/// Per-retired-instruction profile record: (guest pc, not-taken charge).
-struct PcCharge {
-  std::uint64_t pc;
-  std::uint32_t charge;
 };
 
 struct BlockIR {

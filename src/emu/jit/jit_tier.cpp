@@ -63,10 +63,15 @@ bool Tier::compile(Machine& m, std::uint64_t start,
   ++stats_.blocks_compiled;
   stats_.insns_compiled += n;
   ++live_blocks_;
-  stats_.compile_ns += static_cast<std::uint64_t>(
+  infos_[ir.start] = BlockInfo{ir.start,     ir.end,        ir.n_retired,
+                               ir.cost_fall, ir.cost_taken, ir.charges};
+  const auto dt = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+  stats_.compile_ns += dt;
+  // Per-block latency distribution; the counter above only carries totals.
+  RVDYN_OBS_HIST("rvdyn.emu.jit.compile_block_ns", dt);
   return true;
 }
 
@@ -111,6 +116,14 @@ void Tier::charge_eviction(std::uint64_t dropped, InvalidateCause cause) {
 void Tier::invalidate_range(std::uint64_t lo, std::uint64_t hi,
                             InvalidateCause cause) {
   const std::uint64_t n = drop_range(lo, hi);
+  // Keep the attribution side-table in lockstep with the backend's block
+  // set: drop every record whose guest range overlaps [lo, hi).
+  for (auto it = infos_.begin(); it != infos_.end();) {
+    if (it->second.start < hi && it->second.end > lo)
+      it = infos_.erase(it);
+    else
+      ++it;
+  }
   if (n == 0) return;
   charge_eviction(n, cause);
   live_blocks_ -= n;
@@ -119,10 +132,18 @@ void Tier::invalidate_range(std::uint64_t lo, std::uint64_t hi,
 
 void Tier::invalidate_all(InvalidateCause cause) {
   const std::uint64_t n = drop_all();
+  infos_.clear();
   if (n == 0) return;
   charge_eviction(n, cause);
   live_blocks_ = 0;
   ++epoch_;
+}
+
+const BlockInfo* Tier::block_info(std::uint64_t pc) const {
+  auto it = infos_.upper_bound(pc);
+  if (it == infos_.begin()) return nullptr;
+  --it;
+  return pc < it->second.end ? &it->second : nullptr;
 }
 
 void Tier::publish_metrics() {

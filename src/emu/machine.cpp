@@ -1,5 +1,6 @@
 #include "emu/machine.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
@@ -294,17 +295,34 @@ StopReason Machine::run(std::uint64_t max_steps) {
 #endif
   while (remaining > 0) {
     if (flush_pending_) flush_code_caches();
+    std::uint64_t slice = remaining;
+#if RVDYN_OBS_ENABLED
+    // Exact-budget sampling: fire the hook with instret exactly on its
+    // target, then cap this iteration's slice at the distance to the next
+    // target. Blocks (compiled or cached) that would overrun the cap fall
+    // through to exec_one and single-step up to the boundary, so the
+    // sample point is an architectural invariant across execution tiers.
+    if (sample_hook_) {
+      while (st_.instret >= next_sample_) {
+        sample_hook_(*this);
+        next_sample_ += sample_interval_;
+      }
+      slice = std::min(slice, next_sample_ - st_.instret);
+    }
+#endif
 #if RVDYN_JIT_ENABLED
     if (jit_ok && jit_ && jit_->has_code()) {
-      const std::uint64_t done = jit_->execute(*this, remaining);
+      const std::uint64_t session_pc = st_.pc;
+      const std::uint64_t done = jit_->execute(*this, slice);
       if (done != 0) {
+        trace_block(session_pc);
         remaining -= done;
         continue;
       }
     }
 #endif
     BlockEntry* blk = lookup_or_build_block(st_.pc);
-    if (blk != nullptr && blk->insns.size() <= remaining) {
+    if (blk != nullptr && blk->insns.size() <= slice) {
 #if RVDYN_JIT_ENABLED
       if (jit_ok) {
         if (blk->exec_count < jit_cfg_.hot_threshold) {
@@ -322,6 +340,7 @@ StopReason Machine::run(std::uint64_t max_steps) {
       // fetch/dispatch. Only the last instruction can redirect pc, so each
       // iteration resumes exactly where the next cached insn was decoded.
       RVDYN_OBS_STAT(++cstats_.blocks_entered);
+      trace_block(blk->start);
       in_block_ = true;
       for (const Instruction& insn : blk->insns) {
         const StopReason r = exec_insn(insn, insn.length());
@@ -335,6 +354,7 @@ StopReason Machine::run(std::uint64_t max_steps) {
       in_block_ = false;
       continue;
     }
+    trace_block(st_.pc);
     const StopReason r = exec_one();
     --remaining;
     if (r != StopReason::Running) {
@@ -348,6 +368,20 @@ StopReason Machine::run(std::uint64_t max_steps) {
 StopReason Machine::step() {
   stop_ = exec_one();
   return stop_;
+}
+
+std::vector<Machine::BlockTraceEntry> Machine::recent_blocks() const {
+  std::vector<BlockTraceEntry> out;
+  const std::uint64_t n = std::min<std::uint64_t>(block_trace_count_,
+                                                  kBlockTraceCap);
+  out.reserve(n);
+  // Oldest retained entry sits at block_trace_next_ once the ring wrapped.
+  std::size_t i = block_trace_count_ > kBlockTraceCap ? block_trace_next_ : 0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    out.push_back(block_trace_[i]);
+    i = (i + 1) % kBlockTraceCap;
+  }
+  return out;
 }
 
 unsigned Machine::set_watchpoint(std::uint64_t addr, std::uint64_t size,

@@ -19,6 +19,8 @@
 #include "emu/jit/jit_state.hpp"
 #include "emu/memory.hpp"
 #include "isa/decoder.hpp"
+#include "obs/metrics.hpp"  // header-only; resolves RVDYN_OBS_ENABLED for
+                            // the inline trace_block/sample-hook gates
 #include "symtab/symtab.hpp"
 
 namespace rvdyn::emu {
@@ -188,6 +190,48 @@ class Machine {
   using TraceHook = std::function<void(std::uint64_t, const isa::Instruction&)>;
   void set_trace(TraceHook hook) { trace_ = std::move(hook); }
 
+  // --- deterministic sampling hook (obs::Sampler's driver) ---
+  /// Called by run() with the machine stopped at an exact instruction
+  /// boundary every `interval` retired instructions (instret == k·interval
+  /// counted from installation). run() caps its execution slices — JIT
+  /// session budgets, whole-block interpretation — at the distance to the
+  /// next boundary and single-steps the remainder, so the hook observes the
+  /// same (instret, pc, registers, memory) no matter which tier executed
+  /// the preceding instructions: profiles sampled at JIT on and off are
+  /// byte-identical. The JIT stays engaged; this is what makes sampling
+  /// affordable where the per-insn TraceHook is not. Never fires in
+  /// RVDYN_OBS=OFF builds (the run-loop checks compile away).
+  using SampleHook = std::function<void(Machine&)>;
+  void set_sample_hook(std::uint64_t interval, SampleHook hook) {
+    sample_interval_ = interval == 0 ? 1 : interval;
+    next_sample_ = st_.instret + sample_interval_;
+    sample_hook_ = std::move(hook);
+  }
+  void clear_sample_hook() {
+    sample_hook_ = nullptr;
+    next_sample_ = ~0ULL;
+  }
+  std::uint64_t sample_interval() const { return sample_interval_; }
+
+  // --- recent-block ring (postmortem evidence) ---
+  /// When enabled, run() records every dispatch target it executes from —
+  /// interpreted block entries, JIT session entries, single-step pcs — with
+  /// the instret at entry. A trap handler reads back the last-K control-flow
+  /// positions that led into the fault. Compiled out (always empty) in
+  /// RVDYN_OBS=OFF builds.
+  struct BlockTraceEntry {
+    std::uint64_t pc = 0;
+    std::uint64_t instret = 0;
+  };
+  void enable_block_trace(bool on) { block_trace_on_ = on; }
+  bool block_trace_enabled() const { return block_trace_on_; }
+  /// Ring contents, oldest first.
+  std::vector<BlockTraceEntry> recent_blocks() const;
+  void clear_block_trace() {
+    block_trace_count_ = 0;
+    block_trace_next_ = 0;
+  }
+
   // --- data watchpoints (hardware-debug-register analogue) ---
   /// Stop with StopReason::Watchpoint when [addr, addr+size) is accessed.
   /// The triggering instruction completes first; pc is left *after* it and
@@ -310,6 +354,27 @@ class Machine {
   CacheStats published_;  ///< snapshot at the last publish_metrics()
   bool pc_profile_enabled_ = false;
   std::unordered_map<std::uint64_t, PcCount> pc_profile_;
+
+  // --- sampling + postmortem block trace (run()-loop hooks) ---
+  SampleHook sample_hook_;
+  std::uint64_t sample_interval_ = 0;
+  std::uint64_t next_sample_ = ~0ULL;  ///< instret of the next sample point
+
+  static constexpr std::size_t kBlockTraceCap = 64;
+  bool block_trace_on_ = false;
+  std::uint64_t block_trace_count_ = 0;  ///< total recorded (≥ ring size)
+  std::size_t block_trace_next_ = 0;
+  BlockTraceEntry block_trace_[kBlockTraceCap];
+  void trace_block(std::uint64_t pc) {
+#if RVDYN_OBS_ENABLED
+    if (!block_trace_on_) return;
+    block_trace_[block_trace_next_] = {pc, st_.instret};
+    block_trace_next_ = (block_trace_next_ + 1) % kBlockTraceCap;
+    ++block_trace_count_;
+#else
+    (void)pc;
+#endif
+  }
 
   std::vector<Watchpoint> watchpoints_;
   unsigned next_watch_id_ = 1;

@@ -1,0 +1,143 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace rvdyn::obs {
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// True when `name` is a component series of histogram `hist`
+/// (`hist.count`, `hist.sum`, `hist.max`, `hist.b<i>`).
+bool is_histogram_component(const std::string& name, const std::string& hist) {
+  if (name.size() <= hist.size() + 1 || name.compare(0, hist.size(), hist) != 0 ||
+      name[hist.size()] != '.')
+    return false;
+  const std::string suffix = name.substr(hist.size() + 1);
+  if (suffix == "count" || suffix == "sum" || suffix == "max") return true;
+  if (suffix.size() >= 2 && suffix[0] == 'b')
+    return suffix.find_first_not_of("0123456789", 1) == std::string::npos;
+  return false;
+}
+
+}  // namespace
+
+std::vector<Registry::Sample> snapshot_diff(
+    const std::vector<Registry::Sample>& now,
+    const std::vector<Registry::Sample>& then) {
+  std::unordered_map<std::string, std::uint64_t> base;
+  base.reserve(then.size());
+  for (const auto& s : then) base.emplace(s.name, s.value);
+  std::vector<Registry::Sample> out;
+  for (const auto& s : now) {
+    Registry::Sample d = s;
+    if (s.kind == MetricKind::Counter) {
+      const auto it = base.find(s.name);
+      const std::uint64_t prev = it == base.end() ? 0 : it->second;
+      d.value = s.value > prev ? s.value - prev : 0;
+    }
+    if (d.value != 0) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string prometheus_text(const Registry& reg) {
+  const auto samples = reg.snapshot();
+  const auto hist_names = reg.histogram_names();
+  std::string out;
+  char buf[256];
+
+  // Plain counters/gauges first, skipping histogram components (they are
+  // re-emitted below as proper histogram series).
+  for (const auto& s : samples) {
+    bool component = false;
+    for (const auto& h : hist_names)
+      if (is_histogram_component(s.name, h)) {
+        component = true;
+        break;
+      }
+    if (component) continue;
+    const std::string n = prom_name(s.name);
+    const char* type =
+        s.kind == MetricKind::Counter ? "counter" : "gauge";
+    out += "# TYPE " + n + " " + type + "\n";
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(s.value));
+    out += buf;
+  }
+
+  for (const auto& h : reg.histograms()) {
+    const std::string n = prom_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+      cum += h.buckets[i];
+      if (i + 1 == kHistogramBuckets) break;  // top bucket folds into +Inf
+      // Bucket i counts values of bit-width i, so the inclusive upper
+      // bound is 2^i - 1.
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%llu\"} %llu\n",
+                    n.c_str(),
+                    static_cast<unsigned long long>((1ULL << i) - 1),
+                    static_cast<unsigned long long>(cum));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "%s_bucket{le=\"+Inf\"} %llu\n%s_sum %llu\n%s_count %llu\n",
+                  n.c_str(), static_cast<unsigned long long>(h.count),
+                  n.c_str(), static_cast<unsigned long long>(h.sum), n.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
+std::string json_snapshot(const Registry& reg) {
+  std::string out = "{\"metrics\": " + reg.to_json() + ", \"histograms\": {";
+  const auto hists = reg.histograms();
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    const HistogramSnapshot& h = hists[i];
+    out += "\"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) +
+           ", \"max\": " + std::to_string(h.max) +
+           ", \"mean\": " + fmt_double(h.mean()) +
+           ", \"p50\": " + fmt_double(h.p50()) +
+           ", \"p95\": " + fmt_double(h.p95()) +
+           ", \"p99\": " + fmt_double(h.p99()) + "}";
+    if (i + 1 < hists.size()) out += ", ";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string json_delta(const std::vector<Registry::Sample>& then,
+                       const Registry& reg) {
+  const auto delta = snapshot_diff(reg.snapshot(), then);
+  std::string out = "{\"metrics\": {";
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    out += "\"" + delta[i].name + "\": " + std::to_string(delta[i].value);
+    if (i + 1 < delta.size()) out += ", ";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rvdyn::obs

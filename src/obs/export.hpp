@@ -1,0 +1,53 @@
+// rvdyn::obs export surface: the registry's wire formats.
+//
+//  * prometheus_text()  — Prometheus text exposition (version 0.0.4):
+//    counters/gauges as single series, histograms as cumulative
+//    `_bucket{le="..."}` series with `_sum`/`_count`, ready for a
+//    scrape endpoint. Metric names have '.' mapped to '_'.
+//  * json_snapshot()    — one JSON object carrying every metric plus a
+//    per-histogram digest (count/sum/max/mean/p50/p95/p99).
+//  * snapshot_diff()    — the delta primitive for streaming: counters
+//    subtract, gauges/max report the current value. A serve loop keeps
+//    the previous snapshot and ships only what moved
+//    (`json_delta(prev)` does exactly that in one call).
+//
+// All readers aggregate across the registry's thread shards and are meant
+// for quiesced or low-rate polling (a scrape every few seconds), not the
+// hot path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rvdyn::obs {
+
+/// `now` minus `then` for two snapshot() results: counters subtract
+/// (clamped at 0 against resets), gauges and maxes carry `now`'s value.
+/// Metrics absent from `then` are treated as starting at zero; the result
+/// omits metrics whose delta is zero, which is what makes it a streaming
+/// primitive — an idle interval serializes to almost nothing.
+std::vector<Registry::Sample> snapshot_diff(
+    const std::vector<Registry::Sample>& now,
+    const std::vector<Registry::Sample>& then);
+
+/// Prometheus text exposition of `reg`'s current state. Histogram
+/// component metrics (`.count`/`.sum`/`.max`/`.b<i>`) are folded into
+/// proper histogram series instead of appearing as bare counters; the
+/// power-of-two buckets publish `le` bounds of 2^i - 1 plus `+Inf`.
+std::string prometheus_text(const Registry& reg = Registry::instance());
+
+/// JSON object:
+///   {"metrics": {"name": value, ...},
+///    "histograms": {"name": {"count": ..., "sum": ..., "max": ...,
+///                            "mean": ..., "p50": ..., "p95": ...,
+///                            "p99": ...}, ...}}
+std::string json_snapshot(const Registry& reg = Registry::instance());
+
+/// JSON object of the non-zero deltas since `then` (see snapshot_diff):
+///   {"metrics": {...changed only...}}
+std::string json_delta(const std::vector<Registry::Sample>& then,
+                       const Registry& reg = Registry::instance());
+
+}  // namespace rvdyn::obs

@@ -1,0 +1,111 @@
+#include "obs/flamegraph.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rvdyn::obs {
+
+void FoldedStacks::add(const std::vector<std::string>& stack,
+                       std::uint64_t weight) {
+  if (stack.empty() || weight == 0) return;
+  std::string key;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i != 0) key += ';';
+    key += stack[i];
+  }
+  add_folded(key, weight);
+}
+
+void FoldedStacks::add_folded(const std::string& key, std::uint64_t weight) {
+  if (key.empty() || weight == 0) return;
+  stacks_[key] += weight;
+  total_ += weight;
+}
+
+std::string FoldedStacks::folded() const {
+  std::string out;
+  for (const auto& [key, weight] : stacks_) {
+    out += key;
+    out += ' ';
+    out += std::to_string(weight);
+    out += '\n';
+  }
+  return out;
+}
+
+bool FoldedStacks::write_folded(const std::string& path) const {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (!fp) return false;
+  const std::string text = folded();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), fp) == text.size();
+  std::fclose(fp);
+  return ok;
+}
+
+std::vector<FoldedStacks::FuncTotal> FoldedStacks::hot_table() const {
+  // self: weight of stacks whose leaf is the function. total: weight of
+  // stacks containing the function anywhere — counted once per stack, so
+  // recursion does not inflate it past total_weight().
+  std::map<std::string, FuncTotal> agg;
+  std::vector<std::string> frames;
+  for (const auto& [key, weight] : stacks_) {
+    frames.clear();
+    std::size_t pos = 0;
+    while (pos <= key.size()) {
+      const std::size_t sep = key.find(';', pos);
+      const std::size_t end = sep == std::string::npos ? key.size() : sep;
+      frames.push_back(key.substr(pos, end - pos));
+      if (sep == std::string::npos) break;
+      pos = sep + 1;
+    }
+    if (frames.empty()) continue;
+    std::vector<std::string> seen;
+    for (const std::string& f : frames) {
+      if (std::find(seen.begin(), seen.end(), f) != seen.end()) continue;
+      seen.push_back(f);
+      FuncTotal& t = agg[f];
+      t.name = f;
+      t.total += weight;
+    }
+    agg[frames.back()].self += weight;
+  }
+  std::vector<FuncTotal> out;
+  out.reserve(agg.size());
+  for (auto& [name, t] : agg) out.push_back(std::move(t));
+  std::sort(out.begin(), out.end(), [](const FuncTotal& a, const FuncTotal& b) {
+    if (a.self != b.self) return a.self > b.self;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string FoldedStacks::hot_table_text(std::size_t limit) const {
+  const auto table = hot_table();
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-28s %10s %7s %10s\n", "function", "self",
+                "self%", "total");
+  out += buf;
+  for (std::size_t i = 0; i < table.size() && i < limit; ++i) {
+    const FuncTotal& t = table[i];
+    const double pct =
+        total_ ? 100.0 * static_cast<double>(t.self) / static_cast<double>(total_)
+               : 0.0;
+    std::snprintf(buf, sizeof(buf), "%-28s %10llu %6.2f%% %10llu\n",
+                  t.name.c_str(), static_cast<unsigned long long>(t.self), pct,
+                  static_cast<unsigned long long>(t.total));
+    out += buf;
+  }
+  return out;
+}
+
+void FoldedStacks::clear() {
+  stacks_.clear();
+  total_ = 0;
+}
+
+void FoldedStacks::merge(const FoldedStacks& other) {
+  for (const auto& [key, weight] : other.stacks_) add_folded(key, weight);
+}
+
+}  // namespace rvdyn::obs

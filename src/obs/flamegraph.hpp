@@ -1,0 +1,66 @@
+// rvdyn::obs flamegraphs: aggregation of call-stack samples into the
+// FlameGraph "folded stacks" format — one line per distinct stack,
+// root-first frames joined by ';' followed by the sample count:
+//
+//   _start;matmul 412
+//   _start;wrapper;leaf 9
+//
+// Both Brendan Gregg's flamegraph.pl and speedscope import this format
+// directly, so one emitter serves both visualizers. Output is
+// deterministic: stacks sort lexicographically and counts are exact, which
+// is what lets the sampler tests demand byte-identical files across runs
+// and across execution tiers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rvdyn::obs {
+
+class FoldedStacks {
+ public:
+  /// Record one sample of `stack` (frames root-first, e.g. from reversing
+  /// a StackWalker walk) with the given weight.
+  void add(const std::vector<std::string>& stack, std::uint64_t weight = 1);
+
+  /// Record a stack already folded into "a;b;c" form.
+  void add_folded(const std::string& key, std::uint64_t weight = 1);
+
+  /// The folded-stacks text: "stack count\n" per distinct stack, sorted
+  /// lexicographically by stack.
+  std::string folded() const;
+
+  /// Write folded() to `path`; returns false on I/O failure.
+  bool write_folded(const std::string& path) const;
+
+  /// Function-level rollup of the folded stacks.
+  struct FuncTotal {
+    std::string name;
+    std::uint64_t self = 0;   ///< samples with this function on top
+    std::uint64_t total = 0;  ///< samples with this function anywhere
+  };
+
+  /// Flat hot table, sorted by self weight descending (ties by name). The
+  /// self column is the sampled analogue of the exact profiler's
+  /// per-function instruction share.
+  std::vector<FuncTotal> hot_table() const;
+
+  /// Human-readable hot table (top `limit` rows with self percentages).
+  std::string hot_table_text(std::size_t limit = 10) const;
+
+  std::uint64_t total_weight() const { return total_; }
+  std::size_t distinct_stacks() const { return stacks_.size(); }
+  bool empty() const { return stacks_.empty(); }
+  void clear();
+
+  /// Merge another aggregation into this one (shard collection).
+  void merge(const FoldedStacks& other);
+
+ private:
+  std::map<std::string, std::uint64_t> stacks_;  ///< folded key → weight
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rvdyn::obs

@@ -49,6 +49,58 @@ inline const char* metric_kind_name(MetricKind k) {
   return "?";
 }
 
+/// Bucket count shared by obs::Histogram and HistogramSnapshot.
+inline constexpr unsigned kHistogramBuckets = 16;
+
+/// A histogram reassembled from its component metrics (`.count`, `.sum`,
+/// `.max`, `.b<i>`), merged across all thread shards by the registry read
+/// path. Buckets are power-of-two: bucket 0 counts zeros, bucket i counts
+/// values in [2^(i-1), 2^i), and the last bucket absorbs everything wider.
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Quantile estimate for q in [0, 1] (q=0.5 → p50): nearest-rank walk
+  /// over the cumulative buckets with linear interpolation between the
+  /// bucket's value bounds. Exact for single-valued buckets (0 and 1);
+  /// elsewhere the error is bounded by the bucket width. The top bucket's
+  /// upper bound is the recorded max, so p100 == max exactly.
+  double percentile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    const double rank = q * static_cast<double>(count - 1) + 1.0;  // 1-based
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+      if (buckets[i] == 0) continue;
+      const double first_rank = static_cast<double>(cum) + 1.0;
+      cum += buckets[i];
+      if (rank > static_cast<double>(cum)) continue;
+      double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << (i - 1));
+      double hi = i == 0 ? 0.0 : static_cast<double>((1ULL << i) - 1);
+      if (i + 1 == kHistogramBuckets || hi > static_cast<double>(max))
+        hi = static_cast<double>(max);
+      if (hi < lo) hi = lo;
+      const double frac =
+          buckets[i] <= 1
+              ? 0.0
+              : (rank - first_rank) / static_cast<double>(buckets[i] - 1);
+      return lo + frac * (hi - lo);
+    }
+    return static_cast<double>(max);
+  }
+  double p50() const { return percentile(0.50); }
+  double p95() const { return percentile(0.95); }
+  double p99() const { return percentile(0.99); }
+};
+
 class Registry {
  public:
   using Id = std::uint32_t;
@@ -136,6 +188,40 @@ class Registry {
     return out;
   }
 
+  // --- histogram sample API --------------------------------------------
+  /// Called by obs::Histogram's constructor so readers can reassemble the
+  /// component metrics into HistogramSnapshots. Idempotent.
+  void register_histogram(const std::string& name) {
+    std::lock_guard lock(mu_);
+    for (const auto& h : histogram_names_)
+      if (h == name) return;
+    histogram_names_.push_back(name);
+  }
+
+  /// Names of every registered histogram, in registration order.
+  std::vector<std::string> histogram_names() const {
+    std::lock_guard lock(mu_);
+    return histogram_names_;
+  }
+
+  /// Shard-merged snapshot of histogram `name` (all-zero when the name was
+  /// never registered). Percentiles come from the snapshot's accessors:
+  ///   Registry::instance().histogram("rvdyn.x").p99()
+  HistogramSnapshot histogram(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    return histogram_locked(name);
+  }
+
+  /// Snapshots of every registered histogram, in registration order.
+  std::vector<HistogramSnapshot> histograms() const {
+    std::lock_guard lock(mu_);
+    std::vector<HistogramSnapshot> out;
+    out.reserve(histogram_names_.size());
+    for (const auto& name : histogram_names_)
+      out.push_back(histogram_locked(name));
+    return out;
+  }
+
   /// Zero every slot (names stay registered). Call only when no other
   /// thread is writing — test fixtures and bench setup.
   void reset() {
@@ -156,6 +242,21 @@ class Registry {
   };
 
   Registry() = default;
+
+  HistogramSnapshot histogram_locked(const std::string& name) const {
+    HistogramSnapshot h;
+    h.name = name;
+    const auto by_name = [&](const std::string& n) -> std::uint64_t {
+      const auto it = ids_.find(n);
+      return it == ids_.end() ? 0 : read_locked(it->second);
+    };
+    h.count = by_name(name + ".count");
+    h.sum = by_name(name + ".sum");
+    h.max = by_name(name + ".max");
+    for (unsigned i = 0; i < kHistogramBuckets; ++i)
+      h.buckets[i] = by_name(name + ".b" + std::to_string(i));
+    return h;
+  }
 
   std::uint64_t read_locked(Id id) const {
     if (id >= meta_.size()) return 0;
@@ -188,6 +289,7 @@ class Registry {
   mutable std::mutex mu_;  ///< guards registration + shard list, never adds
   std::unordered_map<std::string, Id> ids_;
   std::vector<Meta> meta_;
+  std::vector<std::string> histogram_names_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::array<std::atomic<std::uint64_t>, kMaxSlots> gauges_{};
 };
@@ -220,10 +322,11 @@ class Gauge {
 /// absorbs everything wider.
 class Histogram {
  public:
-  static constexpr unsigned kBuckets = 16;
+  static constexpr unsigned kBuckets = kHistogramBuckets;
 
   explicit Histogram(const std::string& name) {
     Registry& r = Registry::instance();
+    r.register_histogram(name);
     count_ = r.register_metric(name + ".count", MetricKind::Counter);
     sum_ = r.register_metric(name + ".sum", MetricKind::Counter);
     max_ = r.register_metric(name + ".max", MetricKind::Max);

@@ -1,0 +1,170 @@
+#include "obs/postmortem.hpp"
+
+#include <cstdio>
+
+#include "isa/decoder.hpp"
+#include "isa/registers.hpp"
+#include "obs/trace.hpp"
+#include "proccontrol/process.hpp"
+#include "stackwalk/stackwalker.hpp"
+
+namespace rvdyn::obs {
+
+namespace {
+
+const char* stop_reason_name(emu::StopReason r) {
+  switch (r) {
+    case emu::StopReason::Running: return "running (step budget exhausted)";
+    case emu::StopReason::Exited: return "exited";
+    case emu::StopReason::Breakpoint: return "breakpoint (ebreak)";
+    case emu::StopReason::IllegalInsn: return "illegal instruction";
+    case emu::StopReason::BadFetch: return "bad fetch (pc unmapped)";
+    case emu::StopReason::BadSyscall: return "unknown syscall";
+    case emu::StopReason::Watchpoint: return "watchpoint";
+  }
+  return "?";
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// The instruction at `pc`: from the parsed CFG when available (exact,
+/// already classified), else re-decoded from guest memory. Returns a
+/// "bytes + disassembly" line, or a diagnosis when neither works.
+std::string faulting_insn_line(const emu::Machine& m,
+                               const parse::CodeObject& co, std::uint64_t pc) {
+  std::uint8_t bytes[4] = {};
+  const bool have2 = m.memory().try_read_bytes(pc, bytes, 2);
+  const bool compressed = have2 && (bytes[0] & 0x3) != 0x3;
+  const unsigned want = compressed ? 2 : 4;
+  const bool have_all = have2 && (compressed ||
+                                  m.memory().try_read_bytes(pc, bytes, 4));
+
+  std::string line;
+  char buf[64];
+  if (have2) {
+    line += "bytes ";
+    for (unsigned i = 0; i < want && (i < 2 || have_all); ++i) {
+      std::snprintf(buf, sizeof(buf), "%02x ", bytes[i]);
+      line += buf;
+    }
+  } else {
+    return "  <pc unmapped: no bytes to decode>\n";
+  }
+
+  // Prefer the parse's decode: exact and free.
+  if (const parse::Function* f = co.function_containing(pc)) {
+    if (const parse::Block* b = f->block_containing(pc)) {
+      for (const parse::ParsedInsn& pi : b->insns())
+        if (pi.addr == pc)
+          return "  " + line + " " + pi.insn.to_string() + "\n";
+    }
+  }
+  if (have_all || compressed) {
+    isa::Decoder dec;
+    isa::Instruction insn;
+    if (dec.decode(bytes, want, &insn) != 0)
+      return "  " + line + " " + insn.to_string() + "\n";
+  }
+  return "  " + line + " <does not decode>\n";
+}
+
+}  // namespace
+
+std::string postmortem_report(emu::Machine& m, const parse::CodeObject& co,
+                              emu::StopReason reason,
+                              const PostmortemOptions& opts) {
+  std::string out;
+  char buf[256];
+  const std::uint64_t pc = m.pc();
+
+  out += "=== rvdyn postmortem ===\n";
+  out += "stop:    ";
+  out += stop_reason_name(reason);
+  out += "\n";
+  out += "pc:      " + hex64(pc) + "  (" + co.symbolize(pc) + ")\n";
+  std::snprintf(buf, sizeof(buf), "instret: %llu   cycles: %llu\n",
+                static_cast<unsigned long long>(m.instret()),
+                static_cast<unsigned long long>(m.cycles()));
+  out += buf;
+
+  out += "\n--- faulting instruction ---\n";
+  out += faulting_insn_line(m, co, pc);
+
+  out += "\n--- registers ---\n";
+  for (unsigned i = 0; i < 32; i += 2) {
+    const isa::Reg a = isa::x(static_cast<std::uint8_t>(i));
+    const isa::Reg b = isa::x(static_cast<std::uint8_t>(i + 1));
+    std::snprintf(buf, sizeof(buf), "  %-4s(%-3s) %s   %-4s(%-3s) %s\n",
+                  isa::reg_name(a).c_str(), isa::reg_arch_name(a).c_str(),
+                  hex64(m.get_reg(a)).c_str(), isa::reg_name(b).c_str(),
+                  isa::reg_arch_name(b).c_str(), hex64(m.get_reg(b)).c_str());
+    out += buf;
+  }
+
+  out += "\n--- stack ---\n";
+  {
+    stackwalk::MachineAccess access(m);
+    stackwalk::StackWalker walker(access, co);
+    const auto frames = walker.walk(opts.max_frames);
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const auto& f = frames[i];
+      std::snprintf(buf, sizeof(buf), "  #%-2zu %s  %s  sp=%s%s%s\n", i,
+                    hex64(f.pc).c_str(), co.symbolize(f.pc).c_str(),
+                    hex64(f.sp).c_str(), f.stepper[0] ? "  via " : "",
+                    f.stepper);
+      out += buf;
+    }
+    if (frames.empty()) out += "  <no frames>\n";
+  }
+
+  out += "\n--- last executed blocks (oldest first) ---\n";
+  {
+    const auto blocks = m.recent_blocks();
+    const std::size_t skip =
+        blocks.size() > opts.max_blocks ? blocks.size() - opts.max_blocks : 0;
+    for (std::size_t i = skip; i < blocks.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "  [instret %12llu] %s  %s\n",
+                    static_cast<unsigned long long>(blocks[i].instret),
+                    hex64(blocks[i].pc).c_str(),
+                    co.symbolize(blocks[i].pc).c_str());
+      out += buf;
+    }
+    if (blocks.empty())
+      out += m.block_trace_enabled()
+                 ? "  <empty>\n"
+                 : "  <block trace disabled: call enable_block_trace(true) "
+                   "before the run>\n";
+  }
+
+  if (opts.include_trace_events) {
+    out += "\n--- recent trace events ---\n";
+    const auto evs = TraceSink::instance().render_events();
+    const std::size_t skip = evs.size() > opts.max_trace_events
+                                 ? evs.size() - opts.max_trace_events
+                                 : 0;
+    for (std::size_t i = skip; i < evs.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "  %12.3fus [tid %u] %c %s\n",
+                    static_cast<double>(evs[i].ts_ns) / 1000.0, evs[i].tid,
+                    evs[i].phase, evs[i].name);
+      out += buf;
+    }
+    if (evs.empty())
+      out += TraceSink::instance().enabled() ? "  <empty>\n"
+                                             : "  <trace sink disabled>\n";
+  }
+  return out;
+}
+
+std::string postmortem_report(proccontrol::Process& proc,
+                              const parse::CodeObject& co,
+                              const PostmortemOptions& opts) {
+  return postmortem_report(proc.machine(), co, proc.machine().last_stop(),
+                           opts);
+}
+
+}  // namespace rvdyn::obs

@@ -1,0 +1,54 @@
+// rvdyn::obs postmortem: one-call trap/crash report assembly.
+//
+// When a guest run stops somewhere it should not (illegal instruction,
+// bad fetch, unexpected breakpoint/syscall), the postmortem collects the
+// evidence a person needs before touching a debugger, all from state the
+// emulator already holds:
+//
+//   * the stop reason, pc, and retired-instruction/cycle counts;
+//   * the faulting instruction — symbolized location, raw bytes, and
+//     disassembly (from the parsed CFG when the pc is inside a parsed
+//     function, re-decoded from memory when it is not);
+//   * the full register file (ABI names, hex values);
+//   * a call-stack walk via StackwalkerAPI;
+//   * the last-K executed blocks from the Machine's block-trace ring
+//     (enable_block_trace(true) before the run — the report says so when
+//     the ring was off);
+//   * the tail of the TraceSink event stream, when the sink is enabled.
+//
+// The report is plain text, deterministic given deterministic guest state
+// (the TraceSink section carries host timestamps and is last so the
+// deterministic sections diff cleanly).
+#pragma once
+
+#include <string>
+
+#include "emu/machine.hpp"
+#include "parse/cfg.hpp"
+
+namespace rvdyn::proccontrol {
+class Process;
+}
+
+namespace rvdyn::obs {
+
+struct PostmortemOptions {
+  unsigned max_frames = 32;        ///< stack-walk depth cap
+  std::size_t max_blocks = 16;     ///< block-trace tail length
+  std::size_t max_trace_events = 16;  ///< TraceSink tail length
+  bool include_trace_events = true;
+};
+
+/// Assemble the report for `m` stopped with `reason`. `co` must be parsed
+/// over the same binary (symbolization + stack walking).
+std::string postmortem_report(emu::Machine& m, const parse::CodeObject& co,
+                              emu::StopReason reason,
+                              const PostmortemOptions& opts = {});
+
+/// Convenience for the debugger surface: report on a Process's machine
+/// using its last stop reason.
+std::string postmortem_report(proccontrol::Process& proc,
+                              const parse::CodeObject& co,
+                              const PostmortemOptions& opts = {});
+
+}  // namespace rvdyn::obs

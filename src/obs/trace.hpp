@@ -62,12 +62,59 @@ class TraceSink {
     return out;
   }
 
+  /// Total events ever claimed (the ring retains at most kCapacity).
+  std::uint64_t total_recorded() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  /// Events lost to ring wraparound.
+  std::uint64_t dropped() const {
+    const std::uint64_t n = total_recorded();
+    return n > kCapacity ? n - kCapacity : 0;
+  }
+  bool truncated() const { return dropped() != 0; }
+
+  /// Name of the synthetic instant event exporters insert at the cut when
+  /// the ring wrapped.
+  static constexpr const char* kTruncationMarker = "rvdyn.trace.truncated";
+
+  /// Events prepared for rendering. After the ring wraps, the retained
+  /// window can hold 'E' events whose 'B' was overwritten; rendering those
+  /// as spans would fabricate zero-length or wrongly-nested frames, so a
+  /// seq-order replay with per-tid depth counters drops them, and a
+  /// synthetic kTruncationMarker instant flags the cut at the earliest
+  /// retained timestamp. Without wraparound this is exactly events().
+  std::vector<Event> render_events() const {
+    auto evs = events();
+    if (dropped() == 0) return evs;
+    std::vector<Event> out;
+    out.reserve(evs.size() + 1);
+    Event marker;
+    marker.name = kTruncationMarker;
+    marker.phase = 'i';
+    marker.ts_ns = evs.empty() ? 0 : evs.front().ts_ns;
+    marker.tid = evs.empty() ? 0 : evs.front().tid;
+    marker.seq = evs.empty() ? 1 : evs.front().seq;
+    out.push_back(marker);
+    std::unordered_map<std::uint32_t, std::size_t> depth;
+    for (const Event& e : evs) {
+      if (e.phase == 'B') {
+        ++depth[e.tid];
+      } else if (e.phase == 'E') {
+        std::size_t& d = depth[e.tid];
+        if (d == 0) continue;  // orphaned end: its begin was overwritten
+        --d;
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+
   /// Chrome trace_event JSON (the "JSON Array Format" wrapped in an object,
   /// which both chrome://tracing and Perfetto accept). Timestamps are
   /// microseconds, per the format.
   std::string chrome_json() const {
     std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-    const auto evs = events();
+    const auto evs = render_events();
     char buf[256];
     for (std::size_t i = 0; i < evs.size(); ++i) {
       const Event& e = evs[i];
@@ -97,7 +144,7 @@ class TraceSink {
   /// Plain-text timeline: one line per span (indented by nesting depth)
   /// with start offset and duration, plus instant markers.
   std::string text() const {
-    const auto evs = events();
+    const auto evs = render_events();
     std::string out;
     char buf[256];
     // Per-tid span stacks to pair begin/end and compute depth/duration.

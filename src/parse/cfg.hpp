@@ -214,6 +214,12 @@ class CodeObject {
   /// calls this automatically; call again after mutating blocks directly.
   void rebuild_addr_index();
 
+  /// Human-readable location of `a`: "func" at the entry, "func+0xN"
+  /// inside, bare "0xA" when no parsed function contains the address.
+  /// O(log segments) through the interval index — cheap enough for the
+  /// sampling profiler to call per frame per sample.
+  std::string symbolize(std::uint64_t a) const;
+
   /// The sorted, non-overlapping segment list (exposed for tests/tools).
   const std::vector<AddrSegment>& addr_index() const { return addr_index_; }
 

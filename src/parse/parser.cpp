@@ -696,6 +696,19 @@ Function* CodeObject::function_containing(std::uint64_t a) const {
   return nullptr;
 }
 
+std::string CodeObject::symbolize(std::uint64_t a) const {
+  char buf[32];
+  if (const Function* f = function_containing(a)) {
+    if (a == f->entry()) return f->name();
+    std::snprintf(buf, sizeof(buf), "+0x%llx",
+                  static_cast<unsigned long long>(a - f->entry()));
+    return f->name() + buf;
+  }
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(a));
+  return buf;
+}
+
 void CodeObject::parse(const ParseOptions& opts) {
   Parser parser(*this, symtab_, opts, funcs_);
   parser.run();

@@ -1,6 +1,8 @@
 #include "stackwalk/stackwalker.hpp"
 
 #include "dataflow/stack_height.hpp"
+#include "emu/machine.hpp"
+#include "proccontrol/process.hpp"
 
 namespace rvdyn::stackwalk {
 
@@ -8,6 +10,20 @@ namespace {
 
 using parse::Block;
 using parse::Function;
+
+/// ThreadAccess over a debugger-controlled process.
+class ProcessAccess : public ThreadAccess {
+ public:
+  explicit ProcessAccess(proccontrol::Process& p) : p_(p) {}
+  std::uint64_t pc() const override { return p_.pc(); }
+  std::uint64_t get_reg(isa::Reg r) const override { return p_.get_reg(r); }
+  std::uint64_t read_mem(std::uint64_t addr, unsigned size) const override {
+    return p_.read_mem(addr, size);
+  }
+
+ private:
+  proccontrol::Process& p_;
+};
 
 /// Function containing `pc`, plus the block and instruction index.
 struct Location {
@@ -44,29 +60,60 @@ bool plausible_code_addr(const parse::CodeObject& co, std::uint64_t pc) {
 /// prologue's save slot, else unknown (0). Returning the callee's register
 /// value when the callee repurposed x8 would hand FramePointerStepper a
 /// stale chain and let it fabricate frames.
-std::uint64_t recover_caller_fp(proccontrol::Process& proc,
+std::uint64_t recover_caller_fp(ThreadAccess& thread,
                                 const dataflow::StackHeightAnalysis& sh,
                                 const Location& loc, const Frame& frame,
                                 std::uint64_t entry_sp) {
   if (sh.fp_preserved_at(loc.block, loc.index)) return frame.fp;
   const auto slot = sh.fp_save_slot();
   if (slot && sh.fp_saved_at(loc.block, loc.index))
-    return proc.read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
+    return thread.read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
   return 0;
 }
 
 }  // namespace
 
-std::optional<Frame> FramePointerStepper::step(proccontrol::Process& proc,
-                                               const parse::CodeObject& co,
+std::uint64_t MachineAccess::pc() const { return m_.pc(); }
+
+std::uint64_t MachineAccess::get_reg(isa::Reg r) const {
+  return m_.get_reg(r);
+}
+
+std::uint64_t MachineAccess::read_mem(std::uint64_t addr,
+                                      unsigned size) const {
+  // try_read_bytes, not read(): the zero-fill-on-touch path would map
+  // pages as a side effect of the walker probing a garbage pointer, and a
+  // sampler must leave the sampled machine bit-identical.
+  std::uint8_t buf[8] = {};
+  if (size > 8 || !m_.memory().try_read_bytes(addr, buf, size)) return 0;
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < size; ++i) v |= std::uint64_t{buf[i]} << (8 * i);
+  return v;
+}
+
+WalkContext::WalkContext(ThreadAccess& thread, const parse::CodeObject& co)
+    : thread_(thread), co_(co) {}
+
+WalkContext::~WalkContext() = default;
+
+const dataflow::StackHeightAnalysis& WalkContext::analysis(
+    const parse::Function& f) {
+  auto& slot = analyses_[&f];
+  if (!slot) slot = std::make_unique<dataflow::StackHeightAnalysis>(f);
+  return *slot;
+}
+
+void WalkContext::invalidate_analyses() { analyses_.clear(); }
+
+std::optional<Frame> FramePointerStepper::step(WalkContext& ctx,
                                                const Frame& frame) {
   // RISC-V fp-chain layout: [fp-8] = saved ra, [fp-16] = caller's fp.
   const std::uint64_t fp = frame.fp;
   if (fp == 0 || (fp & 7) != 0) return std::nullopt;
   if (fp <= frame.sp || fp - frame.sp > (1u << 20)) return std::nullopt;
-  const std::uint64_t ra = proc.read_mem(fp - 8, 8);
-  const std::uint64_t caller_fp = proc.read_mem(fp - 16, 8);
-  if (!plausible_code_addr(co, ra)) return std::nullopt;
+  const std::uint64_t ra = ctx.thread().read_mem(fp - 8, 8);
+  const std::uint64_t caller_fp = ctx.thread().read_mem(fp - 16, 8);
+  if (!plausible_code_addr(ctx.co(), ra)) return std::nullopt;
   Frame out;
   out.pc = ra;
   out.sp = fp;  // caller's sp when it made the call
@@ -74,12 +121,11 @@ std::optional<Frame> FramePointerStepper::step(proccontrol::Process& proc,
   return out;
 }
 
-std::optional<Frame> SpHeightStepper::step(proccontrol::Process& proc,
-                                           const parse::CodeObject& co,
+std::optional<Frame> SpHeightStepper::step(WalkContext& ctx,
                                            const Frame& frame) {
-  const auto loc = locate(co, frame.pc);
+  const auto loc = locate(ctx.co(), frame.pc);
   if (!loc) return std::nullopt;
-  dataflow::StackHeightAnalysis sh(*loc->func);
+  const dataflow::StackHeightAnalysis& sh = ctx.analysis(*loc->func);
   const auto height = sh.height_before(loc->block, loc->index);
   if (!height) return std::nullopt;
   const auto slot = sh.ra_save_slot();
@@ -89,19 +135,17 @@ std::optional<Frame> SpHeightStepper::step(proccontrol::Process& proc,
   const std::uint64_t entry_sp =
       frame.sp - static_cast<std::uint64_t>(*height);
   const std::uint64_t ra =
-      proc.read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
-  if (!plausible_code_addr(co, ra)) return std::nullopt;
+      ctx.thread().read_mem(entry_sp + static_cast<std::uint64_t>(*slot), 8);
+  if (!plausible_code_addr(ctx.co(), ra)) return std::nullopt;
   Frame out;
   out.pc = ra;
   out.sp = entry_sp;
-  out.fp = recover_caller_fp(proc, sh, *loc, frame, entry_sp);
+  out.fp = recover_caller_fp(ctx.thread(), sh, *loc, frame, entry_sp);
   return out;
 }
 
-std::optional<Frame> LeafStepper::step(proccontrol::Process& proc,
-                                       const parse::CodeObject& co,
-                                       const Frame& frame) {
-  if (frame.ra == 0 || !plausible_code_addr(co, frame.ra))
+std::optional<Frame> LeafStepper::step(WalkContext& ctx, const Frame& frame) {
+  if (frame.ra == 0 || !plausible_code_addr(ctx.co(), frame.ra))
     return std::nullopt;
   Frame out;
   out.pc = frame.ra;
@@ -110,19 +154,18 @@ std::optional<Frame> LeafStepper::step(proccontrol::Process& proc,
   // A stop mid-prologue (after `addi sp, sp, -N`, before `sd ra`) has
   // already moved sp: undo the known height so the caller frame carries the
   // caller's sp, and recover the caller's fp if the prologue spilled it.
-  if (const auto loc = locate(co, frame.pc)) {
-    dataflow::StackHeightAnalysis sh(*loc->func);
+  if (const auto loc = locate(ctx.co(), frame.pc)) {
+    const dataflow::StackHeightAnalysis& sh = ctx.analysis(*loc->func);
     if (const auto h = sh.height_before(loc->block, loc->index)) {
       out.sp = frame.sp - static_cast<std::uint64_t>(*h);
-      out.fp = recover_caller_fp(proc, sh, *loc, frame, out.sp);
+      out.fp = recover_caller_fp(ctx.thread(), sh, *loc, frame, out.sp);
     }
   }
   return out;
 }
 
-StackWalker::StackWalker(proccontrol::Process& proc,
-                         const parse::CodeObject& co)
-    : proc_(proc), co_(co) {
+StackWalker::StackWalker(ThreadAccess& thread, const parse::CodeObject& co)
+    : ctx_(thread, co) {
   // Order matters: sp-height is the most precise; leaf-ra only applies to
   // the top frame (ra register still live); the fp chain runs last because
   // a stale fp register in a leaf would otherwise skip the caller's frame.
@@ -131,12 +174,22 @@ StackWalker::StackWalker(proccontrol::Process& proc,
   steppers_.push_back(std::make_unique<FramePointerStepper>());
 }
 
+StackWalker::StackWalker(proccontrol::Process& proc,
+                         const parse::CodeObject& co)
+    : owned_(std::make_unique<ProcessAccess>(proc)), ctx_(*owned_, co) {
+  steppers_.push_back(std::make_unique<SpHeightStepper>());
+  steppers_.push_back(std::make_unique<LeafStepper>());
+  steppers_.push_back(std::make_unique<FramePointerStepper>());
+}
+
+StackWalker::~StackWalker() = default;
+
 void StackWalker::add_stepper(std::unique_ptr<FrameStepper> stepper) {
   steppers_.insert(steppers_.begin(), std::move(stepper));
 }
 
 void StackWalker::annotate(Frame* f) const {
-  if (const parse::Function* func = co_.function_containing(f->pc)) {
+  if (const parse::Function* func = ctx_.co().function_containing(f->pc)) {
     f->func_name = func->name();
     f->func_entry = func->entry();
   }
@@ -145,17 +198,18 @@ void StackWalker::annotate(Frame* f) const {
 std::vector<Frame> StackWalker::walk(unsigned max_depth) {
   std::vector<Frame> out;
   Frame cur;
-  cur.pc = proc_.pc();
-  cur.sp = proc_.get_reg(isa::sp);
-  cur.fp = proc_.get_reg(isa::fp);
-  cur.ra = proc_.get_reg(isa::ra);
+  ThreadAccess& thread = ctx_.thread();
+  cur.pc = thread.pc();
+  cur.sp = thread.get_reg(isa::sp);
+  cur.fp = thread.get_reg(isa::fp);
+  cur.ra = thread.get_reg(isa::ra);
   annotate(&cur);
 
   // The program's entry function has no caller: once the walk reaches it,
   // stale register contents (ra left over from a completed call) must not
   // fabricate an extra frame above it.
   const parse::Function* entry_func =
-      co_.function_containing(co_.symtab().entry);
+      ctx_.co().function_containing(ctx_.co().symtab().entry);
 
   for (unsigned depth = 0; depth < max_depth; ++depth) {
     if (entry_func && cur.func_entry == entry_func->entry() &&
@@ -167,7 +221,7 @@ std::vector<Frame> StackWalker::walk(unsigned max_depth) {
     std::optional<Frame> caller;
     const char* used = "";
     for (const auto& stepper : steppers_) {
-      caller = stepper->step(proc_, co_, cur);
+      caller = stepper->step(ctx_, cur);
       if (caller) {
         used = stepper->name();
         break;

@@ -37,8 +37,11 @@ set(targets
   test_parse
   test_patch
   test_obs
+  test_obs_export
   test_obs_pipeline
-  test_obs_profiler)
+  test_obs_postmortem
+  test_obs_profiler
+  test_obs_sampler)
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}

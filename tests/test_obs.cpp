@@ -147,6 +147,91 @@ TEST(Trace, TextExporterShowsNestingAndDurations) {
   EXPECT_NE(text.find("us)"), std::string::npos);
 }
 
+TEST(Trace, RingWraparoundDropsOrphanedEndsAndFlagsTruncation) {
+  TraceSink& sink = TraceSink::instance();
+  sink.clear();
+  sink.set_enabled(true);
+
+  // A span whose begin will be overwritten by the wrap...
+  sink.begin("test.wrap.orphan");
+  // ...enough filler to wrap the ring past the 'B' above...
+  for (std::size_t i = 0; i < TraceSink::kCapacity + 16; ++i)
+    sink.instant("test.wrap.filler");
+  // ...a balanced span recorded after the wrap, which must survive...
+  sink.begin("test.wrap.survivor");
+  sink.end("test.wrap.survivor");
+  // ...and the orphaned end whose begin is gone.
+  sink.end("test.wrap.orphan");
+  sink.set_enabled(false);
+
+  ASSERT_TRUE(sink.truncated());
+  // 1 orphan B + (kCapacity+16) fillers + 2 survivor + 1 orphan E recorded;
+  // everything past kCapacity was lost to the wrap.
+  EXPECT_EQ(sink.dropped(), 20u);
+
+  const auto evs = sink.render_events();
+  ASSERT_FALSE(evs.empty());
+  // The cut is flagged first, as an instant, at the earliest retained
+  // timestamp.
+  EXPECT_STREQ(evs.front().name, TraceSink::kTruncationMarker);
+  EXPECT_EQ(evs.front().phase, 'i');
+  // The orphaned 'E' is dropped; the balanced post-wrap span survives.
+  unsigned orphan_ends = 0, survivor_b = 0, survivor_e = 0;
+  for (const auto& e : evs) {
+    if (std::string(e.name) == "test.wrap.orphan" && e.phase == 'E')
+      ++orphan_ends;
+    if (std::string(e.name) == "test.wrap.survivor") {
+      if (e.phase == 'B') ++survivor_b;
+      if (e.phase == 'E') ++survivor_e;
+    }
+  }
+  EXPECT_EQ(orphan_ends, 0u);
+  EXPECT_EQ(survivor_b, 1u);
+  EXPECT_EQ(survivor_e, 1u);
+
+  // Depth never goes negative in a seq-order replay of the rendered
+  // stream — the invariant both exporters rely on.
+  long depth = 0;
+  for (const auto& e : evs) {
+    if (e.phase == 'B') ++depth;
+    if (e.phase == 'E') --depth;
+    ASSERT_GE(depth, 0);
+  }
+
+  // Both exporters consume the rendered stream: the truncation marker
+  // shows up, the orphan never renders as a span.
+  const std::string text = sink.text();
+  EXPECT_NE(text.find(TraceSink::kTruncationMarker), std::string::npos);
+  EXPECT_EQ(text.find("test.wrap.orphan ("), std::string::npos);
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find(TraceSink::kTruncationMarker), std::string::npos);
+
+  sink.clear();
+  EXPECT_FALSE(sink.truncated());
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(Trace, NoWraparoundRendersUnchanged) {
+  TraceSink& sink = TraceSink::instance();
+  sink.clear();
+  sink.set_enabled(true);
+  {
+    Span s("test.nowrap.span");
+    sink.instant("test.nowrap.marker");
+  }
+  sink.set_enabled(false);
+  ASSERT_FALSE(sink.truncated());
+  const auto plain = sink.events();
+  const auto rendered = sink.render_events();
+  ASSERT_EQ(plain.size(), rendered.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].seq, rendered[i].seq);
+    EXPECT_STREQ(plain[i].name, rendered[i].name);
+  }
+  EXPECT_EQ(sink.chrome_json().find(TraceSink::kTruncationMarker),
+            std::string::npos);
+}
+
 TEST(Trace, DisabledSinkRecordsNothing) {
   TraceSink& sink = TraceSink::instance();
   sink.clear();

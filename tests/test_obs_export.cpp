@@ -1,0 +1,163 @@
+// Export-surface tests: histogram percentile accessors on the registry,
+// Prometheus text exposition, JSON snapshot/delta, and the snapshot_diff
+// streaming primitive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvdyn::obs {
+namespace {
+
+TEST(HistogramSnapshot, PercentilesOnSingleValuedBuckets) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.exp.hist.single");
+  // 50 zeros (bucket 0) and 50 ones (bucket 1): both buckets single-valued,
+  // so every percentile is exact.
+  for (int i = 0; i < 50; ++i) h.record(0);
+  for (int i = 0; i < 50; ++i) h.record(1);
+  const auto snap = r.histogram("test.exp.hist.single");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 50u);
+  EXPECT_EQ(snap.max, 1u);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(0.25), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p50(), 1.0);  // rank 50.5 lands in the ones
+  EXPECT_DOUBLE_EQ(snap.p95(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.5);
+}
+
+TEST(HistogramSnapshot, TopOfRangeClampsToMax) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.exp.hist.clamp");
+  for (int i = 0; i < 100; ++i) h.record(1000);  // bucket 10: [512, 1023]
+  const auto snap = r.histogram("test.exp.hist.clamp");
+  EXPECT_EQ(snap.max, 1000u);
+  // Interpolation stays inside the bucket and the upper bound is the
+  // recorded max, never the nominal 1023.
+  EXPECT_GE(snap.p50(), 512.0);
+  EXPECT_LE(snap.p99(), 1000.0);
+  EXPECT_DOUBLE_EQ(snap.percentile(1.0), 1000.0);
+}
+
+TEST(HistogramSnapshot, MergesAcrossThreadShards) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.exp.hist.sharded");
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(5);
+    });
+  for (auto& t : threads) t.join();
+  const auto snap = r.histogram("test.exp.hist.sharded");
+  // The snapshot must aggregate every thread's shard exactly.
+  EXPECT_EQ(snap.count, kThreads * static_cast<unsigned>(kPerThread));
+  EXPECT_EQ(snap.sum, 5u * kThreads * kPerThread);
+  EXPECT_EQ(snap.max, 5u);
+}
+
+TEST(Registry, HistogramNamesAndLookup) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.exp.hist.named");
+  h.record(1);
+  const auto names = r.histogram_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.exp.hist.named"),
+            names.end());
+  EXPECT_EQ(r.histogram("test.exp.no.such.histogram").count, 0u);
+}
+
+TEST(Export, SnapshotDiffSubtractsCountersAndDropsZeroes) {
+  Registry& r = Registry::instance();
+  const Counter c("test.exp.diff.counter");
+  const Counter idle("test.exp.diff.idle");
+  const Gauge g("test.exp.diff.gauge");
+  c.add(10);
+  idle.add(3);
+  g.set(7);
+  const auto then = r.snapshot();
+  c.add(5);
+  g.set(9);
+  const auto delta = snapshot_diff(r.snapshot(), then);
+  std::uint64_t counter_delta = 0, gauge_now = 0;
+  bool saw_idle = false;
+  for (const auto& s : delta) {
+    if (s.name == "test.exp.diff.counter") counter_delta = s.value;
+    if (s.name == "test.exp.diff.gauge") gauge_now = s.value;
+    if (s.name == "test.exp.diff.idle") saw_idle = true;
+  }
+  EXPECT_EQ(counter_delta, 5u);  // counters subtract
+  EXPECT_EQ(gauge_now, 9u);      // gauges carry the current value
+  EXPECT_FALSE(saw_idle);        // unchanged counters are omitted
+}
+
+TEST(Export, PrometheusTextExposition) {
+  Registry& r = Registry::instance();
+  Counter("test.exp.prom.counter").add(42);
+  const Histogram h("test.exp.prom.hist");
+  h.record(3);
+  h.record(100);
+  const std::string text = prometheus_text(r);
+
+  // Dots map to underscores; counters carry a TYPE line and a value.
+  EXPECT_NE(text.find("# TYPE test_exp_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_exp_prom_counter 42"), std::string::npos);
+
+  // Histogram: TYPE histogram, cumulative le buckets, +Inf, sum, count —
+  // and its component series must NOT leak out as bare counters.
+  EXPECT_NE(text.find("# TYPE test_exp_prom_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_exp_prom_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_exp_prom_hist_sum 103"), std::string::npos);
+  EXPECT_NE(text.find("test_exp_prom_hist_count 2"), std::string::npos);
+  EXPECT_EQ(text.find("test_exp_prom_hist_count_bucket"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_exp_prom_hist_b"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_exp_prom_hist_sum"), std::string::npos);
+
+  // le bounds are cumulative: the value-3 sample appears in every bucket
+  // with bound >= 3.
+  EXPECT_NE(text.find("test_exp_prom_hist_bucket{le=\"3\"} 1"),
+            std::string::npos);
+}
+
+TEST(Export, JsonSnapshotCarriesHistogramDigest) {
+  Registry& r = Registry::instance();
+  const Histogram h("test.exp.json.hist");
+  h.record(8);
+  const std::string json = json_snapshot(r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"metrics\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"test.exp.json.hist\": {\"count\": "),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p95\": "), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // Braces balance (names are identifiers, so no string skews the count).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Export, JsonDeltaShipsOnlyWhatMoved) {
+  Registry& r = Registry::instance();
+  const Counter c("test.exp.jdelta.counter");
+  c.add(1);
+  const auto then = r.snapshot();
+  const std::string quiet = json_delta(then, r);
+  EXPECT_EQ(quiet.find("test.exp.jdelta.counter"), std::string::npos);
+  c.add(4);
+  const std::string moved = json_delta(then, r);
+  EXPECT_NE(moved.find("\"test.exp.jdelta.counter\": 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rvdyn::obs

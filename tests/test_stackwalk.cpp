@@ -234,8 +234,7 @@ bottom:
 TEST(StackWalk, CustomStepperPluginTakesPriority) {
   struct NullStepper : stackwalk::FrameStepper {
     const char* name() const override { return "null"; }
-    std::optional<Frame> step(proccontrol::Process&,
-                              const parse::CodeObject&,
+    std::optional<Frame> step(stackwalk::WalkContext&,
                               const Frame&) override {
       return std::nullopt;  // always declines; defaults still work
     }
