@@ -27,4 +27,16 @@ inline std::uint8_t* tlb_lookup(JitState& st, std::uint64_t addr,
   return nullptr;
 }
 
+/// Write-TLB variant for stores. Entries are installed only by the store
+/// slow path after the page was dirty-marked, so an inline hit here can
+/// never bypass snapshot dirty tracking.
+inline std::uint8_t* tlb_lookup_w(JitState& st, std::uint64_t addr,
+                                  unsigned size) {
+  const std::uint64_t page = addr >> 12;
+  const unsigned idx = page & (kTlbEntries - 1);
+  if (st.tlb_wtag[idx] == page && ((addr & 4095) + size) <= 4096)
+    return st.tlb_whost[idx] + (addr & 4095);
+  return nullptr;
+}
+
 }  // namespace rvdyn::emu::jit

@@ -207,10 +207,14 @@ struct Runtime {
   /// decides the final insn's extra charge), bit-exact with the
   /// interpreter's per-insn attribution.
   static void profile_block(Machine& m, const BlockIR& ir, bool taken);
-  /// Fill the TLB entry for `addr`'s page (allocating the page zero-filled
-  /// on first touch, matching the interpreter's load/store semantics) and
-  /// return the host address of `addr`.
+  /// Fill the read-TLB entry for `addr`'s page (allocating the page
+  /// zero-filled on first touch, matching the interpreter's load/store
+  /// semantics) and return the host address of `addr`.
   static std::uint8_t* tlb_fill(JitState& st, std::uint64_t addr);
+  /// Fill the write-TLB (and read-TLB) entry for `addr`'s page, marking
+  /// the page dirty first so snapshot tracking stays exact under inline
+  /// compiled stores.
+  static std::uint8_t* tlb_fill_w(JitState& st, std::uint64_t addr);
 };
 
 }  // namespace rvdyn::emu::jit

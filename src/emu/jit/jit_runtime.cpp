@@ -44,6 +44,21 @@ std::uint8_t* Runtime::tlb_fill(JitState& st, std::uint64_t addr) {
   return base + (addr & (Memory::kPageSize - 1));
 }
 
+std::uint8_t* Runtime::tlb_fill_w(JitState& st, std::uint64_t addr) {
+  Machine& m = *static_cast<Machine*>(st.machine);
+  // page_ptr_w marks the page dirty before the write TLB can serve any
+  // inline store to it — the invariant exact dirty tracking rests on.
+  std::uint8_t* base = m.mem_.page_ptr_w(addr);
+  const std::uint64_t page = addr >> Memory::kPageBits;
+  const unsigned idx = page & (kTlbEntries - 1);
+  st.tlb_wtag[idx] = page;
+  st.tlb_whost[idx] = base;
+  // A writable page is readable too; warm the read entry as well.
+  st.tlb_tag[idx] = page;
+  st.tlb_host[idx] = base;
+  return base + (addr & (Memory::kPageSize - 1));
+}
+
 }  // namespace rvdyn::emu::jit
 
 using rvdyn::emu::jit::JitState;
@@ -64,7 +79,7 @@ extern "C" void rvdyn_jit_store(JitState* st, std::uint64_t addr,
                                 std::uint64_t value, std::uint32_t size) {
   auto& m = *static_cast<rvdyn::emu::Machine*>(st->machine);
   Runtime::memory(m).write(addr, value, size);
-  Runtime::tlb_fill(*st, addr);
+  Runtime::tlb_fill_w(*st, addr);
 }
 
 extern "C" void rvdyn_jit_value(JitState* st, const void* insn,

@@ -56,14 +56,35 @@ struct JitState {
   void* machine = nullptr;      ///< owning emu::Machine, for slow helpers
   void* tier = nullptr;         ///< owning jit::Tier
 
+  // Two TLBs: loads fill and probe the read TLB; stores probe a separate
+  // write TLB whose entries are only ever installed by the store slow path
+  // (which marks the page dirty first). Keeping the fill paths disjoint is
+  // what makes dirty-page tracking exact under the JIT — a load must never
+  // create an entry an inline store could silently write through.
   std::uint64_t tlb_tag[kTlbEntries];   ///< guest page number, ~0 = empty
   std::uint8_t* tlb_host[kTlbEntries];  ///< host base of that 4KiB page
+  std::uint64_t tlb_wtag[kTlbEntries];  ///< write-TLB tags, ~0 = empty
+  std::uint8_t* tlb_whost[kTlbEntries]; ///< write-TLB host bases
 
   JitState() {
     for (unsigned i = 0; i < kTlbEntries; ++i) {
       tlb_tag[i] = ~0ULL;
       tlb_host[i] = nullptr;
+      tlb_wtag[i] = ~0ULL;
+      tlb_whost[i] = nullptr;
     }
+  }
+
+  /// Drop every read-TLB entry (host pointers may dangle after pages are
+  /// unmapped by a snapshot reset).
+  void flush_read_tlb() {
+    for (unsigned i = 0; i < kTlbEntries; ++i) tlb_tag[i] = ~0ULL;
+  }
+  /// Drop every write-TLB entry. Required after Memory::snapshot()/reset()
+  /// so the first store into each page goes back through the slow path and
+  /// re-marks the page dirty.
+  void flush_write_tlb() {
+    for (unsigned i = 0; i < kTlbEntries; ++i) tlb_wtag[i] = ~0ULL;
   }
 };
 

@@ -160,7 +160,7 @@ template <unsigned Size>
 const TOp* t_store(const TOp* op, JitState& st) {
   const u64 addr = R(st, op->b) + static_cast<u64>(op->imm);
   const u64 v = R(st, op->a);
-  if (std::uint8_t* h = tlb_lookup(st, addr, Size)) std::memcpy(h, &v, Size);
+  if (std::uint8_t* h = tlb_lookup_w(st, addr, Size)) std::memcpy(h, &v, Size);
   else rvdyn_jit_store(&st, addr, v, Size);
   return op + 1;
 }

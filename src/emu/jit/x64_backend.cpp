@@ -52,6 +52,8 @@ constexpr std::int32_t kExitKindD = offsetof(JitState, exit_kind);
 constexpr std::int32_t kExitEdgeD = offsetof(JitState, exit_edge);
 constexpr std::int32_t kTlbTagD = offsetof(JitState, tlb_tag);
 constexpr std::int32_t kTlbHostD = offsetof(JitState, tlb_host);
+constexpr std::int32_t kTlbWTagD = offsetof(JitState, tlb_wtag);
+constexpr std::int32_t kTlbWHostD = offsetof(JitState, tlb_whost);
 
 /// Assembler over a byte buffer with local-label and epilogue fixups.
 struct Asm {
@@ -321,7 +323,7 @@ class X64Tier final : public Tier {
   void emit_store(Asm& a, std::int32_t src, unsigned base, std::int64_t disp,
                   unsigned size);
   void emit_tlb_probe(Asm& a, unsigned base, std::int64_t disp, unsigned size,
-                      std::vector<std::size_t>& to_slow);
+                      std::vector<std::size_t>& to_slow, bool write);
   void emit_profile_call(Asm& a, const BlockIR* ir, bool taken);
   void emit_acct(Asm& a, std::uint32_t n, std::uint64_t cycles) {
     a.add_mem_i32(kInstretD, static_cast<std::int32_t>(n));
@@ -352,17 +354,21 @@ void X64Tier::emit_profile_call(Asm& a, const BlockIR* ir, bool taken) {
 }
 
 // Leaves rax = guest address; on TLB hit leaves rdx = host page base and
-// rsi = page offset; records jumps-to-slow-path in `to_slow`.
+// rsi = page offset; records jumps-to-slow-path in `to_slow`. Stores probe
+// the write TLB (filled only by the dirty-marking slow path), loads the
+// read TLB.
 void X64Tier::emit_tlb_probe(Asm& a, unsigned base, std::int64_t disp,
                              unsigned size,
-                             std::vector<std::size_t>& to_slow) {
+                             std::vector<std::size_t>& to_slow, bool write) {
+  const std::int32_t tag_d = write ? kTlbWTagD : kTlbTagD;
+  const std::int32_t host_d = write ? kTlbWHostD : kTlbHostD;
   a.ld(RAX, x_disp(base));
   if (disp) a.alui_rax(0x05, static_cast<std::int32_t>(disp));
   a.u8_(0x48); a.u8_(0x89); a.u8_(0xC1);              // mov rcx, rax
   a.u8_(0x48); a.u8_(0xC1); a.u8_(0xE9); a.u8_(12);   // shr rcx, 12
   a.u8_(0x89); a.u8_(0xCA);                           // mov edx, ecx
   a.u8_(0x81); a.u8_(0xE2); a.u32_(kTlbEntries - 1);  // and edx, 255
-  a.u8_(0x48); a.u8_(0x3B); a.mrb_rdx8(RCX, kTlbTagD);  // cmp rcx, tag[rdx]
+  a.u8_(0x48); a.u8_(0x3B); a.mrb_rdx8(RCX, tag_d);   // cmp rcx, tag[rdx]
   to_slow.push_back(a.jcc(0x5));                      // jne slow
   a.u8_(0x89); a.u8_(0xC6);                           // mov esi, eax
   a.u8_(0x81); a.u8_(0xE6); a.u32_(4095);             // and esi, 4095
@@ -370,14 +376,14 @@ void X64Tier::emit_tlb_probe(Asm& a, unsigned base, std::int64_t disp,
     a.u8_(0x81); a.u8_(0xFE); a.u32_(4096 - size);    // cmp esi, 4096-size
     to_slow.push_back(a.jcc(0x7));                    // ja slow (page cross)
   }
-  a.u8_(0x48); a.u8_(0x8B); a.mrb_rdx8(RDX, kTlbHostD);  // mov rdx, host[rdx]
+  a.u8_(0x48); a.u8_(0x8B); a.mrb_rdx8(RDX, host_d);  // mov rdx, host[rdx]
 }
 
 void X64Tier::emit_load(Asm& a, std::int32_t dst, unsigned base,
                         std::int64_t disp, unsigned size, bool sign,
                         bool box) {
   std::vector<std::size_t> to_slow;
-  emit_tlb_probe(a, base, disp, size, to_slow);
+  emit_tlb_probe(a, base, disp, size, to_slow, /*write=*/false);
   switch (size | (sign ? 0x100 : 0)) {
     case 1: a.u8_(0x0F); a.u8_(0xB6); a.mrdx_rsi(RAX); break;  // movzx b
     case 0x101: a.u8_(0x48); a.u8_(0x0F); a.u8_(0xBE); a.mrdx_rsi(RAX); break;
@@ -404,7 +410,7 @@ void X64Tier::emit_load(Asm& a, std::int32_t dst, unsigned base,
 void X64Tier::emit_store(Asm& a, std::int32_t src, unsigned base,
                          std::int64_t disp, unsigned size) {
   std::vector<std::size_t> to_slow;
-  emit_tlb_probe(a, base, disp, size, to_slow);
+  emit_tlb_probe(a, base, disp, size, to_slow, /*write=*/true);
   a.ld(RCX, src);  // value
   switch (size) {
     case 1: a.u8_(0x88); a.mrdx_rsi(RCX); break;

@@ -163,18 +163,21 @@ void Machine::flush_code_caches() {
 void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
                          std::size_t n) {
   mem_.write_bytes(addr, data, n);
-  // Invalidate decoded entries that may overlap the patched range
-  // (entries start at most 3 bytes before addr).
-  const std::uint64_t hi = addr + n;
-  for (std::uint64_t a = addr >= 3 ? addr - 3 : 0; a < hi; ++a) {
+  evict_code_range(addr, addr + n);
+}
+
+void Machine::evict_code_range(std::uint64_t lo, std::uint64_t hi) {
+  // Invalidate decoded entries that may overlap the range (entries start
+  // at most 3 bytes before lo).
+  for (std::uint64_t a = lo >= 3 ? lo - 3 : 0; a < hi; ++a) {
     ICacheLine& line = icache_[(a >> 1) & (kICacheLines - 1)];
     if (line.tag == a) line.tag = ~0ULL;
   }
 #if RVDYN_JIT_ENABLED
-  // Precisely drop (and unchain) compiled blocks overlapping the patch;
+  // Precisely drop (and unchain) compiled blocks overlapping the range;
   // safe even mid-run because compiled code is never executing while the
   // debugger surface runs.
-  if (jit_) jit_->invalidate_range(addr, hi, jit::InvalidateCause::WriteCode);
+  if (jit_) jit_->invalidate_range(lo, hi, jit::InvalidateCause::WriteCode);
 #endif
   if (in_block_) {
     // Patching from inside block execution (e.g. a trace hook): erasing
@@ -184,13 +187,77 @@ void Machine::write_code(std::uint64_t addr, const std::uint8_t* data,
     return;
   }
   for (auto it = bcache_.begin(); it != bcache_.end();) {
-    if (it->second.start < hi && it->second.end > addr) {
+    if (it->second.start < hi && it->second.end > lo) {
       RVDYN_OBS_STAT(++cstats_.evict_write_code);
       it = bcache_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+Machine::Snapshot Machine::take_snapshot() {
+  Snapshot s;
+  std::memcpy(s.x, st_.x, sizeof(s.x));
+  std::memcpy(s.f, st_.f, sizeof(s.f));
+  s.pc = st_.pc;
+  s.instret = st_.instret;
+  s.cycles = st_.cycles;
+  s.brk = brk_;
+  s.mmap_top = mmap_top_;
+  s.reservation = reservation_;
+  s.csr_scratch = csr_scratch_;
+  s.exit_code = exit_code_;
+  s.stop = stop_;
+  s.out_size = out_.size();
+  mem_.snapshot();
+  // The snapshot cleared every page's dirty mark; drop the write TLB so
+  // the first store per page goes back through the marking slow path.
+  st_.flush_write_tlb();
+  return s;
+}
+
+Machine::RestoreStats Machine::reset_to_snapshot(const Snapshot& s) {
+  RestoreStats r;
+  // Check for cached-code overlap before Memory rewrites page contents: a
+  // restored (or dropped) page holding decoded/compiled code must be
+  // evicted exactly like a write_code into it would — otherwise stale host
+  // code keeps executing the pre-restore bytes.
+  if (!code_pages_.empty()) {
+    const auto check = [&](const std::vector<std::uint64_t>& pages) {
+      for (const std::uint64_t num : pages) {
+        if (code_pages_.count(num) == 0) continue;
+        const std::uint64_t lo = num << Memory::kPageBits;
+        evict_code_range(lo, lo + Memory::kPageSize);
+        r.code_invalidated = true;
+      }
+    };
+    check(mem_.dirty_pages());
+    check(mem_.fresh_pages());
+  }
+  const Memory::ResetStats ms = mem_.reset();
+  r.pages_restored = ms.pages_restored;
+  r.pages_dropped = ms.pages_dropped;
+
+  std::memcpy(st_.x, s.x, sizeof(s.x));
+  std::memcpy(st_.f, s.f, sizeof(s.f));
+  st_.pc = s.pc;
+  st_.instret = s.instret;
+  st_.cycles = s.cycles;
+  brk_ = s.brk;
+  mmap_top_ = s.mmap_top;
+  reservation_ = s.reservation;
+  if (!csr_scratch_.empty() || !s.csr_scratch.empty())
+    csr_scratch_ = s.csr_scratch;
+  exit_code_ = s.exit_code;
+  stop_ = s.stop;
+  out_.resize(s.out_size);
+
+  // Dirty marks are gone again: next stores must re-mark through the slow
+  // path. Dropped pages additionally invalidate cached read-TLB pointers.
+  st_.flush_write_tlb();
+  if (ms.pages_dropped != 0) st_.flush_read_tlb();
+  return r;
 }
 
 bool Machine::fetch(std::uint64_t pc, Instruction* out, unsigned* len) {
@@ -218,6 +285,13 @@ bool Machine::fetch(std::uint64_t pc, Instruction* out, unsigned* len) {
     line.tag = pc;
     line.len = n;
     line.insn = *out;
+  }
+  if (n != 0) {
+    // Record the page(s) this instruction occupies so snapshot restore
+    // knows which restored pages may hold decoded/compiled code. Miss-path
+    // only: one hash insert per icache fill, nothing on the hot hit path.
+    code_pages_.insert(pc >> Memory::kPageBits);
+    code_pages_.insert((pc + n - 1) >> Memory::kPageBits);
   }
   *len = n;
   return n != 0;

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "emu/jit/jit.hpp"
@@ -232,6 +233,46 @@ class Machine {
     block_trace_next_ = 0;
   }
 
+  // --- snapshot / microsecond reset (the fuzzing substrate) ---
+  /// Everything take_snapshot() captures outside guest memory: the full
+  /// register file plus the Machine's process-model state. Guest memory is
+  /// captured inside Memory (dirty-page snapshot), so reset cost scales
+  /// with pages *touched*, not pages mapped.
+  struct Snapshot {
+    std::uint64_t x[32] = {};
+    std::uint64_t f[32] = {};
+    std::uint64_t pc = 0;
+    std::uint64_t instret = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t brk = 0;
+    std::uint64_t mmap_top = 0;
+    std::uint64_t reservation = 0;
+    std::unordered_map<std::int64_t, std::uint64_t> csr_scratch;
+    int exit_code = 0;
+    StopReason stop = StopReason::Running;
+    std::size_t out_size = 0;  ///< captured-stdout length at snapshot time
+  };
+
+  struct RestoreStats {
+    std::size_t pages_restored = 0;  ///< dirty pages copied back
+    std::size_t pages_dropped = 0;   ///< post-snapshot pages unmapped
+    bool code_invalidated = false;   ///< a restored page held cached code
+  };
+
+  /// Capture registers + process state and arm Memory's dirty tracking.
+  /// Also flushes the JIT write TLB so the first post-snapshot store into
+  /// each page re-marks it dirty.
+  Snapshot take_snapshot();
+
+  /// Rewind to `s`: restore registers/process state, copy back only the
+  /// dirty pages, unmap post-snapshot pages, and flush the write TLB.
+  /// When a restored or dropped page overlaps code that has been fetched,
+  /// the decoded caches and compiled JIT blocks covering exactly those
+  /// pages are evicted (the precise write_code discipline extended to
+  /// snapshot restore) — compiled code for untouched pages survives, which
+  /// is what keeps reset microsecond-scale.
+  RestoreStats reset_to_snapshot(const Snapshot& s);
+
   // --- data watchpoints (hardware-debug-register analogue) ---
   /// Stop with StopReason::Watchpoint when [addr, addr+size) is accessed.
   /// The triggering instruction completes first; pc is left *after* it and
@@ -338,6 +379,18 @@ class Machine {
   /// the fault path).
   BlockEntry* lookup_or_build_block(std::uint64_t pc);
   void flush_code_caches();
+  /// Precise eviction of decoded/compiled code overlapping [lo, hi) —
+  /// write_code's invalidation body, shared with snapshot restore.
+  void evict_code_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Page numbers of every pc successfully decoded so far (maintained on
+  /// the icache miss path): snapshot restore only pays the per-page
+  /// eviction sweep for touched pages that can actually hold cached code.
+  /// Data pages commonly sit between the original text and the relocated
+  /// patch area, so a mere bounding box would false-positive on every
+  /// input-write restore. Conservative across evictions (pages stay until
+  /// re-decode), which only costs a redundant sweep, never a stale block.
+  std::unordered_set<std::uint64_t> code_pages_;
 
 #if RVDYN_JIT_ENABLED
   jit::Config jit_cfg_;

@@ -6,12 +6,21 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace rvdyn::emu {
 
 /// Byte-addressed sparse memory backed by 4KiB pages allocated on first
 /// touch. Unmapped reads return zero only through the checked interfaces;
 /// the Machine treats unmapped *instruction fetch* as a fault.
+///
+/// Snapshot/reset (the fuzzing substrate): snapshot() deep-copies every
+/// mapped page and arms dirty tracking; from then on the first store into
+/// each page records it in a dirty list, and reset() copies back *only*
+/// those pages (plus drops pages first touched after the snapshot, so the
+/// mapped footprint — and therefore digest() — round-trips exactly).
+/// Pages inside a dirty-exempt range (coverage bitmaps, harness scratch)
+/// are never captured, restored, or dropped.
 class Memory {
  public:
   static constexpr std::uint64_t kPageBits = 12;
@@ -25,14 +34,14 @@ class Memory {
   void map(std::uint64_t addr, std::uint64_t size) {
     for (std::uint64_t p = addr >> kPageBits; p <= (addr + size - 1) >> kPageBits;
          ++p)
-      page(p << kPageBits);
+      rec(p << kPageBits);
   }
 
   std::uint8_t read8(std::uint64_t addr) {
     return page(addr)[addr & (kPageSize - 1)];
   }
   void write8(std::uint64_t addr, std::uint8_t v) {
-    page(addr)[addr & (kPageSize - 1)] = v;
+    page_w(addr)[addr & (kPageSize - 1)] = v;
   }
 
   /// Little-endian load of `size` (1/2/4/8) bytes.
@@ -49,10 +58,11 @@ class Memory {
     return v;
   }
 
-  /// Little-endian store of `size` bytes.
+  /// Little-endian store of `size` bytes. A page-straddling store dirties
+  /// both pages (the byte loop funnels through write8 -> page_w).
   void write(std::uint64_t addr, std::uint64_t v, unsigned size) {
     if (((addr & (kPageSize - 1)) + size) <= kPageSize) {
-      std::uint8_t* p = &page(addr)[addr & (kPageSize - 1)];
+      std::uint8_t* p = &page_w(addr)[addr & (kPageSize - 1)];
       std::memcpy(p, &v, size);
       return;
     }
@@ -60,32 +70,58 @@ class Memory {
       write8(addr + i, static_cast<std::uint8_t>(v >> (8 * i)));
   }
 
+  /// Bulk store, chunked per page (one dirty mark + one memcpy per page).
   void write_bytes(std::uint64_t addr, const std::uint8_t* data,
                    std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) write8(addr + i, data[i]);
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t a = addr + i;
+      const std::uint64_t off = a & (kPageSize - 1);
+      std::size_t chunk = kPageSize - off;
+      if (chunk > n - i) chunk = n - i;
+      std::memcpy(page_w(a) + off, data + i, chunk);
+      i += chunk;
+    }
   }
   void read_bytes(std::uint64_t addr, std::uint8_t* data, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) data[i] = read8(addr + i);
+    std::size_t i = 0;
+    while (i < n) {
+      const std::uint64_t a = addr + i;
+      const std::uint64_t off = a & (kPageSize - 1);
+      std::size_t chunk = kPageSize - off;
+      if (chunk > n - i) chunk = n - i;
+      std::memcpy(data + i, page(a) + off, chunk);
+      i += chunk;
+    }
   }
 
   /// Host pointer to `addr`'s page data (zero-fill allocating on first
   /// touch, like the load/store path). Pages never move once allocated, so
-  /// the pointer stays valid for the Memory's lifetime — the JIT's inline
-  /// TLB caches it per page.
+  /// the pointer stays valid until the page is dropped by reset() — the
+  /// JIT's inline TLB caches it per page, and the Machine flushes the TLB
+  /// whenever reset() drops pages.
   std::uint8_t* page_ptr(std::uint64_t addr) { return page(addr); }
+
+  /// Like page_ptr, but records the page as dirty first: the JIT's store
+  /// slow path fills its *write* TLB through this, so every page is on the
+  /// dirty list before any inline store can bypass Memory::write.
+  std::uint8_t* page_ptr_w(std::uint64_t addr) { return page_w(addr); }
 
   /// Order-independent FNV-1a digest over (page number, page bytes) of
   /// every mapped page. Zero-filled pages contribute, so two memories
-  /// compare equal only when their mapped footprints match too.
-  std::uint64_t digest() const {
+  /// compare equal only when their mapped footprints match too. Pass
+  /// `include_exempt = false` to skip dirty-exempt pages (harness-owned
+  /// state that legitimately diverges across snapshot resets).
+  std::uint64_t digest(bool include_exempt = true) const {
     std::uint64_t acc = 0;
     for (const auto& [num, pg] : pages_) {
+      if (!include_exempt && pg->exempt) continue;
       std::uint64_t h = 1469598103934665603ULL;
       const auto mix = [&h](std::uint8_t b) {
         h = (h ^ b) * 1099511628211ULL;
       };
       for (unsigned i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(num >> (8 * i)));
-      for (std::uint8_t b : *pg) mix(b);
+      for (std::uint8_t b : pg->bytes) mix(b);
       acc += h;  // commutative combine: iteration order is unspecified
     }
     return acc;
@@ -104,25 +140,142 @@ class Memory {
       const std::uint64_t off = (addr + i) & (kPageSize - 1);
       std::size_t chunk = kPageSize - off;
       if (chunk > n - i) chunk = n - i;
-      std::memcpy(data + i, it->second->data() + off, chunk);
+      std::memcpy(data + i, it->second->bytes.data() + off, chunk);
       i += chunk;
     }
     return true;
   }
 
- private:
-  using Page = std::array<std::uint8_t, kPageSize>;
+  // --- snapshot / dirty-page reset -----------------------------------------
 
-  std::uint8_t* page(std::uint64_t addr) {
-    auto& p = pages_[addr >> kPageBits];
-    if (!p) {
-      p = std::make_unique<Page>();
-      p->fill(0);
+  /// Deep-copy every mapped non-exempt page and arm dirty tracking. A
+  /// second call replaces the previous snapshot.
+  void snapshot() {
+    snap_.clear();
+    dirty_list_.clear();
+    fresh_list_.clear();
+    for (auto& [num, pg] : pages_) {
+      pg->dirty = false;
+      if (pg->exempt) continue;
+      auto copy = std::make_unique<PageBytes>(pg->bytes);
+      snap_.emplace(num, std::move(copy));
     }
-    return p->data();
+    tracking_ = true;
   }
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  bool snapshot_active() const { return tracking_; }
+
+  /// Stop tracking and free the snapshot copies (dirty/fresh lists kept
+  /// empty; pages keep their current contents).
+  void drop_snapshot() {
+    tracking_ = false;
+    snap_.clear();
+    for (std::uint64_t num : dirty_list_) {
+      const auto it = pages_.find(num);
+      if (it != pages_.end()) it->second->dirty = false;
+    }
+    dirty_list_.clear();
+    fresh_list_.clear();
+  }
+
+  struct ResetStats {
+    std::size_t pages_restored = 0;  ///< dirty pages copied back
+    std::size_t pages_dropped = 0;   ///< post-snapshot pages unmapped
+  };
+
+  /// Restore the snapshot: copy back only the dirty pages, unmap pages
+  /// first touched after snapshot() (so the mapped footprint — and
+  /// digest() — matches the snapshot exactly), and clear both lists.
+  /// Dropping a page invalidates host pointers previously returned for it;
+  /// the Machine flushes its TLBs accordingly.
+  ResetStats reset() {
+    ResetStats st;
+    for (std::uint64_t num : dirty_list_) {
+      const auto it = pages_.find(num);
+      if (it == pages_.end()) continue;
+      it->second->dirty = false;
+      const auto sit = snap_.find(num);
+      if (sit == snap_.end()) continue;  // fresh page, dropped below
+      it->second->bytes = *sit->second;
+      ++st.pages_restored;
+    }
+    dirty_list_.clear();
+    for (std::uint64_t num : fresh_list_) {
+      pages_.erase(num);
+      ++st.pages_dropped;
+    }
+    fresh_list_.clear();
+    return st;
+  }
+
+  /// Mark [addr, addr+size) as dirty-exempt: pages the snapshot machinery
+  /// ignores entirely (allocated here if absent). Used for cumulative
+  /// harness state — the fuzzer's coverage bitmap survives every reset.
+  void set_dirty_exempt(std::uint64_t addr, std::uint64_t size) {
+    if (size == 0) return;
+    for (std::uint64_t p = addr >> kPageBits;
+         p <= (addr + size - 1) >> kPageBits; ++p) {
+      PageRec& r = rec(p << kPageBits);
+      r.exempt = true;
+      r.dirty = false;
+      // Retroactively scrub the page from any tracking state so it is
+      // neither restored nor dropped by a later reset().
+      snap_.erase(p);
+      purge(dirty_list_, p);
+      purge(fresh_list_, p);
+    }
+  }
+
+  /// Page numbers dirtied since the snapshot (insertion order, exact: one
+  /// entry per touched page). Valid while the snapshot is armed.
+  const std::vector<std::uint64_t>& dirty_pages() const { return dirty_list_; }
+  /// Page numbers first mapped after the snapshot (dropped by reset()).
+  const std::vector<std::uint64_t>& fresh_pages() const { return fresh_list_; }
+
+  std::size_t mapped_pages() const { return pages_.size(); }
+
+ private:
+  using PageBytes = std::array<std::uint8_t, kPageSize>;
+  struct PageRec {
+    PageBytes bytes;
+    bool dirty = false;
+    bool exempt = false;
+  };
+
+  static void purge(std::vector<std::uint64_t>& v, std::uint64_t num) {
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (v[i] == num) {
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+  }
+
+  PageRec& rec(std::uint64_t addr) {
+    auto& p = pages_[addr >> kPageBits];
+    if (!p) {
+      p = std::make_unique<PageRec>();
+      p->bytes.fill(0);
+      if (tracking_) fresh_list_.push_back(addr >> kPageBits);
+    }
+    return *p;
+  }
+
+  std::uint8_t* page(std::uint64_t addr) { return rec(addr).bytes.data(); }
+
+  std::uint8_t* page_w(std::uint64_t addr) {
+    PageRec& r = rec(addr);
+    if (tracking_ && !r.dirty && !r.exempt) {
+      r.dirty = true;
+      dirty_list_.push_back(addr >> kPageBits);
+    }
+    return r.bytes.data();
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<PageRec>> pages_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PageBytes>> snap_;
+  std::vector<std::uint64_t> dirty_list_;
+  std::vector<std::uint64_t> fresh_list_;
+  bool tracking_ = false;
 };
 
 }  // namespace rvdyn::emu

@@ -1,0 +1,304 @@
+// The campaign loop: corpus scheduling, mutation, worker sharding, triage.
+#include <algorithm>
+#include <cstring>
+
+#include "common/status.hpp"
+#include "fuzz/fuzz.hpp"
+#include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
+#include "parse/scheduler.hpp"
+
+namespace rvdyn::fuzz {
+
+// --- corpus -----------------------------------------------------------------
+
+std::size_t Corpus::add(std::vector<std::uint8_t> bytes, unsigned novelty) {
+  std::lock_guard lock(mu_);
+  entries_.push_back({std::move(bytes), novelty});
+  total_energy_ += energy(novelty);
+  return entries_.size() - 1;
+}
+
+Corpus::Entry Corpus::get(std::size_t idx) const {
+  std::lock_guard lock(mu_);
+  return entries_.at(idx);
+}
+
+std::size_t Corpus::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+unsigned Corpus::energy(unsigned novelty) {
+  unsigned e = 1;
+  while (novelty > 0) {
+    ++e;
+    novelty >>= 1;
+  }
+  return e;
+}
+
+std::size_t Corpus::pick(std::uint64_t rng_state) const {
+  std::lock_guard lock(mu_);
+  if (entries_.empty()) return 0;
+  if (total_energy_ == 0) return rng_state % entries_.size();
+  // Energy-weighted roulette: entries admitted with more novel edges are
+  // proportionally more likely to be rescheduled.
+  std::uint64_t ticket = rng_state % total_energy_;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const std::uint64_t e = energy(entries_[i].novelty);
+    if (ticket < e) return i;
+    ticket -= e;
+  }
+  return entries_.size() - 1;
+}
+
+// --- mutator ----------------------------------------------------------------
+
+std::uint64_t Mutator::next() {
+  // xorshift64* — deterministic, seedable, no libc RNG state.
+  s_ ^= s_ >> 12;
+  s_ ^= s_ << 25;
+  s_ ^= s_ >> 27;
+  return s_ * 0x2545F4914F6CDD1DULL;
+}
+
+void Mutator::mutate(std::vector<std::uint8_t>& data, const Corpus& corpus,
+                     std::size_t max_len) {
+  if (data.empty()) data.push_back(0);
+  // Stack 1..4 havoc steps so single-step minima don't trap the search.
+  const unsigned steps = 1 + static_cast<unsigned>(next() % 4);
+  for (unsigned s = 0; s < steps; ++s) {
+    const std::uint64_t r = next();
+    const std::size_t pos = static_cast<std::size_t>(next()) % data.size();
+    switch (r % 6) {
+      case 0:  // single bit flip
+        data[pos] ^= static_cast<std::uint8_t>(1u << (next() % 8));
+        break;
+      case 1:  // random byte overwrite
+        data[pos] = static_cast<std::uint8_t>(next());
+        break;
+      case 2:  // bounded arithmetic
+        data[pos] = static_cast<std::uint8_t>(
+            data[pos] + static_cast<int>(next() % 35) - 17);
+        break;
+      case 3:  // extend with a random byte (inputs grow toward magic length)
+        if (data.size() < max_len)
+          data.push_back(static_cast<std::uint8_t>(next()));
+        break;
+      case 4:  // truncate
+        if (data.size() > 1) data.resize(1 + next() % (data.size() - 1));
+        break;
+      case 5: {  // splice: overwrite a run with another corpus entry's bytes
+        if (corpus.size() == 0) break;
+        const Corpus::Entry donor = corpus.get(next() % corpus.size());
+        if (donor.bytes.empty()) break;
+        const std::size_t n =
+            std::min(donor.bytes.size(), data.size() - pos);
+        std::memcpy(data.data() + pos, donor.bytes.data(), n);
+        break;
+      }
+    }
+  }
+  if (data.size() > max_len) data.resize(max_len);
+}
+
+// --- campaign ---------------------------------------------------------------
+
+namespace {
+
+bool is_crash(emu::StopReason r) {
+  switch (r) {
+    case emu::StopReason::Breakpoint:
+    case emu::StopReason::IllegalInsn:
+    case emu::StopReason::BadFetch:
+    case emu::StopReason::BadSyscall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+/// Everything one shard owns: a private guest, its snapshot, a private
+/// RNG/mutation stream, a map read-back buffer, and a private metric
+/// namespace — workers share only the corpus, the global coverage set and
+/// the result under their own locks.
+struct Campaign::Worker {
+  emu::Machine m;
+  emu::Machine::Snapshot snap;
+  Mutator mut;
+  std::vector<std::uint8_t> map;
+  obs::ScopedView view;
+  obs::Counter c_execs, c_admits, c_crashes, c_hangs, c_resets_pages;
+
+  Worker(std::uint64_t seed, const std::string& prefix, unsigned widx)
+      : mut(seed),
+        map(kMapSize),
+        view(prefix + ".w" + std::to_string(widx)),
+        c_execs(view.qualify("execs")),
+        c_admits(view.qualify("corpus_admits")),
+        c_crashes(view.qualify("crashes")),
+        c_hangs(view.qualify("hangs")),
+        c_resets_pages(view.qualify("reset_pages")) {}
+};
+
+Campaign::Campaign(const symtab::Symtab& target, CampaignOptions opts)
+    : opts_(std::move(opts)), woven_(weave_coverage(target)) {
+  const symtab::Symbol* in = woven_.binary.find_symbol("fuzz_input");
+  const symtab::Symbol* len = woven_.binary.find_symbol("fuzz_len");
+  if (in == nullptr || len == nullptr)
+    throw Error("fuzz: target must export fuzz_input and fuzz_len symbols");
+  if (woven_.trap_entries != 0)
+    throw Error(
+        "fuzz: coverage weaving needed trap springboards; every woven block "
+        "would stop as Breakpoint and mask real crashes (move the patch "
+        "area into jal range)");
+  input_addr_ = in->value;
+  len_addr_ = len->value;
+  if (in->size != 0 && in->size < opts_.max_input_len)
+    opts_.max_input_len = in->size;
+  if (opts_.workers < 1) opts_.workers = 1;
+}
+
+Campaign::~Campaign() = default;
+
+void Campaign::add_seed(std::vector<std::uint8_t> input) {
+  if (input.size() > opts_.max_input_len) input.resize(opts_.max_input_len);
+  seeds_.push_back(std::move(input));
+}
+
+std::ptrdiff_t Campaign::execute_one(Worker& w,
+                                     const std::vector<std::uint8_t>& input) {
+  const auto rs = w.m.reset_to_snapshot(w.snap);
+  w.c_resets_pages.add(rs.pages_restored);
+  emu::Memory& mem = w.m.memory();
+  // Scratch slots are dirty-exempt (not restored); re-zero them so the
+  // first woven block of this run starts a fresh edge chain.
+  mem.write(kPrevAddr, 0, 8);
+  mem.write(kNewEdgesAddr, 0, 8);
+  if (!input.empty()) mem.write_bytes(input_addr_, input.data(), input.size());
+  mem.write(len_addr_, input.size(), 8);
+
+  w.m.run(opts_.exec_step_budget);
+  const emu::StopReason stop = w.m.last_stop();
+  const std::uint64_t exec_no = execs_.fetch_add(1) + 1;
+  w.c_execs.add(1);
+
+  if (is_crash(stop)) {
+    w.c_crashes.add(1);
+    std::lock_guard lock(result_mu_);
+    // Keep the first crash's full postmortem; later duplicates only count.
+    if (result_.crashes.empty()) {
+      CrashReport cr;
+      cr.input = input;
+      cr.reason = stop;
+      cr.pc = w.m.pc();
+      cr.found_at_exec = exec_no;
+      cr.postmortem = obs::postmortem_report(w.m, woven_.code(), stop);
+      result_.crashes.push_back(std::move(cr));
+    }
+    if (opts_.stop_on_crash) stop_.store(true, std::memory_order_release);
+  } else if (stop == emu::StopReason::Running) {
+    w.c_hangs.add(1);
+    std::lock_guard lock(result_mu_);
+    ++result_.hangs;
+  }
+
+  // Guest-side novelty gate: only consult the (mutex-guarded) global set
+  // when this run lit at least one previously-zero local map slot.
+  if (mem.read(kNewEdgesAddr, 8) == 0) return -1;
+  read_map(w.m, w.map.data());
+  const unsigned fresh = global_.merge(w.map.data());
+  if (fresh == 0) return -1;
+  w.c_admits.add(1);
+  const std::size_t idx = corpus_.add(input, fresh);
+  if (opts_.collect_curve) {
+    std::lock_guard lock(result_mu_);
+    result_.coverage_curve.emplace_back(exec_no, global_.edges_seen());
+  }
+  return static_cast<std::ptrdiff_t>(idx);
+}
+
+void Campaign::process_item(Worker& w, unsigned widx,
+                            parse::WorkStealingPool& pool,
+                            std::size_t corpus_idx) {
+  if (stop_.load(std::memory_order_acquire) ||
+      execs_.load(std::memory_order_relaxed) >= opts_.max_execs)
+    return;
+  const Corpus::Entry entry = corpus_.get(corpus_idx);
+  const unsigned rounds = opts_.batch * Corpus::energy(entry.novelty);
+  for (unsigned i = 0; i < rounds; ++i) {
+    if (stop_.load(std::memory_order_acquire) ||
+        execs_.load(std::memory_order_relaxed) >= opts_.max_execs)
+      return;
+    std::vector<std::uint8_t> data = entry.bytes;
+    w.mut.mutate(data, corpus_, opts_.max_input_len);
+    const std::ptrdiff_t admitted = execute_one(w, data);
+    if (admitted >= 0)
+      pool.push(widx, {static_cast<std::uint64_t>(admitted), nullptr});
+  }
+  // Chain the schedule: hand the pool a fresh energy-weighted pick so the
+  // campaign only drains when the exec budget (or a crash) stops it.
+  if (!stop_.load(std::memory_order_acquire) &&
+      execs_.load(std::memory_order_relaxed) < opts_.max_execs)
+    pool.push(widx, {corpus_.pick(w.mut.next()), nullptr});
+}
+
+void Campaign::run_worker(unsigned widx, parse::WorkStealingPool& pool) {
+  Worker& w = *workers_[widx];
+  parse::SchedStats stats;
+  pool.drain(
+      widx,
+      [&](const parse::ParseWork& item) {
+        process_item(w, widx, pool, static_cast<std::size_t>(item.entry));
+      },
+      &stats);
+}
+
+CampaignResult Campaign::run() {
+  // Namespace-scoped reset: clear this campaign's counters (and nothing
+  // else) so back-to-back campaigns in one process never accumulate.
+  obs::Registry::instance().reset(opts_.metrics_prefix + ".");
+  result_ = CampaignResult{};
+  execs_.store(0);
+  stop_.store(false);
+
+  workers_.clear();
+  for (unsigned i = 0; i < opts_.workers; ++i) {
+    auto w = std::make_unique<Worker>(opts_.seed * 0x9E3779B97F4A7C15ULL + i,
+                                      opts_.metrics_prefix, i);
+    attach_coverage(w->m, woven_);
+    w->snap = w->m.take_snapshot();
+    workers_.push_back(std::move(w));
+  }
+
+  // Calibration: run each seed unmutated on worker 0 so the corpus starts
+  // with measured novelty (and the curve starts at the seeds' coverage).
+  if (seeds_.empty()) seeds_.push_back({});
+  for (const auto& s : seeds_)
+    if (execute_one(*workers_[0], s) < 0 && corpus_.size() == 0)
+      corpus_.add(s, 0);  // keep at least one schedulable entry
+
+  parse::WorkStealingPool pool(opts_.workers);
+  for (unsigned i = 0; i < opts_.workers; ++i)
+    pool.push(i, {i % corpus_.size(), nullptr});
+  parse::run_on_workers(opts_.workers,
+                        [&](unsigned widx) { run_worker(widx, pool); });
+
+  result_.execs = execs_.load();
+  result_.corpus_size = corpus_.size();
+  result_.edges_covered = global_.edges_seen();
+  obs::Registry::instance().set_gauge(
+      obs::Registry::instance().register_metric(
+          opts_.metrics_prefix + ".edges_covered", obs::MetricKind::Gauge),
+      result_.edges_covered);
+  obs::Registry::instance().set_gauge(
+      obs::Registry::instance().register_metric(
+          opts_.metrics_prefix + ".corpus_size", obs::MetricKind::Gauge),
+      result_.corpus_size);
+  return result_;
+}
+
+}  // namespace rvdyn::fuzz

@@ -232,6 +232,33 @@ class Registry {
     for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
   }
 
+  /// Zero only the metrics whose name starts with `prefix`, leaving every
+  /// other namespace untouched — so a fuzzing campaign (or any other
+  /// repeated experiment) can clear its own `rvdyn.fuzz.w3.*` counters
+  /// between rounds without destroying the decoder/JIT totals accumulated
+  /// alongside. Same quiesced-writers contract as reset().
+  void reset(const std::string& prefix) {
+    std::lock_guard lock(mu_);
+    for (Id id = 0; id < meta_.size(); ++id) {
+      if (meta_[id].name.compare(0, prefix.size(), prefix) != 0) continue;
+      for (auto& shard : shards_)
+        shard->slots[id].store(0, std::memory_order_relaxed);
+      gauges_[id].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// All metrics under `prefix`, sorted by name.
+  std::vector<Sample> snapshot(const std::string& prefix) const {
+    std::lock_guard lock(mu_);
+    std::vector<Sample> out;
+    for (Id id = 0; id < meta_.size(); ++id)
+      if (meta_[id].name.compare(0, prefix.size(), prefix) == 0)
+        out.push_back({meta_[id].name, meta_[id].kind, read_locked(id)});
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+  }
+
  private:
   struct Meta {
     std::string name;
@@ -366,6 +393,46 @@ class ScopedTimerGauge {
  private:
   Gauge gauge_;
   std::chrono::steady_clock::time_point t0_;
+};
+
+/// A namespace-scoped window onto the registry: every metric created or
+/// read through the view lives under `prefix` + ".", so independent
+/// experiments (fuzzing workers, benchmark rounds) get private counters
+/// that neither collide with nor survive into each other. The view owns no
+/// storage — it is a naming convention made ergonomic — so any number of
+/// views over the same prefix see the same slots.
+class ScopedView {
+ public:
+  explicit ScopedView(std::string prefix) : prefix_(std::move(prefix) + ".") {}
+
+  const std::string& prefix() const { return prefix_; }
+  std::string qualify(const std::string& name) const { return prefix_ + name; }
+
+  Counter counter(const std::string& name) const {
+    return Counter(prefix_ + name);
+  }
+  Gauge gauge(const std::string& name) const { return Gauge(prefix_ + name); }
+  Histogram histogram(const std::string& name) const {
+    return Histogram(prefix_ + name);
+  }
+
+  /// Value of `prefix.name`; 0 when never registered.
+  std::uint64_t value(const std::string& name) const {
+    return Registry::instance().value(prefix_ + name);
+  }
+  /// Shard-merged snapshot of histogram `prefix.name`.
+  HistogramSnapshot histogram_snapshot(const std::string& name) const {
+    return Registry::instance().histogram(prefix_ + name);
+  }
+  /// Every metric under the prefix, sorted by name.
+  std::vector<Registry::Sample> snapshot() const {
+    return Registry::instance().snapshot(prefix_);
+  }
+  /// Zero every metric under the prefix, nothing else.
+  void reset() const { Registry::instance().reset(prefix_); }
+
+ private:
+  std::string prefix_;
 };
 
 }  // namespace rvdyn::obs

@@ -390,4 +390,65 @@ std::string many_function_program(int n_funcs) {
   return out.str();
 }
 
+std::string fuzz_target_program(const std::string& magic) {
+  std::ostringstream out;
+  out << R"(# Fuzzing mutatee: checksum the input, then compare it byte-by-byte
+# against a magic prefix. A full match executes ebreak (the seeded bug);
+# each compare is its own basic block, so edge coverage rewards every
+# matched byte and guides the search toward the crash.
+    .data
+    .align 3
+    .globl fuzz_input
+fuzz_input: .zero 64
+    .globl fuzz_len
+fuzz_len: .dword 0
+
+    .text
+    .globl _start
+    .globl checksum
+_start:
+    la a0, fuzz_input
+    la t0, fuzz_len
+    ld a1, 0(t0)
+    call checksum
+    mv s0, a0                # keep the checksum for the exit code
+    la t0, fuzz_len
+    ld t1, 0(t0)
+    li t2, )" << magic.size() << R"(
+    blt t1, t2, no_bug       # too short to hold the magic
+    la t3, fuzz_input
+)";
+  for (std::size_t i = 0; i < magic.size(); ++i) {
+    out << "    lbu t4, " << i << "(t3)\n";
+    out << "    li t5, " << static_cast<unsigned>(
+        static_cast<unsigned char>(magic[i])) << "\n";
+    out << "    bne t4, t5, no_bug\n";
+  }
+  out << R"(    ebreak                   # the seeded bug: full magic match
+no_bug:
+    andi a0, s0, 255
+    li a7, 93
+    ecall
+
+# checksum(buf /*a0*/, len /*a1*/): rotating xor over the input bytes
+checksum:
+    li t0, 0                 # i
+    li t1, 0                 # acc
+csloop:
+    bge t0, a1, csdone
+    add t2, a0, t0
+    lbu t3, 0(t2)
+    slli t4, t1, 1
+    srli t1, t1, 63
+    or t1, t1, t4
+    xor t1, t1, t3
+    addi t0, t0, 1
+    j csloop
+csdone:
+    mv a0, t1
+    ret
+)";
+  return out.str();
+}
+
 }  // namespace rvdyn::workloads

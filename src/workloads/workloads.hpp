@@ -40,4 +40,12 @@ std::string many_function_program(int n_funcs);
 /// sorted, 1 otherwise, so instrumented runs are self-checking.
 std::string sort_program(int n);
 
+/// Fuzzing mutatee following rvdyn::fuzz's target contract: exposes
+/// `fuzz_input` (64-byte buffer) and `fuzz_len` (u64), checksums the
+/// input, and compares it byte-by-byte against `magic` — one basic block
+/// per byte, so edge coverage guides a fuzzer toward the full match, which
+/// executes ebreak (the seeded bug). Non-matching runs exit with the
+/// checksum.
+std::string fuzz_target_program(const std::string& magic);
+
 }  // namespace rvdyn::workloads

@@ -1,0 +1,57 @@
+# Builds the tree once with -DRVDYN_SANITIZE=address and runs the
+# snapshot-fuzzing suites under AddressSanitizer. The fuzz engine's hot
+# path is built from raw host pointers — the snapshot's per-page copies,
+# the JIT's read/write TLB page pointers that must be flushed when a reset
+# drops pages, and the 64 KiB coverage-map read-back — so a stale pointer
+# anywhere in the reset cycle is a heap-use-after-free ASan will catch.
+# Run via
+#   cmake -P tests/asan_fuzz_check.cmake
+# (registered as the `asan_fuzz_suite` ctest from non-sanitized builds).
+#
+# Variables (all optional, -D before -P):
+#   SOURCE_DIR  repo root (default: parent of this script)
+#   BINARY_DIR  nested build dir (default: ${SOURCE_DIR}/build-asan-fuzz)
+#   JOBS        parallel build jobs (default: 4)
+
+if(NOT SOURCE_DIR)
+  get_filename_component(SOURCE_DIR ${CMAKE_CURRENT_LIST_DIR} DIRECTORY)
+endif()
+if(NOT BINARY_DIR)
+  set(BINARY_DIR ${SOURCE_DIR}/build-asan-fuzz)
+endif()
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+
+message(STATUS "asan-fuzz check: configuring ${BINARY_DIR} with -DRVDYN_SANITIZE=address")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BINARY_DIR}
+          -DRVDYN_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan-fuzz check: configure failed")
+endif()
+
+set(targets
+  test_fuzz_snapshot
+  test_fuzz_coverage
+  test_fuzz_campaign)
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR} -j ${JOBS} --target ${targets}
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "asan-fuzz check: build failed with RVDYN_SANITIZE=address")
+endif()
+
+foreach(t ${targets})
+  message(STATUS "asan-fuzz check: running ${t}")
+  execute_process(
+    COMMAND ${BINARY_DIR}/tests/${t}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "asan-fuzz check: ${t} failed under AddressSanitizer")
+  endif()
+endforeach()
+
+message(STATUS "asan-fuzz check: fuzzing suites clean under ASan")

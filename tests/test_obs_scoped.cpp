@@ -1,0 +1,88 @@
+// Registry namespace scoping: prefix reset and the ScopedView facade —
+// per-experiment counters must neither collide with nor outlive their
+// campaign while the rest of the registry keeps accumulating.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace rvdyn;
+using obs::MetricKind;
+using obs::Registry;
+
+TEST(ObsScoped, PrefixResetLeavesSiblingsAlone) {
+  auto& r = Registry::instance();
+  const auto a = r.register_metric("scoped.alpha.n", MetricKind::Counter);
+  const auto b = r.register_metric("scoped.beta.n", MetricKind::Counter);
+  const auto g = r.register_metric("scoped.alpha.g", MetricKind::Gauge);
+  r.add(a, 7);
+  r.add(b, 9);
+  r.set_gauge(g, 11);
+
+  r.reset("scoped.alpha.");
+  EXPECT_EQ(r.value("scoped.alpha.n"), 0u);
+  EXPECT_EQ(r.value("scoped.alpha.g"), 0u);
+  EXPECT_EQ(r.value("scoped.beta.n"), 9u);
+  r.reset("scoped.");
+  EXPECT_EQ(r.value("scoped.beta.n"), 0u);
+}
+
+// A prefix is a raw string match, not a dotted-path match: resetting
+// "pfx.a" must not clear "pfx.ab" unless the caller includes the dot.
+TEST(ObsScoped, PrefixIsLiteral) {
+  auto& r = Registry::instance();
+  r.add(r.register_metric("pfx.a.n", MetricKind::Counter), 1);
+  r.add(r.register_metric("pfx.ab.n", MetricKind::Counter), 2);
+  r.reset("pfx.a.");
+  EXPECT_EQ(r.value("pfx.a.n"), 0u);
+  EXPECT_EQ(r.value("pfx.ab.n"), 2u);
+}
+
+TEST(ObsScoped, PrefixSnapshotFiltersAndSorts) {
+  auto& r = Registry::instance();
+  r.reset("snapview.");
+  r.add(r.register_metric("snapview.z", MetricKind::Counter), 1);
+  r.add(r.register_metric("snapview.a", MetricKind::Counter), 2);
+  r.add(r.register_metric("othersnap.x", MetricKind::Counter), 3);
+
+  const auto samples = r.snapshot("snapview.");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "snapview.a");
+  EXPECT_EQ(samples[0].value, 2u);
+  EXPECT_EQ(samples[1].name, "snapview.z");
+}
+
+TEST(ObsScoped, ViewQualifiesCountersGaugesHistograms) {
+  obs::ScopedView v("viewtest.w3");
+  EXPECT_EQ(v.qualify("execs"), "viewtest.w3.execs");
+
+  v.counter("execs").add(4);
+  v.gauge("depth").set(17);
+  const auto h = v.histogram("lat");
+  h.record(0);
+  h.record(5);
+  h.record(5000);
+
+  EXPECT_EQ(v.value("execs"), 4u);
+  EXPECT_EQ(v.value("depth"), 17u);
+  const auto hs = v.histogram_snapshot("lat");
+  EXPECT_EQ(hs.count, 3u);
+  EXPECT_EQ(hs.sum, 5005u);
+  EXPECT_EQ(hs.max, 5000u);
+
+  // The view's reset clears its whole subtree — histogram components too.
+  v.reset();
+  EXPECT_EQ(v.value("execs"), 0u);
+  EXPECT_EQ(v.histogram_snapshot("lat").count, 0u);
+}
+
+TEST(ObsScoped, TwoViewsOverSamePrefixShareSlots) {
+  obs::ScopedView v1("viewshare"), v2("viewshare");
+  v1.counter("n").add(2);
+  v2.counter("n").add(3);
+  EXPECT_EQ(v1.value("n"), 5u);
+  EXPECT_EQ(v2.snapshot().size(), v1.snapshot().size());
+}
+
+}  // namespace
